@@ -1,0 +1,135 @@
+"""Shared scenario builders and result-file helpers for the benchmarks.
+
+Every benchmark regenerates one of the paper's figures (the paper has no
+numbered tables; its evaluation is Figures 2-8 plus the §4 efficiency
+claim and the §5 MPEG-2 case study).  Rendered tables/series are written
+to ``benchmarks/results/`` so EXPERIMENTS.md can reference fixed
+artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+from repro.kernel.time import US
+from repro.mcse import System
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: The paper's Figure-6 RTOS configuration: 5us per overhead component.
+FIG6_OVERHEADS = dict(
+    scheduling_duration=5 * US,
+    context_load_duration=5 * US,
+    context_save_duration=5 * US,
+)
+
+
+def write_result(name: str, text: str) -> str:
+    """Persist a rendered result table under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w") as handle:
+        handle.write(text if text.endswith("\n") else text + "\n")
+    return path
+
+
+def build_fig6_system(engine: str = "procedural", clk_period=100 * US,
+                      overheads=None) -> Tuple[System, List]:
+    """The §5 example: HW Clock + three prioritized functions, one CPU."""
+    system = System("fig6")
+    clk = system.event("Clk", policy="fugitive")
+    ev1 = system.event("Event_1", policy="boolean")
+    cpu = system.processor(
+        "Processor", engine=engine, **(overheads or FIG6_OVERHEADS)
+    )
+    log = []
+
+    def f1(fn):
+        yield from fn.wait(clk)
+        log.append(("F1-start", system.now))
+        yield from fn.execute(20 * US)
+        log.append(("F1-signal", system.now))
+        yield from fn.signal(ev1)
+        yield from fn.execute(10 * US)
+        log.append(("F1-end", system.now))
+
+    def f2(fn):
+        yield from fn.wait(ev1)
+        log.append(("F2-start", system.now))
+        yield from fn.execute(30 * US)
+        log.append(("F2-end", system.now))
+
+    def f3(fn):
+        yield from fn.execute(200 * US)
+        log.append(("F3-end", system.now))
+
+    def clock(fn):
+        yield from fn.delay(clk_period)
+        log.append(("Clk", system.now))
+        yield from fn.signal(clk)
+
+    for name, behavior, priority in (
+        ("Function_1", f1, 5), ("Function_2", f2, 3), ("Function_3", f3, 2),
+    ):
+        cpu.map(system.function(name, behavior, priority=priority))
+    system.function("Clock", clock)
+    return system, log
+
+
+def build_interrupt_scenario(engine: str, *, interrupts: int = 20,
+                             period=30 * US) -> System:
+    """Figure-3/5 shape: two tasks + periodic HW interrupts.
+
+    A low-priority worker crunches; a high-priority handler serves each
+    interrupt.  Every interrupt causes one preemption and two context
+    switches -- the scheduling-action treadmill whose simulation cost the
+    two engines pay differently.
+    """
+    system = System("irq")
+    cpu = system.processor("cpu", engine=engine, **FIG6_OVERHEADS)
+    tick = system.event("tick", policy="counter")
+
+    def handler(fn):
+        for _ in range(interrupts):
+            yield from fn.wait(tick)
+            yield from fn.execute(3 * US)
+
+    def worker(fn):
+        yield from fn.execute(interrupts * period * 2)
+
+    cpu.map(system.function("handler", handler, priority=9))
+    cpu.map(system.function("worker", worker, priority=1))
+    for index in range(1, interrupts + 1):
+        system.sim.schedule_callback(index * period, tick.signal)
+    return system
+
+
+def build_messaging_system(engine: str, *, tasks: int, rounds: int = 30
+                           ) -> System:
+    """A ring of message-passing tasks (stress for engine comparison)."""
+    system = System("ring")
+    cpu = system.processor("cpu", engine=engine, **FIG6_OVERHEADS)
+    queues = [
+        system.queue(f"q{i}", capacity=2) for i in range(tasks)
+    ]
+
+    def stage(index):
+        def body(fn):
+            for round_index in range(rounds):
+                if index == 0:
+                    if round_index:
+                        yield from fn.read(queues[0])
+                else:
+                    yield from fn.read(queues[index])
+                yield from fn.execute(2 * US)
+                target = queues[(index + 1) % tasks]
+                yield from fn.write(target, round_index)
+
+        return body
+
+    # highest priority at the ring's tail drains messages promptly
+    for index in range(tasks):
+        fn = system.function(f"s{index}", stage(index), priority=index)
+        cpu.map(fn)
+    return system

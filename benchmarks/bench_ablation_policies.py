@@ -1,0 +1,85 @@
+"""Ablation: scheduling-policy influence (paper §3.1).
+
+The abstract promises assessment of "the influence of scheduling
+according to RTOS properties such as scheduling policy".  We run the
+same periodic workload under every shipped policy and tabulate misses,
+preemptions and worst responses -- the numbers a designer's DSE compares.
+"""
+
+from _scenarios import write_result
+from repro.kernel.time import MS, US, format_time
+from repro.workloads import build_periodic_system, generate_periodic_taskset
+
+TASKS = generate_periodic_taskset(
+    5, total_utilization=0.80, seed=11, period_min=5 * MS, period_max=40 * MS,
+)
+OVERHEAD = 100 * US
+
+POLICY_MATRIX = (
+    ("priority_preemptive", {}),
+    ("fifo", {}),
+    ("round_robin", {"policy_kwargs": {"time_slice": 2 * MS}}),
+    ("priority_round_robin", {"policy_kwargs": {"time_slice": 2 * MS}}),
+    ("edf", {"set_deadlines": True}),
+    ("llf", {"set_deadlines": True}),
+    ("lottery", {"policy_kwargs": {"seed": 3}}),
+)
+
+
+def run_policy(policy: str, extra: dict):
+    system, result = build_periodic_system(
+        TASKS,
+        policy=policy,
+        scheduling_duration=OVERHEAD,
+        context_load_duration=OVERHEAD,
+        context_save_duration=OVERHEAD,
+        **extra,
+    )
+    system.run(200 * MS)
+    return system, result
+
+
+def bench_policy_matrix(benchmark):
+    """All seven policies on the same workload."""
+
+    def sweep():
+        return {
+            policy: run_policy(policy, extra)
+            for policy, extra in POLICY_MATRIX
+        }
+
+    results = benchmark.pedantic(sweep, rounds=2, iterations=1)
+
+    lines = [
+        "Ablation -- scheduling policies on one workload "
+        "(5 tasks, U=0.80, 100us overheads, 200ms)",
+        "",
+        f"{'policy':>22} {'misses':>7} {'preempt':>8} {'worst resp':>12}",
+    ]
+    for policy, (system, result) in results.items():
+        worst = max(
+            (result.worst_response(t.name) or 0) for t in TASKS
+        )
+        lines.append(
+            f"{policy:>22} {result.total_misses():>7} "
+            f"{system.processors['cpu'].preemption_count:>8} "
+            f"{format_time(worst):>12}"
+        )
+    write_result("ablation_policies.txt", "\n".join(lines))
+
+    # invariant shapes (note: at this utilization FIFO can legitimately
+    # miss *less* than preemptive policies -- run-to-completion spends
+    # nothing on context switches; the table is the deliverable)
+    fifo_system, _ = results["fifo"]
+    rr_system, _ = results["round_robin"]
+    assert fifo_system.processors["cpu"].preemption_count == 0
+    assert rr_system.processors["cpu"].preemption_count > 0
+    for policy, (_, result) in results.items():
+        assert result.releases, policy  # every policy actually ran jobs
+
+
+def bench_priority_preemptive_single(benchmark):
+    """Cost of the default policy alone (the common configuration)."""
+    system, result = benchmark(run_policy, "priority_preemptive", {})
+    assert result.releases  # the workload actually ran
+    benchmark.extra_info["misses"] = result.total_misses()

@@ -1,0 +1,77 @@
+"""Ablation: the communications network dimension (paper §1).
+
+The paper lists the communications network among the implementation
+choices whose influence must be visible in early simulation.  We map the
+MPEG-2 SoC's bitstream channel onto a shared arbitrated bus and sweep
+its speed: frame latency must degrade gracefully with bus cost, and bus
+utilization must track it.
+"""
+
+from _scenarios import write_result
+from repro.kernel.time import US, format_time
+from repro.workloads import Mpeg2Soc
+
+FRAMES = 12
+SETUPS_US = (0, 100, 500, 2000, 5000)
+
+
+def run_bus(setup_us):
+    soc = Mpeg2Soc(frames=FRAMES, seed=0, use_bus=True,
+                   bus_setup=setup_us * US)
+    soc.run()
+    return soc
+
+
+def bench_bus_sweep(benchmark):
+    """Frame latency vs bus transfer cost."""
+
+    def sweep():
+        return [(setup, run_bus(setup)) for setup in SETUPS_US]
+
+    rows = benchmark.pedantic(sweep, rounds=2, iterations=1)
+
+    lines = [
+        "Ablation -- shared-bus cost vs MPEG-2 frame latency "
+        f"({FRAMES} frames)",
+        "",
+        f"{'bus setup':>10} {'mean e2e':>12} {'bus util':>9} "
+        f"{'mean bus wait':>14}",
+    ]
+    latencies = []
+    for setup, soc in rows:
+        info = soc.summary()
+        latencies.append(info["mean_e2e_latency"])
+        lines.append(
+            f"{format_time(setup * US):>10} "
+            f"{format_time(info['mean_e2e_latency']):>12} "
+            f"{soc.bus.utilization():>9.2%} "
+            f"{format_time(round(soc.bus.mean_wait())):>14}"
+        )
+        assert soc.completed_frames() == FRAMES, setup
+
+    # shape: latency grows monotonically once the bus costs real time
+    assert latencies[-1] > latencies[0]
+    assert latencies[-1] > latencies[1]
+    # utilization grows with the per-transfer cost
+    utils = [soc.bus.utilization() for _, soc in rows]
+    assert utils == sorted(utils)
+    write_result("comm_contention.txt", "\n".join(lines))
+
+
+def bench_bus_vs_point_to_point(benchmark):
+    """A cheap bus behaves like the fixed point-to-point link."""
+
+    def run_both():
+        p2p = Mpeg2Soc(frames=FRAMES, seed=0)
+        p2p.run()
+        bus = Mpeg2Soc(frames=FRAMES, seed=0, use_bus=True,
+                       bus_setup=500 * US)
+        bus.run()
+        return p2p, bus
+
+    p2p, bus = benchmark(run_both)
+    # the fixed link is 500us per frame; an uncontended 500us bus should
+    # land within one frame period of it
+    p2p_latency = p2p.summary()["mean_e2e_latency"]
+    bus_latency = bus.summary()["mean_e2e_latency"]
+    assert abs(p2p_latency - bus_latency) < 34_000 * US

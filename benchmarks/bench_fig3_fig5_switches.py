@@ -1,0 +1,76 @@
+"""Figures 3 and 5: thread-switching behaviour of the two RTOS engines.
+
+Figure 3 shows the dedicated-RTOS-thread technique bouncing control
+task -> RTOS -> task on every scheduling action; Figure 5 shows the
+procedure-call technique doing the same work with only task-to-task
+switches.  Both figures are qualitative; the quantitative consequence
+(whose measurement motivates §4.2) is the simulation-thread switch count
+per scheduling action, which we regenerate here on the same two-task +
+hardware-interrupt scenario, and benchmark the wall-clock cost of each
+engine.
+"""
+
+import pytest
+
+from _scenarios import build_interrupt_scenario, write_result
+
+INTERRUPTS = 50
+
+
+def run_engine(engine: str):
+    system = build_interrupt_scenario(engine, interrupts=INTERRUPTS)
+    system.run()
+    return system
+
+
+class BenchFig3ThreadedEngine:
+    def bench_threaded_engine_runtime(self, benchmark):
+        """Figure 3: simulate with the dedicated RTOS thread."""
+        system = benchmark(run_engine, "threaded")
+        switches = system.sim.process_switch_count
+        benchmark.extra_info["process_switches"] = switches
+        benchmark.extra_info["switches_per_interrupt"] = switches / INTERRUPTS
+        assert system.processors["cpu"].preemption_count >= INTERRUPTS // 2
+
+
+class BenchFig5ProceduralEngine:
+    def bench_procedural_engine_runtime(self, benchmark):
+        """Figure 5: simulate with RTOS procedures in task threads."""
+        system = benchmark(run_engine, "procedural")
+        switches = system.sim.process_switch_count
+        benchmark.extra_info["process_switches"] = switches
+        benchmark.extra_info["switches_per_interrupt"] = switches / INTERRUPTS
+        assert system.processors["cpu"].preemption_count >= INTERRUPTS // 2
+
+
+def bench_switch_count_comparison(benchmark):
+    """The Figure-3-vs-5 table: switches per scheduling action."""
+
+    def run_both():
+        return run_engine("procedural"), run_engine("threaded")
+
+    procedural, threaded = benchmark(run_both)
+    p_switches = procedural.sim.process_switch_count
+    t_switches = threaded.sim.process_switch_count
+
+    # the observable timing must be identical...
+    assert procedural.now == threaded.now
+    # ...while the threaded engine pays extra switches for every
+    # scheduling action (the paper's Figure-3 criticism)
+    assert t_switches > p_switches
+    benchmark.extra_info["procedural_switches"] = p_switches
+    benchmark.extra_info["threaded_switches"] = t_switches
+
+    lines = [
+        "Figures 3 & 5 -- simulation thread switches, "
+        f"{INTERRUPTS} hardware interrupts, 2 tasks",
+        "",
+        f"{'engine':12} {'switches':>9} {'per interrupt':>14}",
+        f"{'procedural':12} {p_switches:>9} {p_switches / INTERRUPTS:>14.1f}",
+        f"{'threaded':12} {t_switches:>9} {t_switches / INTERRUPTS:>14.1f}",
+        "",
+        f"threaded/procedural switch ratio: {t_switches / p_switches:.2f}x",
+        "simulated end times identical: "
+        f"{procedural.now == threaded.now}",
+    ]
+    write_result("fig3_fig5_switches.txt", "\n".join(lines))

@@ -1,0 +1,91 @@
+"""Figure 8: whole-run statistics of the §5 example.
+
+Regenerates the statistics table the paper's tool derives from a
+simulation: per-task activity ratio (1), preempted ratio (2),
+waiting-on-resource ratio (3), and per-relation utilization (4) -- plus
+the processor-level counters.  The exact ratios follow from the
+Figure-6 schedule, so they are asserted, and the two independent
+computation paths (online accumulators vs trace replay) are
+cross-checked.
+"""
+
+import pytest
+
+from _scenarios import build_fig6_system, write_result
+from repro.kernel.time import US
+from repro.trace import (
+    TraceRecorder,
+    format_report,
+    relation_stats,
+    task_stats_from_functions,
+    task_stats_from_records,
+)
+
+
+def run_and_compute():
+    system, _ = build_fig6_system("procedural")
+    recorder = TraceRecorder(system.sim)
+    system.run()
+    by_fn = task_stats_from_functions(system.functions.values())
+    by_rec = task_stats_from_records(recorder, total=system.now)
+    rel = relation_stats(system.relations.values())
+    return system, by_fn, by_rec, rel
+
+
+def bench_fig8_statistics(benchmark):
+    system, by_fn, by_rec, rel = benchmark(run_and_compute)
+
+    stats = {s.name: s for s in by_fn}
+    total = system.now
+    assert total == 345 * US
+
+    # (1) activity ratios follow from the schedule exactly
+    assert stats["Function_1"].activity_ratio == pytest.approx(35 / 345)
+    assert stats["Function_2"].activity_ratio == pytest.approx(30 / 345)
+    assert stats["Function_3"].activity_ratio == pytest.approx(200 / 345)
+
+    # (2) only Function_3 is ever preempted (100us..205us minus overheads)
+    assert stats["Function_3"].preempted_ratio > 0
+    assert stats["Function_1"].preempted_ratio == 0
+    assert stats["Function_2"].preempted_ratio == 0
+
+    # (3) nothing blocks on a resource in this system
+    assert all(s.waiting_resource_ratio == 0 for s in by_fn)
+
+    # the two computation paths agree field by field
+    by_rec_map = {s.name: s for s in by_rec}
+    for s in by_fn:
+        other = by_rec_map[s.name]
+        assert (s.running, s.ready, s.waiting, s.preempted) == (
+            other.running, other.ready, other.waiting, other.preempted,
+        ), s.name
+
+    # (4) relation counters
+    rel_map = {s.name: s for s in rel}
+    assert rel_map["Clk"].access_count == 1
+    assert rel_map["Event_1"].blocked_count == 1
+
+    report = format_report(by_fn, rel, system.processors.values())
+    write_result(
+        "fig8_statistics.txt",
+        "Figure 8 -- whole-run statistics of the §5 example\n\n" + report,
+    )
+    benchmark.extra_info["f3_activity"] = stats["Function_3"].activity_ratio
+
+
+def bench_fig8_statistics_scale(benchmark):
+    """Statistics computation cost on a large trace (MPEG-2 SoC run)."""
+    from repro.workloads import Mpeg2Soc
+
+    soc = Mpeg2Soc(frames=12, seed=0)
+    recorder = TraceRecorder(soc.system.sim)
+    soc.run()
+
+    def compute():
+        by_rec = task_stats_from_records(recorder, total=soc.system.now)
+        rel = relation_stats(soc.system.relations.values())
+        return by_rec, rel
+
+    by_rec, rel = benchmark(compute)
+    assert len(by_rec) == 18
+    benchmark.extra_info["records"] = len(recorder)

@@ -1,0 +1,84 @@
+"""The §4 efficiency claim: procedure calls beat the dedicated RTOS thread.
+
+"the use of a thread dedicated to the task scheduling ... increases the
+simulation duration since there is a context switch for each call to the
+scheduler and each return, what is not the case when we use procedure
+calls."
+
+We sweep the task count on a message-passing ring (every message is an
+RTOS call) and measure both engines' wall-clock simulation time and
+kernel process switches.  Expected shape: the procedural engine is never
+slower, and its advantage grows with the scheduling-action rate.
+"""
+
+import time
+
+from _scenarios import build_messaging_system, write_result
+
+TASK_COUNTS = (2, 4, 8, 16)
+ROUNDS = 30
+
+
+def run_ring(engine: str, tasks: int):
+    system = build_messaging_system(engine, tasks=tasks, rounds=ROUNDS)
+    system.run()
+    return system
+
+
+def bench_ring_procedural(benchmark):
+    """Wall-clock cost of the procedural engine (16-task ring)."""
+    system = benchmark(run_ring, "procedural", 16)
+    benchmark.extra_info["switches"] = system.sim.process_switch_count
+
+
+def bench_ring_threaded(benchmark):
+    """Wall-clock cost of the threaded engine (16-task ring)."""
+    system = benchmark(run_ring, "threaded", 16)
+    benchmark.extra_info["switches"] = system.sim.process_switch_count
+
+
+def bench_engine_scaling_sweep(benchmark):
+    """The full sweep; regenerated table saved to results/."""
+
+    def sweep():
+        rows = []
+        for tasks in TASK_COUNTS:
+            t0 = time.perf_counter()
+            procedural = run_ring("procedural", tasks)
+            t_procedural = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            threaded = run_ring("threaded", tasks)
+            t_threaded = time.perf_counter() - t0
+            assert procedural.now == threaded.now, tasks
+            rows.append(
+                (
+                    tasks,
+                    procedural.sim.process_switch_count,
+                    threaded.sim.process_switch_count,
+                    t_procedural,
+                    t_threaded,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+
+    lines = [
+        "§4 engine comparison -- message-passing ring, "
+        f"{ROUNDS} rounds per task",
+        "",
+        f"{'tasks':>5} {'proc switches':>14} {'thr switches':>13} "
+        f"{'switch ratio':>13} {'proc s':>8} {'thr s':>8} {'speedup':>8}",
+    ]
+    for tasks, p_switches, t_switches, t_p, t_t in rows:
+        lines.append(
+            f"{tasks:>5} {p_switches:>14} {t_switches:>13} "
+            f"{t_switches / p_switches:>13.2f} {t_p:>8.4f} {t_t:>8.4f} "
+            f"{t_t / t_p:>8.2f}"
+        )
+        # the central claim: fewer kernel switches with procedure calls
+        assert p_switches < t_switches
+    lines.append("")
+    lines.append("identical simulated end times across engines: True")
+    write_result("impl_comparison.txt", "\n".join(lines))
+    benchmark.extra_info["rows"] = rows

@@ -1,0 +1,119 @@
+"""Substrate reference: raw discrete-event kernel throughput.
+
+Not a paper figure -- a calibration point for every other benchmark: how
+many kernel events per wall-clock second the Python substrate sustains.
+The paper's own numbers ride on a C++/QuickThreads SystemC kernel; this
+table is what grounds the wall-clock comparisons in EXPERIMENTS.md.
+"""
+
+from _scenarios import write_result
+from repro.kernel import Simulator
+from repro.kernel.time import NS, US
+
+
+def run_timer_wheel(processes: int, hops: int):
+    """N processes each doing `hops` plain timed waits."""
+    sim = Simulator("wheel")
+
+    def body(step):
+        def gen():
+            for _ in range(hops):
+                yield step
+
+        return gen
+
+    for index in range(processes):
+        sim.thread(body((index + 1) * 100 * NS), name=f"p{index}")
+    sim.run()
+    return sim
+
+
+def run_event_pingpong(rounds: int):
+    """Two processes bouncing an event back and forth."""
+    sim = Simulator("pingpong")
+    ping = sim.event("ping")
+    pong = sim.event("pong")
+
+    def a():
+        for _ in range(rounds):
+            ping.notify()
+            yield pong
+
+    def b():
+        for _ in range(rounds):
+            yield ping
+            pong.notify()
+
+    sim.thread(b, name="b")
+    sim.thread(a, name="a")
+    sim.run()
+    return sim
+
+
+def bench_timed_waits(benchmark):
+    """10k timed waits through the kernel's heap."""
+    sim = benchmark(run_timer_wheel, 10, 1000)
+    assert sim.process_switch_count >= 10_000
+    benchmark.extra_info["switches"] = sim.process_switch_count
+
+
+def bench_event_pingpong(benchmark):
+    """20k immediate-notification wakeups."""
+    sim = benchmark(run_event_pingpong, 10_000)
+    assert sim.process_switch_count >= 20_000
+    benchmark.extra_info["switches"] = sim.process_switch_count
+
+
+def bench_rtos_dispatch_rate(benchmark):
+    """Scheduling actions per second through the full RTOS model."""
+    from repro.mcse import System
+
+    def run():
+        system = System("dispatch")
+        cpu = system.processor("cpu", scheduling_duration=1 * US,
+                               context_load_duration=1 * US,
+                               context_save_duration=1 * US)
+
+        def hopper(fn):
+            for _ in range(500):
+                yield from fn.execute(1 * US)
+                yield from fn.delay(1 * US)
+
+        for index in range(4):
+            cpu.map(system.function(f"t{index}", hopper, priority=index))
+        system.run()
+        return system
+
+    system = benchmark(run)
+    dispatches = system.processors["cpu"].dispatch_count
+    assert dispatches >= 2000
+    benchmark.extra_info["dispatches"] = dispatches
+
+
+def bench_throughput_table(benchmark):
+    """One-shot table for EXPERIMENTS.md."""
+    import time
+
+    def measure():
+        rows = []
+        t0 = time.perf_counter()
+        sim = run_timer_wheel(10, 1000)
+        dt = time.perf_counter() - t0
+        rows.append(("timed waits", sim.process_switch_count, dt))
+        t0 = time.perf_counter()
+        sim = run_event_pingpong(10_000)
+        dt = time.perf_counter() - t0
+        rows.append(("event wakeups", sim.process_switch_count, dt))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=3, iterations=1)
+    lines = [
+        "Kernel throughput reference (Python substrate)",
+        "",
+        f"{'scenario':>14} {'switches':>9} {'wall s':>8} {'switches/s':>12}",
+    ]
+    for label, switches, dt in rows:
+        lines.append(
+            f"{label:>14} {switches:>9} {dt:>8.4f} {switches / dt:>12.0f}"
+        )
+    write_result("kernel_throughput.txt", "\n".join(lines))

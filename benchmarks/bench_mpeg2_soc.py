@@ -1,0 +1,93 @@
+"""The §5 MPEG-2 SoC case study: 18 tasks, 6 processors, 3 with an RTOS.
+
+The paper uses this system to demonstrate design-space exploration at
+scale.  This benchmark runs the synthetic equivalent (see DESIGN.md for
+the substitution), asserts its paper-stated shape, performs the DSE
+sweep over RTOS overheads and policies, and measures the simulation
+cost.
+"""
+
+from _scenarios import write_result
+from repro.kernel.time import US, format_time
+from repro.workloads import Mpeg2Soc
+
+FRAMES = 24
+
+
+def run_soc(**kwargs):
+    soc = Mpeg2Soc(frames=FRAMES, seed=0, **kwargs)
+    soc.run()
+    return soc
+
+
+def bench_mpeg2_baseline(benchmark):
+    """Simulate 24 frames through the full codec SoC."""
+    soc = benchmark(run_soc)
+
+    # the paper's headline shape
+    assert soc.task_count == 18
+    assert len(soc.processors) == 3  # the three RTOS processors
+    assert sum(len(cpu.tasks) for cpu in soc.processors) == 13
+    assert soc.completed_frames() == FRAMES
+    # the pipeline keeps up with the 30 fps camera
+    assert abs(soc.throughput_fps() - 30) < 3
+
+    info = soc.summary()
+    benchmark.extra_info["fps"] = round(soc.throughput_fps(), 2)
+    benchmark.extra_info["mean_e2e_us"] = info["mean_e2e_latency"] / US
+
+
+def bench_mpeg2_dse_sweep(benchmark):
+    """The design-space exploration table the paper's tool produces."""
+
+    def sweep():
+        rows = []
+        for label, kwargs in (
+            ("baseline 5us overheads", {}),
+            ("zero-cost RTOS",
+             dict(scheduling_duration=0, context_load_duration=0,
+                  context_save_duration=0)),
+            ("slow RTOS 50us",
+             dict(scheduling_duration=50 * US, context_load_duration=50 * US,
+                  context_save_duration=50 * US)),
+            ("fifo policy", dict(policy="fifo")),
+            ("threaded engine", dict(engine="threaded")),
+        ):
+            soc = run_soc(**kwargs)
+            info = soc.summary()
+            rows.append((label, soc, info))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=2, iterations=1)
+
+    lines = [
+        f"§5 MPEG-2 SoC design-space exploration ({FRAMES} frames, seed 0)",
+        "",
+        f"{'variant':24} {'fps':>6} {'mean e2e':>11} {'enc util':>9} "
+        f"{'preemptions':>12} {'switches':>9}",
+    ]
+    baseline = rows[0][2]
+    for label, soc, info in rows:
+        preemptions = sum(
+            p["preemptions"] for p in info["processors"].values()
+        )
+        lines.append(
+            f"{label:24} {info['throughput_fps']:6.2f} "
+            f"{format_time(info['mean_e2e_latency']):>11} "
+            f"{info['processors']['DSP_enc']['utilization']:9.2%} "
+            f"{preemptions:12d} {soc.system.sim.process_switch_count:9d}"
+        )
+
+    # expected shapes
+    by_label = {label: (soc, info) for label, soc, info in rows}
+    assert (by_label["zero-cost RTOS"][1]["mean_e2e_latency"]
+            < baseline["mean_e2e_latency"])
+    assert (by_label["slow RTOS 50us"][1]["mean_e2e_latency"]
+            > baseline["mean_e2e_latency"])
+    # the threaded engine reproduces the baseline *numbers* at higher cost
+    assert (by_label["threaded engine"][1]["mean_e2e_latency"]
+            == baseline["mean_e2e_latency"])
+    assert (by_label["threaded engine"][0].system.sim.process_switch_count
+            > rows[0][1].system.sim.process_switch_count)
+
+    write_result("mpeg2_soc_dse.txt", "\n".join(lines))

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Aperiodic servers: bounding event-driven load next to periodic work.
+
+A common real-time design question the RTOS model answers early: how
+should sporadic operator commands be served next to hard periodic
+control loops?  Serving them at top priority directly would ruin the
+loops' response; a *server* bounds their interference.  This example
+compares three designs on the same workload:
+
+1. requests served by a top-priority handler (unbounded interference),
+2. a polling server (budget at period boundaries),
+3. a deferrable server (budget preserved while idle).
+
+Run:  python examples/aperiodic_servers.py
+"""
+
+import random
+
+from repro.kernel.time import MS, US, format_time
+from repro.mcse import System
+from repro.rtos.servers import DeferrableServer, PollingServer
+
+PERIODIC_WCET = 3 * MS
+PERIODIC_PERIOD = 10 * MS
+REQUEST_WORK = 1 * MS
+HORIZON = 200 * MS
+
+
+def request_times(seed=5):
+    rng = random.Random(seed)
+    # a burst of commands lands at ~51ms (the stress case for bounding)
+    for index in range(6):
+        yield 51 * MS + index * 300 * US
+    t = 60 * MS
+    while True:
+        t += rng.randint(3, 25) * MS
+        if t >= HORIZON - 10 * MS:
+            return
+        yield t
+
+
+def build(design: str):
+    system = System(design)
+    cpu = system.processor("cpu", scheduling_duration=20 * US,
+                           context_load_duration=20 * US,
+                           context_save_duration=20 * US)
+    periodic_responses = []
+
+    def periodic(fn):
+        release = 0
+        while release + PERIODIC_PERIOD <= HORIZON:
+            yield from fn.execute(PERIODIC_WCET)
+            periodic_responses.append(system.now - release)
+            release += PERIODIC_PERIOD
+            if system.now < release:
+                yield from fn.delay(release - system.now)
+
+    cpu.map(system.function("control_loop", periodic, priority=5))
+
+    aperiodic_responses = []
+    if design == "direct":
+        from repro.mcse.events import CounterEvent
+
+        arrivals = CounterEvent(system.sim, "arrivals")
+        pending = []
+
+        def handler(fn):
+            while True:
+                yield from fn.wait(arrivals)
+                arrival = pending.pop(0)
+                yield from fn.execute(REQUEST_WORK)
+                aperiodic_responses.append(system.now - arrival)
+
+        cpu.map(system.function("handler", handler, priority=9))
+
+        def submit():
+            pending.append(system.sim.now)
+            arrivals.signal()
+
+        submitter = submit
+        server = None
+    else:
+        cls = PollingServer if design == "polling" else DeferrableServer
+        server = cls(system, cpu, "server", period=10 * MS, budget=2 * MS,
+                     priority=9)
+        submitter = lambda: server.submit(REQUEST_WORK)
+
+    for t in request_times():
+        system.sim.schedule_callback(t, submitter)
+
+    system.run(HORIZON)
+    if server is not None:
+        aperiodic_responses = [r for r in server.response_times()
+                               if r is not None]
+    return periodic_responses, aperiodic_responses
+
+
+def main() -> None:
+    print(f"{'design':12} {'periodic worst':>15} {'aperiodic mean':>15} "
+          f"{'aperiodic worst':>16}")
+    rows = {}
+    for design in ("direct", "polling", "deferrable"):
+        periodic, aperiodic = build(design)
+        rows[design] = (max(periodic), aperiodic)
+        mean = sum(aperiodic) / len(aperiodic) if aperiodic else 0
+        worst = max(aperiodic) if aperiodic else 0
+        print(f"{design:12} {format_time(max(periodic)):>15} "
+              f"{format_time(round(mean)):>15} {format_time(worst):>16}")
+
+    print("\ntakeaways:")
+    print(" * direct top-priority service gives the best aperiodic response")
+    print("   but the worst periodic interference;")
+    print(" * the polling server bounds interference but delays requests to")
+    print("   period boundaries;")
+    print(" * the deferrable server keeps the bound AND serves promptly --")
+    print("   the textbook trade-off, visible in one simulation each.")
+    assert rows["deferrable"][0] <= rows["direct"][0]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""pyrtos-sc: a generic RTOS model for real-time systems simulation.
+
+A Python reproduction of R. Le Moigne, O. Pasquier and J-P. Calvez,
+*A Generic RTOS Model for Real-time Systems Simulation with SystemC*,
+DATE 2004.
+
+Layers (bottom-up):
+
+* :mod:`repro.kernel`   -- SystemC-like discrete-event kernel.
+* :mod:`repro.mcse`     -- MCSE functional model (functions + relations).
+* :mod:`repro.rtos`     -- the paper's contribution: the generic RTOS model.
+* :mod:`repro.trace`    -- timeline charts, statistics, VCD/SVG export.
+* :mod:`repro.analysis` -- latency measurements, timing constraints, RTA.
+* :mod:`repro.baselines`-- untimed and quantum-preemption baselines.
+* :mod:`repro.comm`     -- shared-bus interconnect substrate.
+* :mod:`repro.codegen`  -- C software generation (the paper's future work).
+* :mod:`repro.workloads`-- synthetic task sets and the MPEG-2 SoC model.
+
+The most common names are re-exported here for quick starts::
+
+    from repro import MS, System, TraceRecorder, US
+"""
+
+__version__ = "1.0.0"
+
+from .kernel import Simulator
+from .kernel.time import FS, MS, NS, PS, SEC, US, format_time, parse_time
+from .mcse import Function, System, build_system
+from .trace import TimelineChart, TraceRecorder
+
+__all__ = [
+    "FS",
+    "Function",
+    "MS",
+    "NS",
+    "PS",
+    "SEC",
+    "Simulator",
+    "System",
+    "TimelineChart",
+    "TraceRecorder",
+    "US",
+    "__version__",
+    "build_system",
+    "format_time",
+    "parse_time",
+]

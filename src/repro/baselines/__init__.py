@@ -1,0 +1,12 @@
+"""Comparison baselines: the untimed functional model and the
+quantum-limited preemption model the paper positions itself against."""
+
+from .quantum import QuantumContext, QuantumProcessor
+from .untimed import build_untimed, strip_mapping
+
+__all__ = [
+    "QuantumContext",
+    "QuantumProcessor",
+    "build_untimed",
+    "strip_mapping",
+]

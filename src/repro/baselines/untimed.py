@@ -1,0 +1,38 @@
+"""The untimed / fully-concurrent baseline ("SystemC 2.0 only").
+
+The paper's §2 first level of simulation: run the functional model with
+every function concurrent and no platform at all.  This "verifies the
+correctness of the system's behavior and algorithms" but, as the paper
+stresses, tells you nothing about the effect of task serialization or
+RTOS overheads -- which is exactly what the benchmarks demonstrate by
+comparing this baseline against the RTOS-mapped runs.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict
+
+from ..mcse.builder import build_system
+from ..mcse.model import System
+
+
+def strip_mapping(spec: Dict) -> Dict:
+    """Remove processors and mappings from a declarative system spec.
+
+    Returns a deep copy: the original spec is untouched.
+    """
+    stripped = copy.deepcopy(spec)
+    stripped.pop("processors", None)
+    for fn_spec in stripped.get("functions", ()):
+        fn_spec.pop("processor", None)
+    return stripped
+
+
+def build_untimed(spec: Dict, sim=None) -> System:
+    """Elaborate ``spec`` with all platform effects removed.
+
+    Every function becomes a concurrent hardware function; executes take
+    their nominal durations with no serialization and no RTOS overheads.
+    """
+    return build_system(strip_mapping(spec), sim=sim)

@@ -1,0 +1,235 @@
+"""Command-line interface: run models, print timelines and statistics.
+
+Examples::
+
+    pyrtos-sc run system.json --duration 10ms --timeline --stats
+    pyrtos-sc run system.json --svg out.svg --vcd out.vcd
+    pyrtos-sc fig6                      # the paper's §5 demo
+    pyrtos-sc mpeg2 --frames 24         # the MPEG-2 SoC case study
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .kernel.time import format_time, parse_time
+from .mcse.builder import build_system
+from .trace.recorder import TraceRecorder
+from .trace.statistics import (
+    format_report,
+    relation_stats,
+    task_stats_from_functions,
+)
+from .trace.svg import save_svg
+from .trace.timeline import TimelineChart
+from .trace.vcd import save_vcd
+
+
+def _add_output_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--timeline", action="store_true",
+                        help="print an ASCII TimeLine chart")
+    parser.add_argument("--width", type=int, default=100,
+                        help="TimeLine width in columns")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the Figure-8 statistics report")
+    parser.add_argument("--svg", metavar="PATH",
+                        help="write the TimeLine as SVG")
+    parser.add_argument("--vcd", metavar="PATH",
+                        help="write the trace as VCD")
+    parser.add_argument("--jsonl", metavar="PATH",
+                        help="write raw trace records as JSON lines")
+    parser.add_argument("--html", metavar="PATH",
+                        help="write a self-contained HTML report")
+
+
+def _emit_outputs(args, system, recorder) -> None:
+    needs_chart = args.timeline or args.svg
+    chart = TimelineChart.from_recorder(recorder) if needs_chart else None
+    if args.timeline:
+        print(chart.render_ascii(width=args.width))
+    if args.stats:
+        print(
+            format_report(
+                task_stats_from_functions(system.functions.values()),
+                relation_stats(system.relations.values()),
+                system.processors.values(),
+            )
+        )
+    if args.svg:
+        save_svg(chart, args.svg, title=system.name)
+        print(f"wrote {args.svg}")
+    if args.vcd:
+        save_vcd(recorder, args.vcd)
+        print(f"wrote {args.vcd}")
+    if args.jsonl:
+        recorder.save_jsonl(args.jsonl)
+        print(f"wrote {args.jsonl}")
+    if args.html:
+        from .trace.html import save_report
+
+        save_report(system, recorder, args.html, title=system.name)
+        print(f"wrote {args.html}")
+
+
+def cmd_run(args) -> int:
+    with open(args.spec) as handle:
+        spec = json.load(handle)
+    system = build_system(spec)
+    recorder = TraceRecorder(system.sim)
+    duration = parse_time(args.duration) if args.duration else None
+    end = system.run(duration)
+    print(f"simulated {system.name!r} to t={format_time(end)}")
+    _emit_outputs(args, system, recorder)
+    return 0
+
+
+def cmd_fig6(args) -> int:
+    """Run the paper's §5 example and reproduce its measurements."""
+    from .analysis.measurements import reaction_latencies
+
+    spec = {
+        "name": "fig6",
+        "relations": [
+            {"kind": "event", "name": "Clk", "policy": "fugitive"},
+            {"kind": "event", "name": "Event_1", "policy": "boolean"},
+        ],
+        "processors": [
+            {
+                "name": "Processor",
+                "engine": args.engine,
+                "scheduling_duration": "5us",
+                "context_load_duration": "5us",
+                "context_save_duration": "5us",
+            }
+        ],
+        "functions": [
+            {"name": "Function_1", "priority": 5, "processor": "Processor",
+             "script": [["wait", "Clk"], ["execute", "20us"],
+                        ["signal", "Event_1"], ["execute", "10us"]]},
+            {"name": "Function_2", "priority": 3, "processor": "Processor",
+             "script": [["wait", "Event_1"], ["execute", "30us"]]},
+            {"name": "Function_3", "priority": 2, "processor": "Processor",
+             "script": [["execute", "200us"]]},
+            {"name": "Clock",
+             "script": [["delay", "100us"], ["signal", "Clk"]]},
+        ],
+    }
+    system = build_system(spec)
+    recorder = TraceRecorder(system.sim)
+    system.run()
+    latencies = reaction_latencies(recorder, "Clk", "Function_1")
+    print(f"reaction Clk -> Function_1: {format_time(latencies[0])} "
+          "(paper measurement (1): 15us)")
+    _emit_outputs(args, system, recorder)
+    return 0
+
+
+def cmd_mpeg2(args) -> int:
+    from .workloads.mpeg2 import Mpeg2Soc
+
+    soc = Mpeg2Soc(frames=args.frames, engine=args.engine, seed=args.seed)
+    recorder = TraceRecorder(soc.system.sim) if (
+        args.timeline or args.svg or args.vcd or args.jsonl or args.stats
+        or args.html
+    ) else None
+    soc.run()
+    print(soc.format_summary())
+    if recorder is not None:
+        _emit_outputs(args, soc.system, recorder)
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Offline analysis of a saved JSONL trace (no model needed)."""
+    from .trace.statistics import task_stats_from_records
+
+    recorder = TraceRecorder.load_jsonl(args.trace)
+    print(f"loaded {len(recorder)} records, "
+          f"{len(recorder.tasks())} tasks")
+    chart = TimelineChart.from_recorder(recorder)
+    if args.timeline:
+        print(chart.render_ascii(width=args.width))
+    if args.stats:
+        print(format_report(task_stats_from_records(recorder)))
+    if args.svg:
+        save_svg(chart, args.svg)
+        print(f"wrote {args.svg}")
+    if args.vcd:
+        save_vcd(recorder, args.vcd)
+        print(f"wrote {args.vcd}")
+    return 0
+
+
+def cmd_codegen(args) -> int:
+    from .codegen import generate_c
+
+    with open(args.spec) as handle:
+        spec = json.load(handle)
+    paths = generate_c(spec, args.out)
+    for path in paths:
+        print(f"wrote {path}")
+    print(
+        f"build with: cc -O2 {args.out}/app.c {args.out}/rtos_port_posix.c "
+        "-lpthread -o app"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pyrtos-sc",
+        description="Generic RTOS model simulation (Le Moigne et al., DATE'04)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run a JSON system spec")
+    run_parser.add_argument("spec", help="path to the JSON specification")
+    run_parser.add_argument("--duration", help='e.g. "10ms" (default: to idle)')
+    _add_output_flags(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    fig6_parser = sub.add_parser("fig6", help="run the paper's §5 example")
+    fig6_parser.add_argument("--engine", default="procedural",
+                             choices=("procedural", "threaded"))
+    _add_output_flags(fig6_parser)
+    fig6_parser.set_defaults(func=cmd_fig6)
+
+    mpeg2_parser = sub.add_parser("mpeg2", help="run the MPEG-2 SoC study")
+    mpeg2_parser.add_argument("--frames", type=int, default=12)
+    mpeg2_parser.add_argument("--seed", type=int, default=0)
+    mpeg2_parser.add_argument("--engine", default="procedural",
+                              choices=("procedural", "threaded"))
+    _add_output_flags(mpeg2_parser)
+    mpeg2_parser.set_defaults(func=cmd_mpeg2)
+
+    report_parser = sub.add_parser(
+        "report", help="analyze a saved JSONL trace offline"
+    )
+    report_parser.add_argument("trace", help="path to a --jsonl trace file")
+    report_parser.add_argument("--timeline", action="store_true")
+    report_parser.add_argument("--width", type=int, default=100)
+    report_parser.add_argument("--stats", action="store_true")
+    report_parser.add_argument("--svg", metavar="PATH")
+    report_parser.add_argument("--vcd", metavar="PATH")
+    report_parser.set_defaults(func=cmd_report)
+
+    codegen_parser = sub.add_parser(
+        "codegen", help="generate a C application from a JSON spec"
+    )
+    codegen_parser.add_argument("spec", help="path to the JSON specification")
+    codegen_parser.add_argument("out", help="output directory")
+    codegen_parser.set_defaults(func=cmd_codegen)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Software generation from validated models (the paper's §6 future work)."""
+
+from .api import RTOS_API_H, RTOS_PORT_POSIX_C
+from .c_writer import CWriter, c_identifier, generate_c
+
+__all__ = [
+    "CWriter",
+    "RTOS_API_H",
+    "RTOS_PORT_POSIX_C",
+    "c_identifier",
+    "generate_c",
+]

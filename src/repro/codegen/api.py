@@ -1,0 +1,264 @@
+"""The generated code's RTOS abstraction layer (header + POSIX port).
+
+The paper's §6: "This approach has been selected ... also to ease
+software generation for a final implementation using commercial RTOS.
+This software generation is a goal of our future work."  This module
+carries the two fixed source files that generated applications compile
+against:
+
+* ``rtos_api.h`` -- a small generic RTOS API (tasks, events with the
+  three MCSE memorization policies, message queues, mutexes, delays)
+  shaped so each call maps 1:1 onto common commercial kernels
+  (VxWorks/FreeRTOS/POSIX);
+* ``rtos_port_posix.c`` -- a reference implementation of that API on
+  POSIX threads, so generated applications compile and run on a host.
+"""
+
+RTOS_API_H = """\
+/* rtos_api.h -- generic RTOS abstraction for generated applications.
+ *
+ * Generated alongside application code by pyrtos-sc (a reproduction of
+ * Le Moigne et al., DATE 2004).  Port this header to your commercial
+ * RTOS by mapping each call onto the native primitive; a POSIX
+ * reference port ships as rtos_port_posix.c.
+ */
+#ifndef RTOS_API_H
+#define RTOS_API_H
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef void (*rtos_task_fn)(void *arg);
+typedef struct rtos_task rtos_task_t;
+typedef struct rtos_event rtos_event_t;
+typedef struct rtos_queue rtos_queue_t;
+typedef struct rtos_mutex rtos_mutex_t;
+
+/* MCSE event memorization policies (paper section 2). */
+typedef enum {
+    RTOS_EVENT_FUGITIVE = 0,
+    RTOS_EVENT_BOOLEAN = 1,
+    RTOS_EVENT_COUNTER = 2
+} rtos_event_policy_t;
+
+/* -- kernel ----------------------------------------------------------- */
+void rtos_init(void);
+void rtos_start(void);           /* runs until every task returned */
+void rtos_set_preemptive(int on);
+
+/* -- tasks ------------------------------------------------------------ */
+rtos_task_t *rtos_task_create(const char *name, rtos_task_fn fn,
+                              void *arg, int priority);
+
+/* -- time ------------------------------------------------------------- */
+void rtos_delay_us(uint64_t us);      /* sleep (releases the CPU)       */
+void rtos_busy_us(uint64_t us);       /* model of a computation segment */
+
+/* -- events ------------------------------------------------------------ */
+rtos_event_t *rtos_event_create(const char *name, rtos_event_policy_t p);
+void rtos_event_signal(rtos_event_t *ev);
+void rtos_event_wait(rtos_event_t *ev);
+
+/* -- message queues ----------------------------------------------------- */
+rtos_queue_t *rtos_queue_create(const char *name, int capacity);
+void rtos_queue_send(rtos_queue_t *q, intptr_t msg);    /* blocks if full */
+intptr_t rtos_queue_recv(rtos_queue_t *q);              /* blocks if empty */
+
+/* -- mutexes ------------------------------------------------------------ */
+rtos_mutex_t *rtos_mutex_create(const char *name);
+void rtos_mutex_lock(rtos_mutex_t *m);
+void rtos_mutex_unlock(rtos_mutex_t *m);
+
+#ifdef __cplusplus
+}
+#endif
+#endif /* RTOS_API_H */
+"""
+
+RTOS_PORT_POSIX_C = """\
+/* rtos_port_posix.c -- POSIX reference port of rtos_api.h.
+ *
+ * Functional, not timing-accurate: priorities are advisory (standard
+ * POSIX scheduling), rtos_busy_us spins on CLOCK_MONOTONIC.  Swap this
+ * file for a port to your commercial RTOS in production.
+ */
+#include "rtos_api.h"
+
+#include <pthread.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <time.h>
+
+struct rtos_event {
+    pthread_mutex_t lock;
+    pthread_cond_t cond;
+    rtos_event_policy_t policy;
+    long count; /* boolean: 0/1, counter: n, fugitive: unused */
+    unsigned long generation;
+};
+
+struct rtos_queue {
+    pthread_mutex_t lock;
+    pthread_cond_t not_empty;
+    pthread_cond_t not_full;
+    intptr_t *items;
+    int capacity, head, size;
+};
+
+struct rtos_mutex {
+    pthread_mutex_t lock;
+};
+
+struct rtos_task {
+    pthread_t thread;
+    rtos_task_fn fn;
+    void *arg;
+    char name[32];
+};
+
+#define MAX_TASKS 64
+static struct rtos_task *g_tasks[MAX_TASKS];
+static int g_task_count = 0;
+
+void rtos_init(void) {}
+
+void rtos_set_preemptive(int on) { (void)on; /* advisory on POSIX */ }
+
+static void *task_trampoline(void *raw) {
+    struct rtos_task *task = (struct rtos_task *)raw;
+    task->fn(task->arg);
+    return NULL;
+}
+
+rtos_task_t *rtos_task_create(const char *name, rtos_task_fn fn,
+                              void *arg, int priority) {
+    struct rtos_task *task = calloc(1, sizeof(*task));
+    (void)priority; /* advisory under the POSIX reference port */
+    task->fn = fn;
+    task->arg = arg;
+    snprintf(task->name, sizeof(task->name), "%s", name);
+    if (g_task_count < MAX_TASKS)
+        g_tasks[g_task_count++] = task;
+    return task;
+}
+
+void rtos_start(void) {
+    for (int i = 0; i < g_task_count; i++)
+        pthread_create(&g_tasks[i]->thread, NULL, task_trampoline,
+                       g_tasks[i]);
+    for (int i = 0; i < g_task_count; i++)
+        pthread_join(g_tasks[i]->thread, NULL);
+}
+
+void rtos_delay_us(uint64_t us) {
+    struct timespec ts = { (time_t)(us / 1000000u),
+                           (long)(us % 1000000u) * 1000L };
+    nanosleep(&ts, NULL);
+}
+
+void rtos_busy_us(uint64_t us) {
+    struct timespec start, now;
+    clock_gettime(CLOCK_MONOTONIC, &start);
+    for (;;) {
+        clock_gettime(CLOCK_MONOTONIC, &now);
+        uint64_t elapsed = (uint64_t)(now.tv_sec - start.tv_sec) * 1000000u
+                         + (uint64_t)(now.tv_nsec - start.tv_nsec) / 1000u;
+        if (elapsed >= us)
+            break;
+    }
+}
+
+rtos_event_t *rtos_event_create(const char *name, rtos_event_policy_t p) {
+    (void)name;
+    struct rtos_event *ev = calloc(1, sizeof(*ev));
+    pthread_mutex_init(&ev->lock, NULL);
+    pthread_cond_init(&ev->cond, NULL);
+    ev->policy = p;
+    return ev;
+}
+
+void rtos_event_signal(rtos_event_t *ev) {
+    pthread_mutex_lock(&ev->lock);
+    switch (ev->policy) {
+    case RTOS_EVENT_FUGITIVE:
+        ev->generation++;
+        pthread_cond_broadcast(&ev->cond);
+        break;
+    case RTOS_EVENT_BOOLEAN:
+        ev->count = 1;
+        ev->generation++;
+        pthread_cond_broadcast(&ev->cond);
+        break;
+    case RTOS_EVENT_COUNTER:
+        ev->count++;
+        ev->generation++;
+        pthread_cond_signal(&ev->cond);
+        break;
+    }
+    pthread_mutex_unlock(&ev->lock);
+}
+
+void rtos_event_wait(rtos_event_t *ev) {
+    pthread_mutex_lock(&ev->lock);
+    if (ev->policy == RTOS_EVENT_FUGITIVE) {
+        unsigned long seen = ev->generation;
+        while (ev->generation == seen)
+            pthread_cond_wait(&ev->cond, &ev->lock);
+    } else {
+        while (ev->count == 0)
+            pthread_cond_wait(&ev->cond, &ev->lock);
+        if (ev->policy == RTOS_EVENT_BOOLEAN)
+            ev->count = 0;
+        else
+            ev->count--;
+    }
+    pthread_mutex_unlock(&ev->lock);
+}
+
+rtos_queue_t *rtos_queue_create(const char *name, int capacity) {
+    (void)name;
+    struct rtos_queue *q = calloc(1, sizeof(*q));
+    pthread_mutex_init(&q->lock, NULL);
+    pthread_cond_init(&q->not_empty, NULL);
+    pthread_cond_init(&q->not_full, NULL);
+    q->capacity = capacity > 0 ? capacity : 1024;
+    q->items = calloc((size_t)q->capacity, sizeof(intptr_t));
+    return q;
+}
+
+void rtos_queue_send(rtos_queue_t *q, intptr_t msg) {
+    pthread_mutex_lock(&q->lock);
+    while (q->size == q->capacity)
+        pthread_cond_wait(&q->not_full, &q->lock);
+    q->items[(q->head + q->size) % q->capacity] = msg;
+    q->size++;
+    pthread_cond_signal(&q->not_empty);
+    pthread_mutex_unlock(&q->lock);
+}
+
+intptr_t rtos_queue_recv(rtos_queue_t *q) {
+    pthread_mutex_lock(&q->lock);
+    while (q->size == 0)
+        pthread_cond_wait(&q->not_empty, &q->lock);
+    intptr_t msg = q->items[q->head];
+    q->head = (q->head + 1) % q->capacity;
+    q->size--;
+    pthread_cond_signal(&q->not_full);
+    pthread_mutex_unlock(&q->lock);
+    return msg;
+}
+
+rtos_mutex_t *rtos_mutex_create(const char *name) {
+    (void)name;
+    struct rtos_mutex *m = calloc(1, sizeof(*m));
+    pthread_mutex_init(&m->lock, NULL);
+    return m;
+}
+
+void rtos_mutex_lock(rtos_mutex_t *m) { pthread_mutex_lock(&m->lock); }
+void rtos_mutex_unlock(rtos_mutex_t *m) { pthread_mutex_unlock(&m->lock); }
+"""

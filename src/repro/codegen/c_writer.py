@@ -1,0 +1,274 @@
+"""C code generation from declarative system specifications.
+
+Implements the paper's §6 future work: generating software for a final
+implementation from the validated model.  The same specification dict
+that :func:`repro.mcse.builder.build_system` elaborates into a simulation
+is emitted as a compilable C application against the generic RTOS API of
+:mod:`repro.codegen.api` (a POSIX reference port is emitted alongside,
+so the output builds and runs on a host out of the box):
+
+    spec -> app.c + rtos_api.h + rtos_port_posix.c
+
+Only *script* behaviors can be generated (they are the analysable
+form a capture tool produces); functions defined as Python callables
+yield a clearly marked stub for hand implementation.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, List, Optional
+
+from ..errors import BuildError
+from ..kernel.time import US, parse_time
+from ..mcse.builder import _validate_block
+from ..mcse.model import System
+from .api import RTOS_API_H, RTOS_PORT_POSIX_C
+
+_IDENT_RE = re.compile(r"[^0-9a-zA-Z_]")
+
+
+def c_identifier(name: str) -> str:
+    """Turn a model name into a valid C identifier."""
+    ident = _IDENT_RE.sub("_", name)
+    if not ident or ident[0].isdigit():
+        ident = "_" + ident
+    return ident
+
+
+def _duration_us(value) -> int:
+    """Spec duration -> whole microseconds for the generated API."""
+    femto = parse_time(value)
+    return max(0, round(femto / US))
+
+
+class CWriter:
+    """Generates the C application for one specification."""
+
+    def __init__(self, spec: Dict) -> None:
+        if not isinstance(spec, dict):
+            raise BuildError("spec must be a dict")
+        self.spec = spec
+        self.name = spec.get("name", "system")
+        # collect relation kinds for declaration and call selection
+        self.relations: Dict[str, Dict] = {}
+        for rel in spec.get("relations", ()):
+            rel = dict(rel)
+            rel_name = rel.get("name")
+            if not rel_name:
+                raise BuildError(f"relation spec missing a name: {rel!r}")
+            self.relations[rel_name] = rel
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def generate(self) -> Dict[str, str]:
+        """Return ``{filename: contents}`` for the full application."""
+        return {
+            "rtos_api.h": RTOS_API_H,
+            "rtos_port_posix.c": RTOS_PORT_POSIX_C,
+            "app.c": self._app_c(),
+        }
+
+    def write(self, directory: str) -> List[str]:
+        """Write all files into ``directory``; returns the paths."""
+        os.makedirs(directory, exist_ok=True)
+        paths = []
+        for filename, contents in self.generate().items():
+            path = os.path.join(directory, filename)
+            with open(path, "w") as handle:
+                handle.write(contents)
+            paths.append(path)
+        return paths
+
+    # ------------------------------------------------------------------
+    # app.c
+    # ------------------------------------------------------------------
+    def _app_c(self) -> str:
+        parts: List[str] = [
+            f"/* app.c -- generated from model {self.name!r} by pyrtos-sc.",
+            " * Build:  cc -O2 app.c rtos_port_posix.c -lpthread -o app",
+            " */",
+            '#include "rtos_api.h"',
+            "",
+        ]
+        parts.extend(self._relation_declarations())
+        parts.append("")
+        for fn_spec in self.spec.get("functions", ()):
+            parts.extend(self._task_function(dict(fn_spec)))
+            parts.append("")
+        parts.extend(self._main())
+        return "\n".join(parts) + "\n"
+
+    def _relation_declarations(self) -> List[str]:
+        lines = ["/* relations */"]
+        for name, rel in self.relations.items():
+            ident = c_identifier(name)
+            kind = rel.get("kind")
+            if kind == "event":
+                lines.append(f"static rtos_event_t *{ident};")
+            elif kind == "queue":
+                lines.append(f"static rtos_queue_t *{ident};")
+            elif kind == "shared":
+                lines.append(f"static rtos_mutex_t *{ident}_mutex;")
+                lines.append(f"static volatile intptr_t {ident}_value;")
+            else:
+                raise BuildError(f"unknown relation kind {kind!r} for {name!r}")
+        return lines
+
+    def _task_function(self, fn_spec: Dict) -> List[str]:
+        name = fn_spec.get("name")
+        if not name:
+            raise BuildError(f"function spec missing a name: {fn_spec!r}")
+        ident = c_identifier(name)
+        lines = [f"static void task_{ident}(void *arg) {{", "    (void)arg;"]
+        script = fn_spec.get("script")
+        if script is None:
+            lines += [
+                f"    /* TODO: behavior of {name!r} was given as Python",
+                "     * code; implement it here by hand. */",
+            ]
+        else:
+            # reuse the simulator's validator so generated code and
+            # simulation share one notion of a well-formed script
+            ops = _validate_block(self._stub_system(), script, path=name)
+            lines.extend(self._emit_block(ops, indent=1))
+        lines.append("}")
+        return lines
+
+    def _stub_system(self) -> System:
+        """A throwaway System holding just the relation registry, so the
+        shared script validator can resolve relation names."""
+        system = System.__new__(System)
+        system.relations = {name: object() for name in self.relations}
+        return system
+
+    def _emit_block(self, ops: List, indent: int) -> List[str]:
+        pad = "    " * indent
+        lines: List[str] = []
+        for op_name, args in ops:
+            if op_name == "execute":
+                lines.append(f"{pad}rtos_busy_us({_us(args[0])});")
+            elif op_name == "delay":
+                lines.append(f"{pad}rtos_delay_us({_us(args[0])});")
+            elif op_name == "wait":
+                lines.append(f"{pad}rtos_event_wait({self._ref(args[0])});")
+            elif op_name == "signal":
+                lines.append(f"{pad}rtos_event_signal({self._ref(args[0])});")
+            elif op_name == "read":
+                lines.append(
+                    f"{pad}(void)rtos_queue_recv({self._ref(args[0])});"
+                )
+            elif op_name == "write":
+                lines.append(
+                    f"{pad}rtos_queue_send({self._ref(args[0])}, "
+                    f"{_message(args[1])});"
+                )
+            elif op_name == "lock":
+                lines.append(
+                    f"{pad}rtos_mutex_lock({self._ref(args[0])}_mutex);"
+                )
+            elif op_name == "unlock":
+                lines.append(
+                    f"{pad}rtos_mutex_unlock({self._ref(args[0])}_mutex);"
+                )
+            elif op_name == "read_shared":
+                ident = self._ref(args[0])
+                lines += [
+                    f"{pad}rtos_mutex_lock({ident}_mutex);",
+                    f"{pad}(void){ident}_value;",
+                    f"{pad}rtos_mutex_unlock({ident}_mutex);",
+                ]
+            elif op_name == "write_shared":
+                ident = self._ref(args[0])
+                lines += [
+                    f"{pad}rtos_mutex_lock({ident}_mutex);",
+                    f"{pad}{ident}_value = {_message(args[1])};",
+                    f"{pad}rtos_mutex_unlock({ident}_mutex);",
+                ]
+            elif op_name == "set_preemptive":
+                lines.append(
+                    f"{pad}rtos_set_preemptive({1 if args[0] else 0});"
+                )
+            elif op_name == "loop":
+                count, body = args
+                if count is None:
+                    lines.append(f"{pad}for (;;) {{")
+                else:
+                    lines.append(
+                        f"{pad}for (int i_{indent} = 0; "
+                        f"i_{indent} < {count}; i_{indent}++) {{"
+                    )
+                lines.extend(self._emit_block(body, indent + 1))
+                lines.append(f"{pad}}}")
+            else:  # pragma: no cover - validator forbids this
+                raise BuildError(f"cannot generate op {op_name!r}")
+        return lines
+
+    def _ref(self, relation_name: str) -> str:
+        if relation_name not in self.relations:
+            raise BuildError(f"unknown relation {relation_name!r}")
+        return c_identifier(relation_name)
+
+    # ------------------------------------------------------------------
+    # main()
+    # ------------------------------------------------------------------
+    def _main(self) -> List[str]:
+        lines = ["int main(void) {", "    rtos_init();"]
+        for name, rel in self.relations.items():
+            ident = c_identifier(name)
+            kind = rel.get("kind")
+            if kind == "event":
+                policy = rel.get("policy", "fugitive").upper()
+                lines.append(
+                    f'    {ident} = rtos_event_create("{name}", '
+                    f"RTOS_EVENT_{policy});"
+                )
+            elif kind == "queue":
+                capacity = rel.get("capacity", 8) or 0
+                lines.append(
+                    f'    {ident} = rtos_queue_create("{name}", {capacity});'
+                )
+            elif kind == "shared":
+                lines.append(
+                    f'    {ident}_mutex = rtos_mutex_create("{name}");'
+                )
+                initial = rel.get("initial", 0)
+                lines.append(f"    {ident}_value = {_message(initial)};")
+        for fn_spec in self.spec.get("functions", ()):
+            name = fn_spec["name"]
+            ident = c_identifier(name)
+            priority = fn_spec.get("priority", 0)
+            lines.append(
+                f'    rtos_task_create("{name}", task_{ident}, 0, '
+                f"{priority});"
+            )
+        lines += ["    rtos_start();", "    return 0;", "}"]
+        return lines
+
+
+def _us(duration_fs: int) -> int:
+    return max(0, round(duration_fs / US))
+
+
+def _message(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value is None:
+        return "0"
+    return f"0 /* value: {value!r} */"
+
+
+def generate_c(spec: Dict, directory: Optional[str] = None):
+    """Generate the C application for ``spec``.
+
+    With ``directory`` the files are written and their paths returned;
+    otherwise the ``{filename: contents}`` dict is returned.
+    """
+    writer = CWriter(spec)
+    if directory is not None:
+        return writer.write(directory)
+    return writer.generate()

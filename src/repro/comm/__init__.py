@@ -1,0 +1,12 @@
+"""Interconnect substrate: shared buses and bus-mapped relations.
+
+Models the "communications network" dimension of the paper's design
+space: inter-processor messages cross an arbitrated shared bus with
+setup and per-byte costs, so communication contention shows up in the
+simulated timing like every other platform effect.
+"""
+
+from .bus import Bus, Transfer
+from .remote import RemoteQueue
+
+__all__ = ["Bus", "RemoteQueue", "Transfer"]

@@ -1,0 +1,173 @@
+"""Shared-bus interconnect models.
+
+The paper lists the "communications network" among the implementation
+choices whose influence must be simulated (§1: processor, RTOS,
+communications network).  This module provides the standard
+transaction-level substrate for that: a shared :class:`Bus` with
+configurable arbitration, per-transfer setup latency and per-byte cost,
+on which inter-processor relations can be mapped
+(:class:`~repro.comm.remote.RemoteQueue`).
+
+A transfer holds the bus exclusively for ``setup + size * per_byte``;
+competing transfers wait according to the arbitration policy ("fifo" or
+"priority").  The bus keeps an occupancy integral so utilization shows
+up in the Figure-8-style statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..errors import ModelError
+from ..kernel.module import Module
+from ..kernel.simulator import Simulator
+from ..kernel.time import Time
+
+#: Supported arbitration policies.
+ARBITRATIONS = ("fifo", "priority")
+
+
+class Transfer:
+    """One pending or in-flight bus transaction."""
+
+    __slots__ = ("size", "priority", "on_complete", "enqueued_at",
+                 "started_at", "duration", "seq")
+
+    def __init__(self, size: int, priority: int,
+                 on_complete: Optional[Callable[[], None]],
+                 enqueued_at: Time, seq: int) -> None:
+        self.size = size
+        self.priority = priority
+        self.on_complete = on_complete
+        self.enqueued_at = enqueued_at
+        self.started_at: Optional[Time] = None
+        self.duration: Time = 0
+        self.seq = seq
+
+    def sort_key(self, arbitration: str):
+        if arbitration == "priority":
+            return (-self.priority, self.seq)
+        return (self.seq,)
+
+
+class Bus(Module):
+    """A shared interconnect with exclusive, arbitrated transfers.
+
+    Parameters
+    ----------
+    setup:
+        Fixed cost per transfer (arbitration + address phase).
+    per_byte:
+        Additional cost per payload byte.
+    arbitration:
+        ``"fifo"`` (default) or ``"priority"`` (higher wins, FIFO ties).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "bus",
+        *,
+        setup: Time = 0,
+        per_byte: Time = 0,
+        arbitration: str = "fifo",
+        parent=None,
+    ) -> None:
+        super().__init__(sim, name, parent)
+        if setup < 0 or per_byte < 0:
+            raise ModelError("bus latencies must be non-negative")
+        if arbitration not in ARBITRATIONS:
+            raise ModelError(
+                f"unknown arbitration {arbitration!r}; "
+                f"pick one of {ARBITRATIONS}"
+            )
+        self.setup = setup
+        self.per_byte = per_byte
+        self.arbitration = arbitration
+        self._pending: List[Transfer] = []
+        self._current: Optional[Transfer] = None
+        self._seq = 0
+        # --- statistics ----------------------------------------------
+        self.transfer_count = 0
+        self.busy_time: Time = 0
+        self.total_wait: Time = 0
+        self.peak_queue = 0
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def transfer_duration(self, size: int) -> Time:
+        """Bus occupancy of a ``size``-byte transfer."""
+        return self.setup + size * self.per_byte
+
+    def post(self, size: int, *, priority: int = 0,
+             on_complete: Optional[Callable[[], None]] = None) -> Transfer:
+        """Post a transfer (DMA-style); ``on_complete`` fires at the end.
+
+        Returns the transfer handle (its ``started_at`` is filled in when
+        the bus grants it).
+        """
+        if size < 0:
+            raise ModelError(f"negative transfer size: {size}")
+        self._seq += 1
+        transfer = Transfer(size, priority, on_complete, self.sim.now,
+                            self._seq)
+        self._pending.append(transfer)
+        self.peak_queue = max(self.peak_queue, len(self._pending))
+        self._try_start()
+        return transfer
+
+    @property
+    def busy(self) -> bool:
+        return self._current is not None
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._pending)
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time the bus carried a transfer."""
+        now = self.sim.now
+        return self.busy_time / now if now else 0.0
+
+    def mean_wait(self) -> float:
+        """Average queuing delay per completed transfer (femtoseconds)."""
+        if self.transfer_count == 0:
+            return 0.0
+        return self.total_wait / self.transfer_count
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _try_start(self) -> None:
+        if self._current is not None or not self._pending:
+            return
+        best_index = min(
+            range(len(self._pending)),
+            key=lambda i: self._pending[i].sort_key(self.arbitration),
+        )
+        transfer = self._pending.pop(best_index)
+        transfer.started_at = self.sim.now
+        transfer.duration = self.transfer_duration(transfer.size)
+        self.total_wait += transfer.started_at - transfer.enqueued_at
+        self._current = transfer
+        self.sim.schedule_callback(transfer.duration,
+                                   lambda: self._finish(transfer))
+
+    def _finish(self, transfer: Transfer) -> None:
+        self._current = None
+        self.transfer_count += 1
+        self.busy_time += transfer.duration
+        if transfer.on_complete is not None:
+            transfer.on_complete()
+        self._try_start()
+
+    def stats(self) -> dict:
+        return {
+            "bus": self.name,
+            "arbitration": self.arbitration,
+            "transfers": self.transfer_count,
+            "utilization": self.utilization(),
+            "mean_wait": self.mean_wait(),
+            "peak_queue": self.peak_queue,
+        }

@@ -1,0 +1,77 @@
+"""Exception hierarchy for pyrtos-sc.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.  The
+kernel, MCSE and RTOS layers each get a dedicated subtree because the
+*reason* a simulation fails differs a lot between "your model is
+structurally wrong" (caught at build time) and "the simulated system
+misbehaved" (caught at run time).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel detected an illegal condition at run time."""
+
+
+class ProcessError(SimulationError):
+    """A simulation process performed an illegal operation.
+
+    Typical causes: yielding an object that is not a wait request, calling
+    :func:`wait` from outside a process, or re-starting a terminated
+    process.
+    """
+
+
+class ProcessKilled(BaseException):
+    """Thrown *into* a process generator to terminate it.
+
+    Deliberately derived from :class:`BaseException` (like
+    :class:`GeneratorExit`) so that well-meaning ``except Exception``
+    blocks inside model code do not swallow a kill request.
+    """
+
+
+class SchedulerError(SimulationError):
+    """The discrete-event scheduler reached an inconsistent state."""
+
+
+class ModelError(ReproError):
+    """A model is structurally invalid (bad wiring, duplicate names...)."""
+
+
+class BuildError(ModelError):
+    """A declarative system specification could not be elaborated."""
+
+
+class RTOSError(ReproError):
+    """The RTOS model detected an illegal condition."""
+
+
+class TaskStateError(RTOSError):
+    """An RTOS task attempted an illegal state transition."""
+
+
+class DeadlockError(SimulationError):
+    """Simulation ended while processes are still blocked on each other.
+
+    Raised only when the caller asked :meth:`Simulator.run` to treat
+    starvation as an error (``error_on_deadlock=True``).
+    """
+
+
+class ConstraintViolation(ReproError):
+    """A declarative timing constraint was violated during simulation.
+
+    Raised by :mod:`repro.analysis.constraints` when a constraint is
+    configured with ``hard=True``; soft constraints are merely recorded.
+    """
+
+
+class TraceError(ReproError):
+    """Trace recording or rendering failed."""

@@ -1,0 +1,68 @@
+"""A SystemC-like discrete-event simulation kernel in pure Python.
+
+This package is the substrate on which the RTOS model of Le Moigne et
+al. (DATE 2004) is rebuilt.  It reproduces the SystemC 2.0 semantics the
+paper relies on: thread and method processes, events with immediate /
+delta / timed notification, evaluate-update-delta phases, primitive
+channels and clocks.
+
+Quick tour::
+
+    from repro.kernel import Simulator, wait_any
+    from repro.kernel.time import US
+"""
+
+from .channels import EventQueue, Fifo, Mutex, Semaphore, Signal
+from .clock import Clock, TickClock
+from .event import Event
+from .module import Module
+from .process import (
+    MethodProcess,
+    Process,
+    ProcessState,
+    WaitEvents,
+    WaitRequest,
+    WaitTime,
+    delta,
+    wait_all,
+    wait_any,
+    wait_for,
+    wait_on,
+)
+from .scheduler import KernelCore
+from .simulator import Simulator
+from .time import FS, MS, NS, PS, SEC, US, Time, format_time, parse_time
+
+__all__ = [
+    "Clock",
+    "Event",
+    "EventQueue",
+    "Fifo",
+    "FS",
+    "KernelCore",
+    "MethodProcess",
+    "Module",
+    "MS",
+    "Mutex",
+    "NS",
+    "Process",
+    "ProcessState",
+    "PS",
+    "SEC",
+    "Semaphore",
+    "Signal",
+    "Simulator",
+    "TickClock",
+    "Time",
+    "US",
+    "WaitEvents",
+    "WaitRequest",
+    "WaitTime",
+    "delta",
+    "format_time",
+    "parse_time",
+    "wait_all",
+    "wait_any",
+    "wait_for",
+    "wait_on",
+]

@@ -1,0 +1,130 @@
+"""Clock generators (``sc_clock`` equivalent plus a tick-event variant).
+
+Two flavours are provided:
+
+* :class:`Clock` -- a boolean :class:`~repro.kernel.channels.Signal`
+  toggling with a given period/duty cycle, for RTL-ish hardware models.
+* :class:`TickClock` -- a bare periodic :class:`Event`, which is what the
+  paper's Figure 6 ``Clock`` hardware task needs (it "notifies the event
+  Clk" every period).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SimulationError
+from .channels import Signal
+from .event import Event
+from .simulator import Simulator
+from .time import Time, format_time
+
+
+class Clock:
+    """A free-running boolean clock signal.
+
+    Parameters
+    ----------
+    period:
+        Full cycle duration (femtoseconds).
+    duty:
+        Fraction of the period spent high, in ``(0, 1)``.
+    start_time:
+        Delay before the first posedge.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "clock",
+        *,
+        period: Time,
+        duty: float = 0.5,
+        start_time: Time = 0,
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"clock period must be positive: {period}")
+        if not 0.0 < duty < 1.0:
+            raise SimulationError(f"clock duty must be in (0,1): {duty}")
+        self.sim = sim
+        self.name = sim.unique_name(name)
+        self.period = period
+        self.high_time = round(period * duty)
+        self.low_time = period - self.high_time
+        if self.high_time <= 0 or self.low_time <= 0:
+            raise SimulationError(
+                f"degenerate duty cycle for period {format_time(period)}"
+            )
+        self.signal = Signal(sim, f"{self.name}.sig", initial=False)
+        self.posedge = Event(sim, f"{self.name}.posedge")
+        self.negedge = Event(sim, f"{self.name}.negedge")
+        self.cycle_count = 0
+        self._stopped = False
+        sim.schedule_callback(start_time, self._rise)
+
+    def _rise(self) -> None:
+        if self._stopped:
+            return
+        self.cycle_count += 1
+        self.signal.write(True)
+        self.posedge.notify_delta()
+        self.sim.schedule_callback(self.high_time, self._fall)
+
+    def _fall(self) -> None:
+        if self._stopped:
+            return
+        self.signal.write(False)
+        self.negedge.notify_delta()
+        self.sim.schedule_callback(self.low_time, self._rise)
+
+    def stop(self) -> None:
+        """Freeze the clock (cannot be restarted)."""
+        self._stopped = True
+
+    def read(self) -> bool:
+        return bool(self.signal.read())
+
+
+class TickClock:
+    """A periodic tick event -- the minimal hardware time base.
+
+    Used to model timer interrupts and the paper's ``Clock`` hardware
+    task.  The first tick fires at ``start_time + period`` (a timer must
+    elapse once before ticking), unless ``immediate_first`` is set.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "tick",
+        *,
+        period: Time,
+        start_time: Time = 0,
+        immediate_first: bool = False,
+        max_ticks: Optional[int] = None,
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"tick period must be positive: {period}")
+        self.sim = sim
+        self.name = sim.unique_name(name)
+        self.period = period
+        self.tick = Event(sim, f"{self.name}.tick")
+        self.tick_count = 0
+        self.max_ticks = max_ticks
+        self._stopped = False
+        first_delay = start_time if immediate_first else start_time + period
+        sim.schedule_callback(first_delay, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.tick_count += 1
+        self.tick.notify_delta()
+        if self.max_ticks is not None and self.tick_count >= self.max_ticks:
+            self._stopped = True
+            return
+        self.sim.schedule_callback(self.period, self._fire)
+
+    def stop(self) -> None:
+        """Stop ticking (cannot be restarted)."""
+        self._stopped = True

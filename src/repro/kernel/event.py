@@ -1,0 +1,189 @@
+"""Simulation events with SystemC ``sc_event`` notification semantics.
+
+An :class:`Event` is the kernel's only synchronization primitive.  It can
+be notified three ways, exactly like ``sc_event``:
+
+* :meth:`Event.notify` -- **immediate**: processes waiting on the event
+  become runnable within the *current* evaluate phase.
+* :meth:`Event.notify_delta` -- **delta**: waiting processes become
+  runnable in the next delta cycle (time does not advance).
+* :meth:`Event.notify_after` -- **timed**: waiting processes become
+  runnable when simulated time reaches ``now + delay``.
+
+An event carries at most one *pending* (delta or timed) notification.
+SystemC's override rules apply: an earlier notification cancels and
+replaces a later pending one, and a later notification is discarded when
+an earlier one is already pending.  :meth:`Event.cancel` discards any
+pending notification.
+
+Events are deliberately payload-free; data exchange happens in channels
+(:mod:`repro.kernel.channels`) and MCSE relations (:mod:`repro.mcse`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..errors import SimulationError
+from .time import Time, format_time
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .process import _Sensitivity
+    from .scheduler import KernelCore
+
+
+class _TimedNotification:
+    """A cancellable entry in the kernel's timed-notification heap."""
+
+    __slots__ = ("time", "event", "cancelled")
+
+    def __init__(self, time: Time, event: "Event") -> None:
+        self.time = time
+        self.event = event
+        self.cancelled = False
+
+
+#: Sentinel stored in ``Event._pending`` while a delta notification is queued.
+_DELTA_PENDING = "delta"
+
+
+class Event:
+    """A notifiable simulation event (see module docstring).
+
+    Instances are normally created through :meth:`Simulator.event` or
+    :meth:`Module.event`, which take care of unique naming.
+    """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "_waiters",
+        "_pending",
+        "trigger_count",
+        "last_trigger_time",
+    )
+
+    def __init__(self, sim: "KernelCore", name: str = "event") -> None:
+        self.sim = sim
+        self.name = name
+        # dict used as an insertion-ordered set for deterministic wakeups
+        self._waiters: Dict["_Sensitivity", None] = {}
+        self._pending: Optional[object] = None
+        #: Number of times this event has triggered (any notification kind).
+        self.trigger_count = 0
+        #: Simulation time of the most recent trigger, or ``None``.
+        self.last_trigger_time: Optional[Time] = None
+
+    # ------------------------------------------------------------------
+    # Notification API
+    # ------------------------------------------------------------------
+    def notify(self) -> None:
+        """Immediate notification: wake waiters in the current evaluate phase.
+
+        Any pending delta/timed notification is cancelled first (it would
+        be redundant: the event just fired).
+        """
+        self.cancel()
+        self.sim._immediate_notify(self)
+
+    def notify_delta(self) -> None:
+        """Delta notification: wake waiters one delta cycle from now."""
+        if self._pending is _DELTA_PENDING:
+            return  # already as early as a pending notification can be
+        # A delta notification is earlier than any timed one: override it.
+        self.cancel()
+        self._pending = _DELTA_PENDING
+        self.sim._schedule_delta_notify(self)
+
+    def notify_after(self, delay: Time) -> None:
+        """Timed notification ``delay`` femtoseconds from now.
+
+        ``delay == 0`` degenerates to a delta notification, as in SystemC.
+        A pending notification that is *earlier* wins; a pending one that
+        is *later* is cancelled and replaced.
+        """
+        if delay < 0:
+            raise SimulationError(
+                f"negative notification delay on event {self.name!r}: {delay}"
+            )
+        if delay == 0:
+            self.notify_delta()
+            return
+        when = self.sim.now + delay
+        pending = self._pending
+        if pending is _DELTA_PENDING:
+            return  # delta is earlier than any timed notification
+        if isinstance(pending, _TimedNotification) and not pending.cancelled:
+            if pending.time <= when:
+                return  # an earlier (or equal) notification already pending
+            pending.cancelled = True
+        self._pending = self.sim._schedule_timed_notify(self, when)
+
+    def cancel(self) -> None:
+        """Cancel any pending delta or timed notification."""
+        pending = self._pending
+        if pending is None:
+            return
+        if pending is _DELTA_PENDING:
+            self.sim._cancel_delta_notify(self)
+        elif isinstance(pending, _TimedNotification):
+            pending.cancelled = True
+        self._pending = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> bool:
+        """Whether a delta or timed notification is currently queued."""
+        pending = self._pending
+        if pending is None:
+            return False
+        if isinstance(pending, _TimedNotification):
+            return not pending.cancelled
+        return True
+
+    @property
+    def pending_time(self) -> Optional[Time]:
+        """Absolute trigger time of a pending *timed* notification.
+
+        ``None`` when nothing is pending; the current time when a delta
+        notification is pending.
+        """
+        pending = self._pending
+        if isinstance(pending, _TimedNotification) and not pending.cancelled:
+            return pending.time
+        if pending is _DELTA_PENDING:
+            return self.sim.now
+        return None
+
+    # ------------------------------------------------------------------
+    # Kernel-internal hooks
+    # ------------------------------------------------------------------
+    def _trigger(self) -> None:
+        """Fire the event: resolve sensitivities waiting on it.
+
+        Called by the kernel during the appropriate phase.  Waiter
+        callbacks may re-attach (static sensitivity) or attach new
+        sensitivities; iteration therefore happens over a snapshot.
+        """
+        self._pending = None
+        self.trigger_count += 1
+        self.last_trigger_time = self.sim.now
+        if not self._waiters:
+            return
+        for sensitivity in list(self._waiters):
+            sensitivity.on_event(self)
+
+    def _attach(self, sensitivity: "_Sensitivity") -> None:
+        self._waiters[sensitivity] = None
+
+    def _detach(self, sensitivity: "_Sensitivity") -> None:
+        self._waiters.pop(sensitivity, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = ""
+        if self.pending:
+            when = self.pending_time
+            state = f" pending@{format_time(when) if when is not None else '?'}"
+        return f"<Event {self.name}{state}>"

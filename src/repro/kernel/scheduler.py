@@ -1,0 +1,352 @@
+"""The discrete-event kernel core: queues, phases, and the run loop.
+
+The loop follows the SystemC 2.0 scheduler structure:
+
+1. **Evaluate phase** -- run every runnable process.  Immediate event
+   notifications issued here wake processes into the *same* phase.
+2. **Update phase** -- apply the update requests posted by primitive
+   channels (e.g. signals committing their new value).
+3. **Delta notification phase** -- trigger delta-notified events and
+   zero-time waits.  If that made processes runnable, a new *delta cycle*
+   starts at step 1 without advancing time.
+4. **Timed notification phase** -- otherwise, advance simulated time to
+   the earliest pending timed notification, trigger everything scheduled
+   at that instant, and return to step 1.
+
+The kernel also maintains :attr:`KernelCore.process_switch_count`, the
+number of process resumptions performed.  This is the cost metric the
+paper's §4 uses to compare its two RTOS implementation techniques (each
+SystemC thread switch is expensive; the procedure-call technique exists
+precisely to avoid them), so we expose it as a first-class statistic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import List, Optional, Tuple
+
+from ..errors import DeadlockError, SchedulerError, SimulationError
+from .event import Event, _TimedNotification
+from .process import MethodProcess, Process, ProcessBase, ProcessState, _Timeout
+from .time import Time, format_time
+
+
+class _TimedCallback:
+    """Cancellable timed-heap entry invoking a plain callable."""
+
+    __slots__ = ("time", "fn", "cancelled")
+
+    def __init__(self, time: Time, fn) -> None:
+        self.time = time
+        self.fn = fn
+        self.cancelled = False
+
+
+class KernelCore:
+    """Event queues and scheduling loop shared by all simulations."""
+
+    def __init__(self, max_delta_cycles: int = 1_000_000) -> None:
+        #: Current simulated time in femtoseconds.
+        self.now: Time = 0
+        #: Total delta cycles executed so far.
+        self.delta_count = 0
+        #: Total process resumptions ("thread switches") performed.
+        self.process_switch_count = 0
+        #: All processes ever registered (terminated ones included).
+        self.processes: List[ProcessBase] = []
+
+        self._runnable: deque = deque()
+        self._timed: List[Tuple[Time, int, object]] = []
+        self._seq = 0
+        self._delta_events: List[Event] = []
+        self._delta_resumes: List[ProcessBase] = []
+        self._delta_callbacks: List = []
+        self._update_requests: List[object] = []
+        self._current: Optional[ProcessBase] = None
+        self._started = False
+        self._running = False
+        self._stop_requested = False
+        self._pending_error: Optional[Tuple[ProcessBase, BaseException]] = None
+        self._max_delta_cycles = max_delta_cycles
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def current_process(self) -> Optional[ProcessBase]:
+        """The process currently being evaluated, or ``None``."""
+        return self._current
+
+    @property
+    def started(self) -> bool:
+        """Whether the simulation has begun executing."""
+        return self._started
+
+    def pending_activity(self) -> bool:
+        """True if anything at all is still scheduled."""
+        if self._runnable or self._delta_events or self._delta_resumes:
+            return True
+        return any(not self._entry_cancelled(e) for _, _, e in self._timed)
+
+    def next_time(self) -> Optional[Time]:
+        """Earliest pending timed activity, or ``None`` when idle."""
+        for when, _, entry in sorted(self._timed)[:]:
+            if not self._entry_cancelled(entry):
+                return when
+        return None
+
+    @staticmethod
+    def _entry_cancelled(entry: object) -> bool:
+        return bool(getattr(entry, "cancelled", False))
+
+    # ------------------------------------------------------------------
+    # Scheduling services used by events, processes and channels
+    # ------------------------------------------------------------------
+    def _push_timed(self, when: Time, entry: object) -> None:
+        self._seq += 1
+        heapq.heappush(self._timed, (when, self._seq, entry))
+
+    def _schedule_timed_notify(self, event: Event, when: Time) -> _TimedNotification:
+        entry = _TimedNotification(when, event)
+        self._push_timed(when, entry)
+        return entry
+
+    def _schedule_delta_notify(self, event: Event) -> None:
+        self._delta_events.append(event)
+
+    def _cancel_delta_notify(self, event: Event) -> None:
+        # Lazy cancellation: the delta phase re-checks ``event._pending``.
+        pass
+
+    def _immediate_notify(self, event: Event) -> None:
+        event._trigger()
+
+    def schedule_callback(self, delay: Time, fn) -> _TimedCallback:
+        """Invoke ``fn()`` after ``delay`` simulated time.
+
+        Returns a handle whose ``cancelled`` flag may be set to revoke
+        the callback.  The callable runs during the timed notification
+        phase, i.e. outside any process; it may notify events but must
+        not block.
+        """
+        if delay < 0:
+            raise SchedulerError(f"negative callback delay: {delay}")
+        entry = _TimedCallback(self.now + delay, fn)
+        self._push_timed(entry.time, entry)
+        return entry
+
+    def schedule_delta_callback(self, fn) -> None:
+        """Invoke ``fn()`` in the next delta-notification phase.
+
+        Unlike :meth:`schedule_callback` with zero delay (which fires in
+        the same timed phase), this guarantees every process made
+        runnable at the current instant has executed first.
+        """
+        self._delta_callbacks.append(fn)
+
+    def _schedule_timeout(self, sensitivity, when: Time) -> _Timeout:
+        entry = _Timeout(when, sensitivity)
+        self._push_timed(when, entry)
+        return entry
+
+    def _schedule_delta_resume(self, process: ProcessBase) -> None:
+        self._delta_resumes.append(process)
+
+    def _make_runnable(self, process: ProcessBase) -> None:
+        process.state = ProcessState.RUNNABLE
+        self._runnable.append(process)
+
+    def _request_update(self, channel) -> None:
+        if not getattr(channel, "_update_requested", False):
+            channel._update_requested = True
+            self._update_requests.append(channel)
+
+    def _register_process(self, process: ProcessBase) -> None:
+        self.processes.append(process)
+        if isinstance(process, MethodProcess):
+            if process.state is ProcessState.WAITING:
+                return  # dont_initialize: wait for a static trigger
+            process._enqueue()
+            return
+        if self._started:
+            self._make_runnable(process)
+        else:
+            # queued for the initialization phase at the start of run()
+            self._make_runnable(process)
+
+    def _on_process_terminated(self, process: ProcessBase) -> None:
+        if process._sensitivity is not None:
+            process._sensitivity.cancel()
+            process._sensitivity = None
+
+    def _on_process_error(self, process: ProcessBase, exc: BaseException) -> None:
+        self._pending_error = (process, exc)
+
+    # ------------------------------------------------------------------
+    # Run control
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Request the run loop to return after the current process step."""
+        self._stop_requested = True
+
+    def run(
+        self,
+        duration: Optional[Time] = None,
+        *,
+        until: Optional[Time] = None,
+        error_on_deadlock: bool = False,
+    ) -> Time:
+        """Advance the simulation.
+
+        ``duration`` is relative to the current time; ``until`` is an
+        absolute time (mutually exclusive).  With neither, the simulation
+        runs until no activity remains.  Timed activity scheduled exactly
+        *at* the end bound is **not** processed -- the kernel stops with
+        ``now`` set to the bound, so back-to-back ``run(step)`` calls
+        never double-process an instant.
+
+        Returns the simulated time at which the run stopped.  With
+        ``error_on_deadlock=True``, raises :class:`DeadlockError` if the
+        run went idle while thread processes are still blocked.
+        """
+        if self._running:
+            raise SchedulerError("run() is not reentrant")
+        if duration is not None and until is not None:
+            raise SchedulerError("pass either duration or until, not both")
+        end: Optional[Time] = None
+        if duration is not None:
+            if duration < 0:
+                raise SchedulerError(f"negative run duration: {duration}")
+            end = self.now + duration
+        elif until is not None:
+            if until < self.now:
+                raise SchedulerError(
+                    f"until={format_time(until)} is in the past "
+                    f"(now={format_time(self.now)})"
+                )
+            end = until
+
+        self._running = True
+        self._stop_requested = False
+        self._started = True
+        try:
+            self._run_loop(end)
+        finally:
+            self._running = False
+        if end is not None and not self._stop_requested:
+            # everything strictly before ``end`` has been processed
+            self.now = end
+        if error_on_deadlock and not self.pending_activity():
+            blocked = [
+                p.name
+                for p in self.processes
+                if isinstance(p, Process)
+                and not p.daemon
+                and not p.terminated
+                and p.state is ProcessState.WAITING
+            ]
+            if blocked:
+                raise DeadlockError(
+                    "simulation went idle with blocked processes: "
+                    + ", ".join(sorted(blocked))
+                )
+        return self.now
+
+    def _run_loop(self, end: Optional[Time]) -> None:
+        delta_guard = 0
+        while True:
+            # --- evaluate phase ---------------------------------------
+            ran_any = False
+            while self._runnable:
+                process = self._runnable.popleft()
+                if process.terminated:
+                    continue
+                if process.state is not ProcessState.RUNNABLE:
+                    continue
+                ran_any = True
+                self._current = process
+                self.process_switch_count += 1
+                process._step()
+                self._current = None
+                if self._pending_error is not None:
+                    process_, exc = self._pending_error
+                    self._pending_error = None
+                    raise SimulationError(
+                        f"process {process_.name!r} raised at "
+                        f"t={format_time(self.now)}: {exc!r}"
+                    ) from exc
+                if self._stop_requested:
+                    return
+
+            # --- update phase -----------------------------------------
+            if self._update_requests:
+                channels = self._update_requests
+                self._update_requests = []
+                for channel in channels:
+                    channel._update_requested = False
+                    channel._update()
+
+            # --- delta notification phase ------------------------------
+            if self._delta_events or self._delta_resumes or self._delta_callbacks:
+                self.delta_count += 1
+                if ran_any:
+                    delta_guard += 1
+                    if delta_guard > self._max_delta_cycles:
+                        raise SchedulerError(
+                            f"more than {self._max_delta_cycles} delta cycles "
+                            f"without time advancing at t={format_time(self.now)}; "
+                            "the model probably has a zero-delay loop"
+                        )
+                events = self._delta_events
+                self._delta_events = []
+                resumes = self._delta_resumes
+                self._delta_resumes = []
+                callbacks = self._delta_callbacks
+                self._delta_callbacks = []
+                for event in events:
+                    if event._pending == "delta":
+                        event._trigger()
+                for process in resumes:
+                    if not process.terminated:
+                        process._on_wait_resolved(None)
+                for fn in callbacks:
+                    fn()
+                if self._runnable:
+                    continue
+
+            # --- timed notification phase ------------------------------
+            advanced = self._advance_time(end)
+            if not advanced:
+                return
+            delta_guard = 0
+
+    def _advance_time(self, end: Optional[Time]) -> bool:
+        """Pop the earliest batch of timed entries; returns False when done."""
+        timed = self._timed
+        while timed and self._entry_cancelled(timed[0][2]):
+            heapq.heappop(timed)
+        if not timed:
+            return False
+        when = timed[0][0]
+        if end is not None and when >= end:
+            return False
+        if when < self.now:  # pragma: no cover - invariant guard
+            raise SchedulerError(
+                f"timed entry in the past: {format_time(when)} < "
+                f"{format_time(self.now)}"
+            )
+        self.now = when
+        while timed and timed[0][0] == when:
+            _, _, entry = heapq.heappop(timed)
+            if self._entry_cancelled(entry):
+                continue
+            if isinstance(entry, _TimedNotification):
+                entry.event._trigger()
+            elif isinstance(entry, _Timeout):
+                entry.sensitivity.on_timeout()
+            elif isinstance(entry, _TimedCallback):
+                entry.fn()
+            else:  # pragma: no cover - defensive
+                raise SchedulerError(f"unknown timed entry: {entry!r}")
+        return True

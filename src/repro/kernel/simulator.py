@@ -1,0 +1,142 @@
+"""The public simulation facade.
+
+:class:`Simulator` wraps :class:`~repro.kernel.scheduler.KernelCore` with
+naming, factory helpers, and the trace hook the higher layers
+(:mod:`repro.rtos`, :mod:`repro.trace`) attach to.  A typical standalone
+use looks like::
+
+    from repro.kernel import Simulator
+    from repro.kernel.time import US
+
+    sim = Simulator("demo")
+    done = sim.event("done")
+
+    def producer():
+        yield 5 * US
+        done.notify()
+
+    def consumer():
+        yield done
+        print("got it at", sim.time_str())
+
+    sim.thread(producer, name="producer")
+    sim.thread(consumer, name="consumer")
+    sim.run()
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Iterable, Optional, Union
+
+from .event import Event
+from .process import MethodProcess, Process, ThreadBody
+from .scheduler import KernelCore
+from .time import Time, format_time
+
+
+class Simulator(KernelCore):
+    """A named simulation context with object factories."""
+
+    def __init__(self, name: str = "sim", max_delta_cycles: int = 1_000_000) -> None:
+        super().__init__(max_delta_cycles=max_delta_cycles)
+        self.name = name
+        self._names: Dict[str, int] = {}
+        #: Optional :class:`repro.trace.recorder.TraceRecorder`; layers
+        #: above the kernel emit records through this when set.
+        self.recorder = None
+        #: Online observers called with every emitted record (used by
+        #: runtime monitors such as the deadline watchdog).
+        self._observers: list = []
+
+    # ------------------------------------------------------------------
+    # Naming
+    # ------------------------------------------------------------------
+    def unique_name(self, base: str) -> str:
+        """Return ``base``, deterministically suffixed if already taken."""
+        count = self._names.get(base)
+        if count is None:
+            self._names[base] = 0
+            return base
+        self._names[base] = count + 1
+        return f"{base}_{count + 1}"
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    def event(self, name: str = "event") -> Event:
+        """Create a named :class:`Event` bound to this simulator."""
+        return Event(self, self.unique_name(name))
+
+    def thread(
+        self,
+        body: Union[Generator, ThreadBody],
+        *args,
+        name: Optional[str] = None,
+        **kwargs,
+    ) -> Process:
+        """Register a thread process from a generator function (or generator).
+
+        Extra positional/keyword arguments are passed to ``body``.
+        """
+        if name is None:
+            name = getattr(body, "__name__", "thread")
+        process = Process(self, self.unique_name(name), body, args, kwargs)
+        self._register_process(process)
+        return process
+
+    def method(
+        self,
+        fn: Callable[[], object],
+        sensitive: Iterable[Event] = (),
+        *,
+        name: Optional[str] = None,
+        initialize: bool = True,
+    ) -> MethodProcess:
+        """Register a method process statically sensitive to ``sensitive``."""
+        if name is None:
+            name = getattr(fn, "__name__", "method")
+        process = MethodProcess(
+            self, self.unique_name(name), fn, sensitive, initialize=initialize
+        )
+        self._register_process(process)
+        return process
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def time_str(self, t: Optional[Time] = None) -> str:
+        """Format ``t`` (default: now) for humans."""
+        return format_time(self.now if t is None else t)
+
+    def set_recorder(self, recorder) -> None:
+        """Attach a trace recorder (see :mod:`repro.trace.recorder`)."""
+        self.recorder = recorder
+
+    def add_observer(self, fn) -> None:
+        """Register a callable invoked with every emitted trace record.
+
+        Observers run synchronously at emission time (inside whatever
+        process caused the record), so they can react *during* the
+        simulation -- e.g. arm a watchdog timer.  They must not block.
+        """
+        self._observers.append(fn)
+
+    def remove_observer(self, fn) -> None:
+        """Unregister a previously added observer (no-op if absent)."""
+        try:
+            self._observers.remove(fn)
+        except ValueError:
+            pass
+
+    def record(self, record) -> None:
+        """Emit a trace record to the recorder and all observers."""
+        if self.recorder is not None:
+            self.recorder.add(record)
+        for observer in self._observers:
+            observer(record)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Simulator {self.name} t={format_time(self.now)} "
+            f"procs={len(self.processes)} switches={self.process_switch_count}>"
+        )

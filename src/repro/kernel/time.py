@@ -1,0 +1,167 @@
+"""Simulation time: representation, units, parsing and formatting.
+
+Simulated time is represented as a plain :class:`int` number of
+**femtoseconds**, mirroring SystemC's default finest resolution.  Using a
+bare integer (instead of a wrapper class) keeps the discrete-event inner
+loop fast and makes arithmetic trivially correct: there is no floating
+point anywhere in the kernel, so two notifications scheduled for "the same
+time" always compare equal.
+
+Unit constants are exported so model code reads naturally::
+
+    from repro.kernel.time import US, MS
+
+    yield wait_for(5 * US)          # five microseconds
+    clock = Clock(sim, "clk", period=10 * MS)
+
+Helpers convert to and from human-readable strings (``"1.5us"``) and
+floating-point seconds, which is what most workload generators produce.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Union
+
+#: One femtosecond -- the base resolution.  All times are ints of this unit.
+FS = 1
+#: One picosecond.
+PS = 10**3
+#: One nanosecond.
+NS = 10**6
+#: One microsecond.
+US = 10**9
+#: One millisecond.
+MS = 10**12
+#: One second.
+SEC = 10**15
+
+#: Ordered (suffix, multiplier) pairs used for parsing and formatting.
+_UNITS = (
+    ("s", SEC),
+    ("ms", MS),
+    ("us", US),
+    ("ns", NS),
+    ("ps", PS),
+    ("fs", FS),
+)
+
+_UNIT_BY_NAME = {name: mult for name, mult in _UNITS}
+# Common aliases.
+_UNIT_BY_NAME["sec"] = SEC
+_UNIT_BY_NAME["µs"] = US  # micro sign
+
+#: Type alias for simulated time values (femtoseconds).
+Time = int
+
+_TIME_RE = re.compile(
+    r"^\s*(?P<value>[0-9]+(?:\.[0-9]+)?)\s*(?P<unit>[a-zµ]+)\s*$"
+)
+
+
+def time_from_unit(value: Union[int, float, str], unit: str) -> Time:
+    """Convert ``value`` expressed in ``unit`` into femtoseconds.
+
+    Decimal strings are converted exactly (no float rounding), which
+    matters for values with more significant digits than a double holds.
+
+    >>> time_from_unit(5, "us")
+    5000000000
+    """
+    try:
+        mult = _UNIT_BY_NAME[unit.lower()]
+    except KeyError:
+        raise ValueError(f"unknown time unit: {unit!r}") from None
+    if isinstance(value, int) and not isinstance(value, bool):
+        return value * mult
+    if isinstance(value, float):
+        return round(value * mult)
+    # exact decimal-string conversion
+    text = str(value)
+    if "." in text:
+        int_part, frac_part = text.split(".", 1)
+    else:
+        int_part, frac_part = text, ""
+    if not (int_part or frac_part):
+        raise ValueError(f"cannot parse number: {value!r}")
+    digits = int((int_part or "0") + frac_part) if (int_part + frac_part) else 0
+    denom = 10 ** len(frac_part)
+    total = digits * mult
+    return (total + denom // 2) // denom
+
+
+def parse_time(text: Union[str, int, float]) -> Time:
+    """Parse a human-readable duration into femtoseconds.
+
+    Accepts strings like ``"5us"``, ``"1.5 ms"`` or ``"10ns"``.  Integers
+    pass through unchanged (they are assumed to already be femtoseconds);
+    floats are rejected to avoid silent precision loss.
+
+    >>> parse_time("15us")
+    15000000000
+    >>> parse_time(42)
+    42
+    """
+    if isinstance(text, bool):  # bool is an int subclass; almost surely a bug
+        raise TypeError("cannot interpret a bool as a time")
+    if isinstance(text, int):
+        return text
+    if isinstance(text, float):
+        raise TypeError(
+            "refusing to interpret a bare float as femtoseconds; "
+            "use time_from_unit(value, unit) or an explicit unit string"
+        )
+    match = _TIME_RE.match(text)
+    if match is None:
+        raise ValueError(f"cannot parse time: {text!r}")
+    return time_from_unit(match.group("value"), match.group("unit"))
+
+
+def format_time(t: Time, precision: int = 6) -> str:
+    """Render ``t`` femtoseconds with the largest unit that keeps it >= 1.
+
+    Conversion is exact integer arithmetic; ``precision`` caps the number
+    of fractional digits (pass >= 15 for a lossless round trip through
+    :func:`parse_time`).
+
+    >>> format_time(15 * US)
+    '15us'
+    >>> format_time(1500 * NS)
+    '1.5us'
+    >>> format_time(0)
+    '0s'
+    """
+    if t == 0:
+        return "0s"
+    sign = "-" if t < 0 else ""
+    t = abs(t)
+    for name, mult in _UNITS:
+        if t >= mult:
+            whole, rem = divmod(t, mult)
+            if rem == 0:
+                return f"{sign}{whole}{name}"
+            width = len(str(mult)) - 1  # mult is a power of ten
+            frac = str(rem).rjust(width, "0")
+            if len(frac) > precision:
+                # round to `precision` fractional digits
+                scaled = int(frac[: precision + 1])
+                scaled = (scaled + 5) // 10
+                frac = str(scaled).rjust(precision, "0")
+                if len(frac) > precision:  # carried into the integer part
+                    whole += 1
+                    frac = ""
+            frac = frac.rstrip("0")
+            if not frac:
+                return f"{sign}{whole}{name}"
+            return f"{sign}{whole}.{frac}{name}"
+    return f"{sign}{t}fs"
+
+
+def to_seconds(t: Time) -> float:
+    """Convert femtoseconds to floating-point seconds (for reporting)."""
+    return t / SEC
+
+
+def from_seconds(seconds: float) -> Time:
+    """Convert floating-point seconds to femtoseconds (rounded)."""
+    return round(seconds * SEC)

@@ -1,0 +1,239 @@
+"""Declarative system specifications -> executable models.
+
+The paper's tool chain captures a model graphically and "automatically
+provides an executable model including functions and processors in a few
+seconds" through a SystemC code generator [8].  This module is that code
+generator's role in Python: a plain-data *specification* (dict, possibly
+loaded from JSON) is elaborated into a ready-to-run :class:`System`.
+
+Specification format::
+
+    spec = {
+        "name": "demo",
+        "relations": [
+            {"kind": "event", "name": "Clk", "policy": "boolean"},
+            {"kind": "queue", "name": "Q1", "capacity": 4},
+            {"kind": "shared", "name": "SharedVar_1", "initial": 0},
+        ],
+        "processors": [
+            {"name": "Processor", "engine": "procedural",
+             "policy": "priority_preemptive",
+             "scheduling_duration": "5us",
+             "context_load_duration": "5us",
+             "context_save_duration": "5us"},
+        ],
+        "functions": [
+            {"name": "Function_1", "priority": 5, "processor": "Processor",
+             "script": [
+                 ["loop", None, [
+                     ["wait", "Clk"],
+                     ["execute", "10us"],
+                     ["signal", "Event_1"],
+                 ]],
+             ]},
+        ],
+    }
+    system = build_system(spec)
+
+Behaviors are either a Python callable (``"behavior": fn``) or a
+``"script"``: a small interpreted op list (the shape a graphical capture
+tool would emit).  Supported ops:
+
+=============================  =============================================
+``["execute", dur]``           consume CPU time
+``["delay", dur]``             wall-clock delay (no CPU)
+``["wait", event]``            wait on an event relation
+``["signal", event]``          signal an event relation
+``["read", queue]``            read a message (value discarded)
+``["write", queue, value]``    write a message
+``["lock", shared]``           lock a shared variable
+``["unlock", shared]``         unlock it
+``["read_shared", shared]``    lock+read+unlock convenience
+``["write_shared", shared, v]`` lock+write+unlock convenience
+``["loop", n, body]``          repeat ``body`` n times (``None`` = forever)
+``["set_preemptive", bool]``   toggle the mapped processor's mode
+=============================  =============================================
+
+Durations accept anything :func:`repro.kernel.time.parse_time` does.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List
+
+from ..errors import BuildError
+from ..kernel.time import parse_time
+from .function import Function
+from .model import System
+
+
+def build_system(spec: Dict, sim=None) -> System:
+    """Elaborate ``spec`` into a ready-to-run :class:`System`."""
+    if not isinstance(spec, dict):
+        raise BuildError(f"spec must be a dict, got {type(spec).__name__}")
+    system = System(spec.get("name", "system"), sim=sim)
+
+    for rel_spec in spec.get("relations", ()):
+        _build_relation(system, dict(rel_spec))
+
+    for cpu_spec in spec.get("processors", ()):
+        _build_processor(system, dict(cpu_spec))
+
+    for fn_spec in spec.get("functions", ()):
+        _build_function(system, dict(fn_spec))
+
+    return system
+
+
+def _build_relation(system: System, spec: Dict) -> None:
+    kind = spec.pop("kind", None)
+    name = spec.pop("name", None)
+    if not name:
+        raise BuildError(f"relation spec missing a name: {spec!r}")
+    if kind == "event":
+        system.event(name, policy=spec.pop("policy", "fugitive"), **spec)
+    elif kind == "queue":
+        system.queue(name, capacity=spec.pop("capacity", 8), **spec)
+    elif kind == "shared":
+        system.shared(name, initial=spec.pop("initial", None), **spec)
+    else:
+        raise BuildError(f"unknown relation kind {kind!r} for {name!r}")
+
+
+_DURATION_KEYS = (
+    "scheduling_duration",
+    "context_load_duration",
+    "context_save_duration",
+    "time_slice",
+)
+
+
+def _build_processor(system: System, spec: Dict) -> None:
+    name = spec.pop("name", None)
+    if not name:
+        raise BuildError(f"processor spec missing a name: {spec!r}")
+    for key in _DURATION_KEYS:
+        if key in spec:
+            spec[key] = parse_time(spec[key])
+    system.processor(name, **spec)
+
+
+def _build_function(system: System, spec: Dict) -> None:
+    name = spec.pop("name", None)
+    if not name:
+        raise BuildError(f"function spec missing a name: {spec!r}")
+    processor = spec.pop("processor", None)
+    behavior = spec.pop("behavior", None)
+    script = spec.pop("script", None)
+    if behavior is not None and script is not None:
+        raise BuildError(f"function {name!r}: pass behavior or script, not both")
+    if behavior is None:
+        if script is None:
+            raise BuildError(f"function {name!r} needs a behavior or a script")
+        behavior = compile_script(system, script)
+    if "start_time" in spec:
+        spec["start_time"] = parse_time(spec["start_time"])
+    fn = system.function(name, behavior, **spec)
+    if processor is not None:
+        try:
+            cpu = system.processors[processor]
+        except KeyError:
+            raise BuildError(
+                f"function {name!r} mapped on unknown processor {processor!r}"
+            ) from None
+        cpu.map(fn)
+
+
+# ---------------------------------------------------------------------------
+# Script interpreter
+# ---------------------------------------------------------------------------
+def compile_script(system: System, script: List) -> Callable[[Function], Generator]:
+    """Turn a script op-list into a behavior callable."""
+    ops = _validate_block(system, script, path="script")
+
+    def behavior(fn: Function) -> Generator:
+        yield from _run_block(system, fn, ops)
+
+    return behavior
+
+
+def _validate_block(system: System, block: List, path: str) -> List:
+    if not isinstance(block, (list, tuple)):
+        raise BuildError(f"{path}: expected an op list, got {block!r}")
+    ops = []
+    for index, op in enumerate(block):
+        where = f"{path}[{index}]"
+        if not isinstance(op, (list, tuple)) or not op:
+            raise BuildError(f"{where}: malformed op {op!r}")
+        name, args = op[0], list(op[1:])
+        if name in ("execute", "delay"):
+            if len(args) != 1:
+                raise BuildError(f"{where}: {name} takes one duration")
+            args[0] = parse_time(args[0])
+        elif name in ("wait", "signal", "read", "lock", "unlock", "read_shared"):
+            if len(args) != 1:
+                raise BuildError(f"{where}: {name} takes one relation name")
+            _relation(system, args[0], where)
+        elif name in ("write", "write_shared"):
+            if len(args) != 2:
+                raise BuildError(f"{where}: {name} takes relation and value")
+            _relation(system, args[0], where)
+        elif name == "loop":
+            if len(args) != 2:
+                raise BuildError(f"{where}: loop takes a count and a body")
+            count = args[0]
+            if count is not None and (not isinstance(count, int) or count < 0):
+                raise BuildError(f"{where}: loop count must be None or int >= 0")
+            args[1] = _validate_block(system, args[1], where)
+        elif name == "set_preemptive":
+            if len(args) != 1 or not isinstance(args[0], bool):
+                raise BuildError(f"{where}: set_preemptive takes a bool")
+        else:
+            raise BuildError(f"{where}: unknown op {name!r}")
+        ops.append((name, args))
+    return ops
+
+
+def _relation(system: System, name: str, where: str):
+    try:
+        return system.relations[name]
+    except KeyError:
+        raise BuildError(f"{where}: unknown relation {name!r}") from None
+
+
+def _run_block(system: System, fn: Function, ops: List) -> Generator:
+    for name, args in ops:
+        if name == "execute":
+            yield from fn.execute(args[0])
+        elif name == "delay":
+            yield from fn.delay(args[0])
+        elif name == "wait":
+            yield from fn.wait(system.relations[args[0]])
+        elif name == "signal":
+            yield from fn.signal(system.relations[args[0]])
+        elif name == "read":
+            yield from fn.read(system.relations[args[0]])
+        elif name == "write":
+            yield from fn.write(system.relations[args[0]], args[1])
+        elif name == "lock":
+            yield from fn.lock(system.relations[args[0]])
+        elif name == "unlock":
+            yield from fn.unlock(system.relations[args[0]])
+        elif name == "read_shared":
+            yield from fn.read_shared(system.relations[args[0]])
+        elif name == "write_shared":
+            yield from fn.write_shared(system.relations[args[0]], args[1])
+        elif name == "set_preemptive":
+            if fn.task is None:
+                raise BuildError(
+                    f"function {fn.name!r}: set_preemptive needs an RTOS mapping"
+                )
+            fn.task.processor.set_preemptive(args[0])
+        elif name == "loop":
+            count, body = args
+            if count is None:
+                while True:
+                    yield from _run_block(system, fn, body)
+            else:
+                for _ in range(count):
+                    yield from _run_block(system, fn, body)

@@ -1,0 +1,154 @@
+"""MCSE event relations: fugitive, boolean and counter memorization.
+
+The paper (§2) models synchronization between functions with events that
+differ only in how they *memorize* a signal that arrives while nobody is
+waiting:
+
+* :class:`FugitiveEvent` -- no memorization, like SystemC's ``sc_event``:
+  a signal with no waiter is lost.
+* :class:`BooleanEvent` -- one level of memorization: a single flag
+  remembers that at least one signal occurred; the next wait consumes it.
+* :class:`CounterEvent` -- every signal is counted; each wait consumes
+  one count.
+
+Delivery semantics with waiters present (documented model decisions,
+enforced by tests):
+
+* fugitive and boolean events are *broadcast*: one signal wakes every
+  current waiter (they synchronize a set of functions);
+* a counter event is *token-like*: one signal wakes exactly one waiter,
+  chosen by the relation's wake order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ModelError
+from ..kernel.simulator import Simulator
+from .relations import Relation
+
+
+class EventRelation(Relation):
+    """Base class for the three MCSE event policies."""
+
+    def signal(self) -> None:
+        """Notify the event (never blocks)."""
+        raise NotImplementedError
+
+    def try_wait(self) -> bool:
+        """Consume a memorized occurrence; True if one was available."""
+        raise NotImplementedError
+
+    def pending(self) -> int:
+        """Number of memorized occurrences a wait could consume now."""
+        raise NotImplementedError
+
+
+class FugitiveEvent(EventRelation):
+    """An event with no memory (``sc_event`` behaviour).
+
+    A signal wakes every waiter present at that instant; with no waiter
+    it is simply lost (the ``lost_count`` counter records how many).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "event",
+                 wake_order: str = "fifo") -> None:
+        super().__init__(sim, name, wake_order)
+        self.lost_count = 0
+
+    def signal(self) -> None:
+        self.access_count += 1
+        if not self._waiters:
+            self.lost_count += 1
+            return
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            self._deliver(waiter)
+
+    def try_wait(self) -> bool:
+        return False
+
+    def pending(self) -> int:
+        return 0
+
+
+class BooleanEvent(EventRelation):
+    """An event with a single memorization level."""
+
+    def __init__(self, sim: Simulator, name: str = "event",
+                 wake_order: str = "fifo") -> None:
+        super().__init__(sim, name, wake_order)
+        self._flag = False
+
+    @property
+    def flag(self) -> bool:
+        """Whether an unconsumed signal is memorized."""
+        return self._flag
+
+    def signal(self) -> None:
+        self.access_count += 1
+        if self._waiters:
+            waiters, self._waiters = self._waiters, []
+            for waiter in waiters:
+                self._deliver(waiter)
+            return
+        if not self._flag:
+            self._flag = True
+            self._occ_set(1)
+
+    def try_wait(self) -> bool:
+        if self._flag:
+            self._flag = False
+            self._occ_set(0)
+            return True
+        return False
+
+    def pending(self) -> int:
+        return 1 if self._flag else 0
+
+
+class CounterEvent(EventRelation):
+    """An event counting its occurrences.
+
+    ``max_count`` optionally saturates the counter (a bounded token
+    pool); by default it is unbounded.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "event",
+                 wake_order: str = "fifo",
+                 max_count: Optional[int] = None) -> None:
+        super().__init__(sim, name, wake_order)
+        if max_count is not None and max_count < 1:
+            raise ModelError(f"max_count must be >= 1, got {max_count}")
+        self._count = 0
+        self.max_count = max_count
+        #: Signals dropped because the counter was saturated.
+        self.saturated_count = 0
+
+    @property
+    def count(self) -> int:
+        """Memorized, unconsumed signal count."""
+        return self._count
+
+    def signal(self) -> None:
+        self.access_count += 1
+        waiter = self._pop_waiter()
+        if waiter is not None:
+            self._deliver(waiter)
+            return
+        if self.max_count is not None and self._count >= self.max_count:
+            self.saturated_count += 1
+            return
+        self._count += 1
+        self._occ_set(self._count)
+
+    def try_wait(self) -> bool:
+        if self._count > 0:
+            self._count -= 1
+            self._occ_set(self._count)
+            return True
+        return False
+
+    def pending(self) -> int:
+        return self._count

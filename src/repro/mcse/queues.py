@@ -1,0 +1,131 @@
+"""MCSE message queues: bounded producer/consumer relations.
+
+A :class:`MessageQueue` implements the paper's producer/consumer relation
+with a configurable message capacity (§2).  Readers block on an empty
+queue, writers on a full one.  Both sides use direct handoff:
+
+* a ``put`` on a queue with blocked readers bypasses the buffer and
+  delivers to the first reader (the buffer is necessarily empty then);
+* a ``get`` that frees a slot immediately pulls in the payload of the
+  oldest blocked writer and wakes it.
+
+This keeps the number of Ready transitions seen by the RTOS layer equal
+to the number of messages actually exchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import ModelError
+from ..kernel.simulator import Simulator
+from .relations import Relation, Waiter
+
+
+class MessageQueue(Relation):
+    """A bounded FIFO message relation.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum buffered messages; ``None`` means unbounded (writers
+        never block).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "queue",
+        capacity: Optional[int] = 8,
+        wake_order: str = "fifo",
+    ) -> None:
+        super().__init__(sim, name, wake_order)
+        if capacity is not None and capacity < 1:
+            raise ModelError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._items: List[object] = []
+        # reader waiters live in the base-class list; writer waiters here
+        self._writer_waiters: List[Waiter] = []
+        self.total_put = 0
+        self.total_got = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    @property
+    def writer_waiter_count(self) -> int:
+        return len(self._writer_waiters)
+
+    # ------------------------------------------------------------------
+    # Non-blocking halves (the Function wrappers build on these)
+    # ------------------------------------------------------------------
+    def try_put(self, item: object) -> bool:
+        """Store or hand off ``item``; False when the queue is full."""
+        self.access_count += 1
+        reader = self._pop_waiter()
+        if reader is not None:
+            # buffer must be empty, or the reader would have drained it
+            self.total_put += 1
+            self.total_got += 1
+            self._deliver(reader, item)
+            return True
+        if self.full:
+            self.access_count -= 1  # the failed attempt will be retried
+            return False
+        self._items.append(item)
+        self.total_put += 1
+        self._occ_set(len(self._items))
+        return True
+
+    def try_get(self) -> Tuple[bool, object]:
+        """Take the oldest message; ``(False, None)`` when empty."""
+        if not self._items:
+            return False, None
+        self.access_count += 1
+        item = self._items.pop(0)
+        self.total_got += 1
+        # a freed slot un-blocks the oldest writer, if any
+        writer = self._pop_writer_waiter()
+        if writer is not None:
+            self._items.append(writer.payload)
+            self.total_put += 1
+            self._deliver(writer)
+        self._occ_set(len(self._items))
+        return True, item
+
+    # ------------------------------------------------------------------
+    # Waiter plumbing used by Function wrappers
+    # ------------------------------------------------------------------
+    def enqueue_writer(self, function, item: object) -> Waiter:
+        waiter = Waiter(function, self._wake_event_for(function), item)
+        self._writer_waiters.append(waiter)
+        self.blocked_count += 1
+        return waiter
+
+    def _pop_writer_waiter(self) -> Optional[Waiter]:
+        if not self._writer_waiters:
+            return None
+        if self.wake_order == "priority":
+            best = max(
+                range(len(self._writer_waiters)),
+                key=lambda i: self._priority_of(self._writer_waiters[i]),
+            )
+            return self._writer_waiters.pop(best)
+        return self._writer_waiters.pop(0)
+
+    def remove_writer_waiter(self, waiter: Waiter) -> None:
+        try:
+            self._writer_waiters.remove(waiter)
+        except ValueError:
+            pass

@@ -1,0 +1,165 @@
+"""Base machinery shared by all MCSE relations.
+
+A *relation* is one of the three MCSE communication links between
+functions: an event, a message queue, or a shared variable.  All three
+share the same blocking discipline, implemented here:
+
+* A function that cannot complete an operation immediately enqueues a
+  :class:`Waiter` on the relation and suspends through its execution
+  context (plain kernel wait for hardware functions, the full RTOS
+  blocking protocol for software tasks).
+* Whoever later makes the operation possible *delivers* directly to a
+  chosen waiter (direct handoff).  There is no thundering herd: exactly
+  the waiters that can proceed are woken, which is also what a real RTOS
+  does and what keeps the RTOS model's Ready queue truthful.
+
+The wakeup order is selectable per relation: ``"fifo"`` (default) or
+``"priority"`` (highest function priority first, FIFO within equals),
+matching the wait-queue options of common RTOS APIs.
+
+Relations also keep an occupancy integral so the statistics module can
+report the paper's Figure-8 "communication utilization ratio" without
+any tracing overhead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from ..errors import ModelError
+from ..kernel.event import Event
+from ..kernel.simulator import Simulator
+from ..kernel.time import Time
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .function import Function
+
+#: Valid wakeup-order policies for relation wait queues.
+WAKE_ORDERS = ("fifo", "priority")
+
+
+class Waiter:
+    """One suspended operation on a relation.
+
+    ``value`` carries the delivered payload (message, event token, lock
+    ownership marker) and ``delivered`` flips exactly once; execution
+    contexts check it before suspending so a same-instant delivery is
+    never lost.
+    """
+
+    __slots__ = ("function", "event", "value", "delivered", "payload")
+
+    def __init__(self, function: Optional["Function"], event: Event,
+                 payload: object = None) -> None:
+        self.function = function
+        self.event = event
+        #: What a blocked producer is trying to hand over (queues only).
+        self.payload = payload
+        self.value: object = None
+        self.delivered = False
+
+
+class Relation:
+    """Common state of every MCSE relation."""
+
+    #: Whether blocking on this relation counts as "waiting for resource"
+    #: (shared variables) rather than "waiting for synchronization".
+    resource = False
+
+    def __init__(self, sim: Simulator, name: str, wake_order: str = "fifo") -> None:
+        if wake_order not in WAKE_ORDERS:
+            raise ModelError(
+                f"unknown wake order {wake_order!r}; pick one of {WAKE_ORDERS}"
+            )
+        self.sim = sim
+        self.name = sim.unique_name(name)
+        self.wake_order = wake_order
+        self._waiters: List[Waiter] = []
+        #: Lifetime access counters (signals/puts vs waits/gets that blocked).
+        self.access_count = 0
+        self.blocked_count = 0
+        # occupancy integral bookkeeping
+        self._occ_level = 0
+        self._occ_time: Time = 0
+        self._occ_integral = 0
+
+    # ------------------------------------------------------------------
+    # Waiter management
+    # ------------------------------------------------------------------
+    def _enqueue_waiter(self, function: Optional["Function"],
+                        payload: object = None) -> Waiter:
+        event = self._wake_event_for(function)
+        waiter = Waiter(function, event, payload)
+        self._waiters.append(waiter)
+        self.blocked_count += 1
+        return waiter
+
+    def _wake_event_for(self, function: Optional["Function"]) -> Event:
+        if function is not None:
+            return function.wake_event
+        return Event(self.sim, f"{self.name}.anon_wake")
+
+    def _pop_waiter(self) -> Optional[Waiter]:
+        if not self._waiters:
+            return None
+        if self.wake_order == "priority":
+            best_index = 0
+            best_priority = self._priority_of(self._waiters[0])
+            for index in range(1, len(self._waiters)):
+                priority = self._priority_of(self._waiters[index])
+                if priority > best_priority:
+                    best_priority = priority
+                    best_index = index
+            return self._waiters.pop(best_index)
+        return self._waiters.pop(0)
+
+    @staticmethod
+    def _priority_of(waiter: Waiter) -> float:
+        if waiter.function is None:
+            return float("-inf")
+        return waiter.function.priority
+
+    def _deliver(self, waiter: Waiter, value: object = None) -> None:
+        """Hand the relation over to ``waiter`` and wake it."""
+        waiter.value = value
+        waiter.delivered = True
+        function = waiter.function
+        if function is not None and function.context is not None:
+            function.context.on_deliver(function, waiter)
+        else:
+            waiter.event.notify()
+
+    def remove_waiter(self, waiter: Waiter) -> None:
+        """Withdraw an undelivered waiter (used by bounded waits)."""
+        try:
+            self._waiters.remove(waiter)
+        except ValueError:
+            pass
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    # ------------------------------------------------------------------
+    # Occupancy accounting (for utilization statistics)
+    # ------------------------------------------------------------------
+    def _occ_set(self, level: int) -> None:
+        now = self.sim.now
+        self._occ_integral += self._occ_level * (now - self._occ_time)
+        self._occ_time = now
+        self._occ_level = level
+
+    def occupancy_integral(self) -> int:
+        """Time-weighted occupancy sum up to the current instant."""
+        now = self.sim.now
+        return self._occ_integral + self._occ_level * (now - self._occ_time)
+
+    def mean_occupancy(self) -> float:
+        """Average occupancy level over the whole run so far."""
+        now = self.sim.now
+        if now == 0:
+            return float(self._occ_level)
+        return self.occupancy_integral() / now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,107 @@
+"""MCSE shared variables: data exchange under mutual exclusion.
+
+A :class:`SharedVariable` is the paper's third relation kind: a piece of
+global data with no synchronization *except* mutual exclusion (§2).  A
+function locks it, reads/writes the value, and unlocks.  Blocking on a
+locked shared variable is what the TimeLine chart renders as the
+"waiting for resource" state and what Figure 7 uses to demonstrate
+priority inversion.
+
+Ownership is handed off directly to the next waiter on unlock, so
+fairness follows the relation's wake order (``"fifo"`` by default,
+``"priority"`` to model priority-ordered mutex queues).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import ModelError
+from ..kernel.simulator import Simulator
+from ..kernel.time import Time
+from .relations import Relation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .function import Function
+
+
+class SharedVariable(Relation):
+    """Mutex-protected shared data."""
+
+    resource = True
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "shared",
+        initial: object = None,
+        wake_order: str = "fifo",
+    ) -> None:
+        super().__init__(sim, name, wake_order)
+        self.value = initial
+        self.owner: Optional["Function"] = None
+        #: Lifetime lock acquisitions and contended acquisitions.
+        self.acquisitions = 0
+        self.contentions = 0
+        self._locked_since: Optional[Time] = None
+        self._locked_total: Time = 0
+
+    # ------------------------------------------------------------------
+    # Lock state
+    # ------------------------------------------------------------------
+    @property
+    def locked(self) -> bool:
+        return self.owner is not None
+
+    def try_lock(self, function: Optional["Function"]) -> bool:
+        """Acquire the lock for ``function``; False when held."""
+        self.access_count += 1
+        if self.owner is not None:
+            self.access_count -= 1  # failed attempt will block and retry
+            return False
+        self._take(function)
+        return True
+
+    def _take(self, function: Optional["Function"]) -> None:
+        self.owner = function
+        self.acquisitions += 1
+        self._locked_since = self.sim.now
+        self._occ_set(1)
+
+    def unlock(self, function: Optional["Function"]) -> None:
+        """Release the lock; ownership is handed to the next waiter."""
+        if self.owner is None:
+            raise ModelError(f"unlock of unlocked shared variable {self.name!r}")
+        if function is not None and self.owner is not function:
+            raise ModelError(
+                f"{function.name!r} unlocking {self.name!r} owned by "
+                f"{self.owner.name!r}"
+            )
+        if self._locked_since is not None:
+            self._locked_total += self.sim.now - self._locked_since
+            self._locked_since = None
+        self.owner = None
+        self._occ_set(0)
+        waiter = self._pop_waiter()
+        if waiter is not None:
+            # direct handoff: the woken function owns the lock on wake
+            self.access_count += 1
+            self._take(waiter.function)
+            self._deliver(waiter)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def locked_time(self) -> Time:
+        """Total time spent locked up to the current instant."""
+        total = self._locked_total
+        if self._locked_since is not None:
+            total += self.sim.now - self._locked_since
+        return total
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time the variable was locked."""
+        now = self.sim.now
+        if now == 0:
+            return 0.0
+        return self.locked_time() / now

@@ -1,0 +1,90 @@
+"""The generic RTOS model -- the paper's contribution.
+
+Map MCSE functions onto a :class:`Processor` and the simulation accounts
+for task serialization, the scheduling policy, preemptive/non-preemptive
+mode, and the three RTOS overhead components (scheduling duration,
+context-load and context-save durations), with time-accurate preemption
+independent of any clock.
+
+Two interchangeable engines implement the model, mirroring the paper's
+§4: the default procedure-call engine (fast, §4.2) and the dedicated
+RTOS-thread engine (§4.1).  ``make_processor`` selects one by name.
+"""
+
+from ..errors import RTOSError
+from .interrupts import EventInterrupt, PeriodicInterrupt, attach_isr
+from .overheads import NO_OVERHEAD, Overheads
+from .policies import (
+    EDFPolicy,
+    FifoPolicy,
+    LeastLaxityPolicy,
+    LotteryPolicy,
+    POLICIES,
+    PriorityPreemptivePolicy,
+    PriorityRoundRobinPolicy,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+    make_policy,
+)
+from .partitions import TimePartitionPolicy
+from .procedural import ProceduralContext, ProceduralProcessor
+from .processor import ProcessorBase
+from .servers import AperiodicRequest, DeferrableServer, PollingServer
+from .services import CeilingSharedVariable, InheritanceSharedVariable
+from .states import ALLOWED_TRANSITIONS, check_transition
+from .tcb import Task
+from .threaded import ThreadedContext, ThreadedProcessor
+from .watchdog import DeadlineWatchdog
+
+#: Engine registry for ``make_processor`` and the declarative builder.
+ENGINES = {
+    "procedural": ProceduralProcessor,
+    "threaded": ThreadedProcessor,
+}
+
+
+def make_processor(sim, name, engine: str = "procedural", **kwargs):
+    """Create a processor using the selected RTOS engine."""
+    try:
+        cls = ENGINES[engine]
+    except KeyError:
+        raise RTOSError(
+            f"unknown RTOS engine {engine!r}; pick one of {sorted(ENGINES)}"
+        ) from None
+    return cls(sim, name, **kwargs)
+
+
+__all__ = [
+    "ALLOWED_TRANSITIONS",
+    "AperiodicRequest",
+    "CeilingSharedVariable",
+    "DeadlineWatchdog",
+    "DeferrableServer",
+    "PollingServer",
+    "EDFPolicy",
+    "ENGINES",
+    "EventInterrupt",
+    "FifoPolicy",
+    "InheritanceSharedVariable",
+    "LeastLaxityPolicy",
+    "LotteryPolicy",
+    "NO_OVERHEAD",
+    "Overheads",
+    "POLICIES",
+    "PeriodicInterrupt",
+    "PriorityPreemptivePolicy",
+    "PriorityRoundRobinPolicy",
+    "ProceduralContext",
+    "ProceduralProcessor",
+    "ProcessorBase",
+    "RoundRobinPolicy",
+    "SchedulingPolicy",
+    "Task",
+    "ThreadedContext",
+    "TimePartitionPolicy",
+    "ThreadedProcessor",
+    "attach_isr",
+    "check_transition",
+    "make_policy",
+    "make_processor",
+]

@@ -1,0 +1,86 @@
+"""RTOS timing overheads (paper §3.2).
+
+The RTOS contribution to system timing is modelled by three parameters:
+
+* **scheduling duration** -- time the RTOS spends selecting a ready task;
+* **context-load duration** -- time to load the chosen task's context;
+* **context-save duration** -- time to save the suspended task's context.
+
+Each may be a fixed time or a *user formula*: a callable evaluated
+against the live processor state at the moment the overhead is incurred,
+"according to the current state of the simulated system (number of ready
+tasks for example)".  Formulas receive the :class:`Processor` so they can
+inspect ``processor.ready_count``, ``processor.task_count``, the policy,
+simulated time, and so on.
+
+Example -- an O(n) scheduler on a 100 MHz core::
+
+    overheads = Overheads(
+        scheduling=lambda cpu: (20 + 4 * cpu.ready_count) * 10 * NS,
+        context_load=2 * US,
+        context_save=2 * US,
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+from ..errors import RTOSError
+from ..kernel.time import Time
+
+#: An overhead component: constant femtoseconds or formula(processor).
+OverheadSpec = Union[int, Callable[["object"], Time]]
+
+
+class Overheads:
+    """The three overhead components of the RTOS model."""
+
+    def __init__(
+        self,
+        scheduling: OverheadSpec = 0,
+        context_load: OverheadSpec = 0,
+        context_save: OverheadSpec = 0,
+    ) -> None:
+        self._scheduling = self._validate("scheduling", scheduling)
+        self._context_load = self._validate("context_load", context_load)
+        self._context_save = self._validate("context_save", context_save)
+
+    @staticmethod
+    def _validate(name: str, spec: OverheadSpec) -> OverheadSpec:
+        if callable(spec):
+            return spec
+        if isinstance(spec, bool) or not isinstance(spec, int):
+            raise RTOSError(
+                f"{name} overhead must be an int time or a callable, "
+                f"got {spec!r}"
+            )
+        if spec < 0:
+            raise RTOSError(f"negative {name} overhead: {spec}")
+        return spec
+
+    @staticmethod
+    def _resolve(spec: OverheadSpec, processor) -> Time:
+        value = spec(processor) if callable(spec) else spec
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise RTOSError(
+                f"overhead formula returned {value!r}; expected a "
+                "non-negative int time"
+            )
+        return value
+
+    def scheduling(self, processor) -> Time:
+        """Scheduling duration at this instant on ``processor``."""
+        return self._resolve(self._scheduling, processor)
+
+    def context_load(self, processor) -> Time:
+        """Context-load duration at this instant on ``processor``."""
+        return self._resolve(self._context_load, processor)
+
+    def context_save(self, processor) -> Time:
+        """Context-save duration at this instant on ``processor``."""
+        return self._resolve(self._context_save, processor)
+
+
+#: A zero-cost RTOS (useful for functional-only simulation).
+NO_OVERHEAD = Overheads()

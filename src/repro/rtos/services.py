@@ -1,0 +1,141 @@
+"""RTOS-level synchronization services beyond the plain MCSE relations.
+
+The paper points out (Figure 7) that shared-variable blocking produces
+priority inversion, and proposes disabling preemption around the access
+as the fix.  Real RTOSes offer two more fixes; both are implemented here
+as shared-variable subclasses, so all three solutions can be compared on
+the same model (the ``bench_fig7`` benchmark does exactly that):
+
+* :class:`InheritanceSharedVariable` -- priority inheritance: while a
+  higher-priority task waits, the owner inherits its priority;
+* :class:`CeilingSharedVariable` -- immediate priority ceiling: an owner
+  runs at the resource's ceiling priority for the whole critical section.
+
+Both act through :attr:`Task.inherited_priority`, which every
+priority-based policy reads via ``effective_priority``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..kernel.simulator import Simulator
+from ..mcse.shared import SharedVariable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..mcse.function import Function
+    from .tcb import Task
+
+
+def _task_of(function: Optional["Function"]) -> Optional["Task"]:
+    if function is None:
+        return None
+    return function.task
+
+
+class InheritanceSharedVariable(SharedVariable):
+    """A shared variable with the priority-inheritance protocol.
+
+    When a waiter with higher effective priority than the owner blocks,
+    the owner is boosted to that priority until it unlocks.  Boosting a
+    Ready owner re-triggers a scheduling decision so the inversion ends
+    immediately, not at the next RTOS call.
+
+    Inheritance is **transitive**: if the boosted owner is itself
+    blocked on another inheritance variable, that variable's owner
+    inherits too, through arbitrary chains (cycles are tolerated and
+    simply stop the walk -- they are a model deadlock anyway).
+    """
+
+    def _enqueue_waiter(self, function, payload=None):
+        waiter = super()._enqueue_waiter(function, payload)
+        self._propagate_inheritance()
+        return waiter
+
+    def _propagate_inheritance(self, _visited=None) -> None:
+        owner_task = _task_of(self.owner)
+        if owner_task is None or not self._waiters:
+            return
+        visited = _visited if _visited is not None else set()
+        if id(self) in visited:
+            return  # chain cycle: a resource deadlock in the model
+        visited.add(id(self))
+        top = max(
+            (
+                w.function.task.effective_priority
+                for w in self._waiters
+                if w.function is not None and w.function.task is not None
+            ),
+            default=None,
+        )
+        if top is None:
+            return
+        if top > owner_task.effective_priority:
+            owner_task.inherited_priority = top
+            self._reconsider(owner_task)
+            # transitive step: the owner may itself be blocked on
+            # another inheritance variable further down the chain
+            next_hop = owner_task.blocked_on
+            if isinstance(next_hop, InheritanceSharedVariable):
+                next_hop._propagate_inheritance(visited)
+
+    def unlock(self, function) -> None:
+        owner_task = _task_of(self.owner)
+        super().unlock(function)
+        if owner_task is not None:
+            owner_task.inherited_priority = None
+        # the handoff may have boosted the new owner already
+        self._propagate_inheritance()
+
+    @staticmethod
+    def _reconsider(owner_task: "Task") -> None:
+        """A boosted Ready owner may now deserve the CPU."""
+        from ..trace.records import TaskState
+
+        cpu = owner_task.processor
+        if (
+            owner_task.state is TaskState.READY
+            and cpu.running is not None
+            and cpu.preemptive
+            and cpu.policy.should_preempt(cpu, cpu.running, owner_task)
+        ):
+            cpu.request_preempt(cpu.running, owner_task)
+
+
+class CeilingSharedVariable(SharedVariable):
+    """A shared variable with the immediate-priority-ceiling protocol.
+
+    Every owner runs at ``ceiling`` (which must be at least the highest
+    priority of any user) for the whole critical section, preventing both
+    priority inversion and deadlocks among ceiling resources.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "shared",
+        initial: object = None,
+        *,
+        ceiling: int,
+        wake_order: str = "fifo",
+    ) -> None:
+        super().__init__(sim, name, initial, wake_order)
+        self.ceiling = ceiling
+
+    def _take(self, function) -> None:
+        super()._take(function)
+        task = _task_of(function)
+        if task is not None:
+            self._saved_inherited = task.inherited_priority
+            task.inherited_priority = max(
+                self.ceiling,
+                task.inherited_priority
+                if task.inherited_priority is not None
+                else self.ceiling,
+            )
+
+    def unlock(self, function) -> None:
+        task = _task_of(self.owner)
+        super().unlock(function)
+        if task is not None:
+            task.inherited_priority = getattr(self, "_saved_inherited", None)

@@ -1,0 +1,44 @@
+"""The RTOS task state machine (paper Figures 2 and 4).
+
+Each task on an RTOS is, at any moment, in exactly one of the states of
+§4: *Waiting* (for a synchronization), *Running* (on the processor) or
+*Ready* (waiting to be selected), extended at the boundaries of life with
+*Created* and *Terminated*, which the TimeLine chart also displays.
+
+:data:`ALLOWED_TRANSITIONS` encodes the edges of Figure 2/4 exactly; the
+task control block refuses anything else, which has caught several
+scheduler bugs in development and keeps the model honest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from ..errors import TaskStateError
+from ..trace.records import TaskState
+
+#: Legal state transitions of an RTOS task (paper Figures 2 and 4).
+ALLOWED_TRANSITIONS: Dict[TaskState, FrozenSet[TaskState]] = {
+    TaskState.CREATED: frozenset({TaskState.READY}),
+    TaskState.READY: frozenset({TaskState.RUNNING}),
+    TaskState.RUNNING: frozenset(
+        {
+            TaskState.READY,  # preempted
+            TaskState.WAITING,  # blocked on a synchronization
+            TaskState.WAITING_RESOURCE,  # blocked on a mutual exclusion
+            TaskState.TERMINATED,
+        }
+    ),
+    TaskState.WAITING: frozenset({TaskState.READY}),
+    TaskState.WAITING_RESOURCE: frozenset({TaskState.READY}),
+    TaskState.TERMINATED: frozenset(),
+}
+
+
+def check_transition(task_name: str, current: TaskState, new: TaskState) -> None:
+    """Raise :class:`TaskStateError` unless ``current -> new`` is legal."""
+    if new not in ALLOWED_TRANSITIONS[current]:
+        raise TaskStateError(
+            f"task {task_name!r}: illegal transition "
+            f"{current.value} -> {new.value}"
+        )

@@ -1,0 +1,68 @@
+"""Trace recording, TimeLine charts, statistics and exporters.
+
+The result-exploitation layer of the paper's §5: attach a
+:class:`TraceRecorder` to a simulator, run, then build a
+:class:`TimelineChart` (ASCII or SVG), compute the Figure-8 statistics,
+or export to VCD for a waveform viewer.
+"""
+
+from .records import (
+    AccessKind,
+    AccessRecord,
+    InterruptRecord,
+    MarkerRecord,
+    OverheadKind,
+    OverheadRecord,
+    PreemptionRecord,
+    StateRecord,
+    TaskState,
+    TraceRecord,
+)
+from .diff import TraceDivergence, diff_traces, format_diff, traces_equal
+from .html import render_report, save_report
+from .recorder import TraceRecorder
+from .statistics import (
+    RelationStats,
+    TaskStats,
+    format_report,
+    relation_stats,
+    task_stats_from_functions,
+    task_stats_from_records,
+)
+from .svg import render_svg, save_svg
+from .timeline import Arrow, OverheadWindow, Segment, TimelineChart
+from .vcd import save_vcd, write_vcd
+
+__all__ = [
+    "AccessKind",
+    "AccessRecord",
+    "Arrow",
+    "InterruptRecord",
+    "MarkerRecord",
+    "OverheadKind",
+    "OverheadRecord",
+    "OverheadWindow",
+    "PreemptionRecord",
+    "RelationStats",
+    "Segment",
+    "StateRecord",
+    "TaskState",
+    "TaskStats",
+    "TimelineChart",
+    "TraceDivergence",
+    "TraceRecord",
+    "TraceRecorder",
+    "diff_traces",
+    "format_diff",
+    "traces_equal",
+    "format_report",
+    "relation_stats",
+    "render_report",
+    "render_svg",
+    "save_report",
+    "save_svg",
+    "save_vcd",
+    "task_stats_from_functions",
+    "task_stats_from_records",
+    "write_vcd",
+]

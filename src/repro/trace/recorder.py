@@ -1,0 +1,174 @@
+"""The trace recorder: collects records and serves typed views.
+
+Attach a recorder to a simulator and every layer starts emitting::
+
+    recorder = TraceRecorder(sim)     # attaches itself
+    ... run ...
+    recorder.state_records("Function_1")
+    recorder.save_jsonl("trace.jsonl")
+
+Recording costs one list append per record; with no recorder attached
+the emission sites are no-ops, so long benchmark runs can go untraced.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Callable, Iterable, List, Optional, Type
+
+from ..kernel.simulator import Simulator
+from ..kernel.time import Time
+from .records import (
+    AccessRecord,
+    InterruptRecord,
+    MarkerRecord,
+    OverheadRecord,
+    PreemptionRecord,
+    StateRecord,
+    TraceRecord,
+)
+
+
+class TraceRecorder:
+    """An append-only store of trace records with typed accessors."""
+
+    def __init__(self, sim: Optional[Simulator] = None,
+                 limit: Optional[int] = None) -> None:
+        self.records: List[TraceRecord] = []
+        self.limit = limit
+        self.dropped = 0
+        self.sim = sim
+        if sim is not None:
+            sim.set_recorder(self)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def add(self, record: TraceRecord) -> None:
+        if self.limit is not None and len(self.records) >= self.limit:
+            self.dropped += 1
+            return
+        self.records.append(record)
+
+    def mark(self, label: str, task: Optional[str] = None) -> None:
+        """Insert a free-form marker at the current time."""
+        time = self.sim.now if self.sim is not None else 0
+        self.add(MarkerRecord(time, label, task))
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    # Typed views
+    # ------------------------------------------------------------------
+    def of_type(self, record_type: Type[TraceRecord],
+                predicate: Optional[Callable] = None) -> List[TraceRecord]:
+        out = [r for r in self.records if type(r) is record_type]
+        if predicate is not None:
+            out = [r for r in out if predicate(r)]
+        return out
+
+    def state_records(self, task: Optional[str] = None) -> List[StateRecord]:
+        records = self.of_type(StateRecord)
+        if task is not None:
+            records = [r for r in records if r.task == task]
+        return records
+
+    def accesses(self, relation: Optional[str] = None) -> List[AccessRecord]:
+        records = self.of_type(AccessRecord)
+        if relation is not None:
+            records = [r for r in records if r.relation == relation]
+        return records
+
+    def overheads(self, processor: Optional[str] = None) -> List[OverheadRecord]:
+        records = self.of_type(OverheadRecord)
+        if processor is not None:
+            records = [r for r in records if r.processor == processor]
+        return records
+
+    def preemptions(self) -> List[PreemptionRecord]:
+        return self.of_type(PreemptionRecord)
+
+    def interrupts(self) -> List[InterruptRecord]:
+        return self.of_type(InterruptRecord)
+
+    def markers(self) -> List[MarkerRecord]:
+        return self.of_type(MarkerRecord)
+
+    def tasks(self) -> List[str]:
+        """Names of all tasks that ever changed state, in first-seen order."""
+        seen = {}
+        for record in self.of_type(StateRecord):
+            seen.setdefault(record.task, None)
+        return list(seen)
+
+    def between(self, start: Time, end: Time) -> List[TraceRecord]:
+        """Records with start <= time < end."""
+        return [r for r in self.records if start <= r.time < end]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dicts(self) -> Iterable[dict]:
+        for record in self.records:
+            data = asdict(record)
+            data["type"] = type(record).__name__
+            for key, value in list(data.items()):
+                if hasattr(value, "value"):  # enums
+                    data[key] = value.value
+            yield data
+
+    def save_jsonl(self, path: str) -> None:
+        """Write one JSON object per record (enums as their value strings)."""
+        with open(path, "w") as handle:
+            for data in self.to_dicts():
+                handle.write(json.dumps(data, default=repr) + "\n")
+
+    @classmethod
+    def load_jsonl(cls, path: str) -> "TraceRecorder":
+        """Rebuild a recorder from a save_jsonl file (offline analysis).
+
+        Payload ``value`` fields that were repr-serialized come back as
+        strings; everything the timeline/statistics pipelines use
+        (times, tasks, states, kinds) round-trips exactly.
+        """
+        from .records import (
+            AccessKind,
+            OverheadKind,
+            TaskState,
+        )
+
+        type_map = {
+            "StateRecord": StateRecord,
+            "AccessRecord": AccessRecord,
+            "OverheadRecord": OverheadRecord,
+            "PreemptionRecord": PreemptionRecord,
+            "InterruptRecord": InterruptRecord,
+            "MarkerRecord": MarkerRecord,
+        }
+        enum_fields = {
+            ("StateRecord", "state"): TaskState,
+            ("AccessRecord", "kind"): AccessKind,
+            ("OverheadRecord", "kind"): OverheadKind,
+        }
+        recorder = cls()
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                data = json.loads(line)
+                type_name = data.pop("type")
+                record_cls = type_map.get(type_name)
+                if record_cls is None:
+                    continue  # unknown/future record kinds are skipped
+                for (owner, field), enum_cls in enum_fields.items():
+                    if owner == type_name and field in data:
+                        data[field] = enum_cls(data[field])
+                recorder.add(record_cls(**data))
+        return recorder

@@ -1,0 +1,129 @@
+"""VCD (Value Change Dump) export of traces.
+
+Writes an IEEE-1364-style VCD file so task states and processor activity
+can be inspected in any waveform viewer (GTKWave and friends).  Each
+task becomes a string-valued variable holding its state; each processor
+gets a string variable holding the running task's name plus a wire that
+pulses on preemptions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TextIO
+
+from ..kernel.time import Time
+from .records import PreemptionRecord, StateRecord
+from .recorder import TraceRecorder
+
+#: VCD identifier alphabet (printable ASCII as per the standard).
+_ID_ALPHABET = [chr(c) for c in range(33, 127)]
+
+
+def _identifier(index: int) -> str:
+    """Dense VCD identifier for variable ``index``."""
+    chars = []
+    index += 1
+    while index:
+        index, digit = divmod(index - 1, len(_ID_ALPHABET))
+        chars.append(_ID_ALPHABET[digit])
+    return "".join(chars)
+
+
+def write_vcd(
+    recorder: TraceRecorder,
+    handle: TextIO,
+    timescale: str = "1fs",
+    date: str = "simulation",
+) -> None:
+    """Serialize the recorder's state/preemption records as VCD."""
+    state_records = recorder.of_type(StateRecord)
+    preemptions = recorder.of_type(PreemptionRecord)
+
+    tasks: List[str] = []
+    processors: List[str] = []
+    for record in state_records:
+        if record.task not in tasks:
+            tasks.append(record.task)
+        if record.processor and record.processor not in processors:
+            processors.append(record.processor)
+    for record in preemptions:
+        if record.processor not in processors:
+            processors.append(record.processor)
+
+    task_ids: Dict[str, str] = {}
+    cpu_ids: Dict[str, str] = {}
+    preempt_ids: Dict[str, str] = {}
+    counter = 0
+    for task in tasks:
+        task_ids[task] = _identifier(counter)
+        counter += 1
+    for cpu in processors:
+        cpu_ids[cpu] = _identifier(counter)
+        counter += 1
+        preempt_ids[cpu] = _identifier(counter)
+        counter += 1
+
+    handle.write(f"$date {date} $end\n")
+    handle.write("$version pyrtos-sc trace export $end\n")
+    handle.write(f"$timescale {timescale} $end\n")
+    handle.write("$scope module system $end\n")
+    for task, ident in task_ids.items():
+        safe = task.replace(" ", "_")
+        handle.write(f"$var string 1 {ident} {safe}_state $end\n")
+    for cpu in processors:
+        safe = cpu.replace(" ", "_")
+        handle.write(f"$var string 1 {cpu_ids[cpu]} {safe}_running $end\n")
+        handle.write(f"$var wire 1 {preempt_ids[cpu]} {safe}_preempt $end\n")
+    handle.write("$upscope $end\n$enddefinitions $end\n")
+
+    # initial values
+    handle.write("#0\n")
+    for ident in task_ids.values():
+        handle.write(f"sUNBORN {ident}\n")
+    for cpu in processors:
+        handle.write(f"sidle {cpu_ids[cpu]}\n")
+        handle.write(f"0{preempt_ids[cpu]}\n")
+
+    # merge records in time order (recorder preserves it already)
+    running: Dict[str, str] = {}
+    events = sorted(
+        [(r.time, 0, r) for r in state_records]
+        + [(r.time, 1, r) for r in preemptions],
+        key=lambda item: (item[0], item[1]),
+    )
+    last_time: Optional[Time] = 0
+    pulse_resets: List[str] = []
+    for time, _, record in events:
+        if time != last_time:
+            # close preemption pulses one step after they were raised
+            if pulse_resets:
+                handle.write(f"#{last_time + 1}\n")
+                for ident in pulse_resets:
+                    handle.write(f"0{ident}\n")
+                pulse_resets = []
+            handle.write(f"#{time}\n")
+            last_time = time
+        if isinstance(record, StateRecord):
+            handle.write(f"s{record.state.value} {task_ids[record.task]}\n")
+            if record.processor:
+                cpu = record.processor
+                if record.state.value == "running":
+                    running[cpu] = record.task
+                    handle.write(f"s{record.task} {cpu_ids[cpu]}\n")
+                elif running.get(cpu) == record.task:
+                    running.pop(cpu, None)
+                    handle.write(f"sidle {cpu_ids[cpu]}\n")
+        else:
+            ident = preempt_ids[record.processor]
+            handle.write(f"1{ident}\n")
+            pulse_resets.append(ident)
+    if pulse_resets and last_time is not None:
+        handle.write(f"#{last_time + 1}\n")
+        for ident in pulse_resets:
+            handle.write(f"0{ident}\n")
+
+
+def save_vcd(recorder: TraceRecorder, path: str, **kwargs) -> None:
+    """Write the recorder contents to a VCD file at ``path``."""
+    with open(path, "w") as handle:
+        write_vcd(recorder, handle, **kwargs)

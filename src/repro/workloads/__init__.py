@@ -1,0 +1,45 @@
+"""Workload generators: synthetic task sets, control loops, MPEG-2 SoC."""
+
+from .automotive import AutomotiveResult, build_automotive_system
+from .control import ControlLoop, build_control_system, default_loops
+from .distributions import (
+    Bimodal,
+    Constant,
+    Distribution,
+    Empirical,
+    Exponential,
+    Normal,
+    Uniform,
+)
+from .mpeg2 import FRAME_PERIOD, FrameStats, GOP_PATTERN, Mpeg2Soc
+from .synthetic import (
+    PeriodicRunResult,
+    build_periodic_system,
+    generate_periodic_taskset,
+    random_pipeline_spec,
+    uunifast,
+)
+
+__all__ = [
+    "AutomotiveResult",
+    "Bimodal",
+    "Constant",
+    "ControlLoop",
+    "Distribution",
+    "Empirical",
+    "Exponential",
+    "Normal",
+    "Uniform",
+    "build_automotive_system",
+    "FRAME_PERIOD",
+    "FrameStats",
+    "GOP_PATTERN",
+    "Mpeg2Soc",
+    "PeriodicRunResult",
+    "build_control_system",
+    "build_periodic_system",
+    "default_loops",
+    "generate_periodic_taskset",
+    "random_pipeline_spec",
+    "uunifast",
+]

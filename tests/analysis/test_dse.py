@@ -1,0 +1,132 @@
+"""Tests for the design-space exploration driver."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.kernel.time import MS, US
+from repro.analysis import (
+    Parameter,
+    configurations,
+    explore,
+    pareto_front,
+    tabulate,
+)
+from repro.analysis.dse import ExplorationResult
+from repro.mcse import System
+
+
+class TestConfigurations:
+    def test_cross_product_deterministic(self):
+        space = [
+            Parameter("a", [1, 2]),
+            Parameter("b", ["x", "y", "z"]),
+        ]
+        configs = configurations(space)
+        assert len(configs) == 6
+        assert configs[0] == {"a": 1, "b": "x"}
+        assert configs[-1] == {"a": 2, "b": "z"}
+        assert configurations(space) == configs
+
+    def test_empty_parameter_rejected(self):
+        with pytest.raises(ReproError):
+            Parameter("a", [])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ReproError):
+            configurations([Parameter("a", [1]), Parameter("a", [2])])
+
+
+def simple_build(config):
+    """A one-task system whose duration depends on the config."""
+    system = System("dse")
+    cpu = system.processor(
+        "cpu", scheduling_duration=config["overhead"],
+    )
+
+    def body(fn):
+        yield from fn.execute(config["work"])
+
+    cpu.map(system.function("t", body))
+    return system
+
+
+def simple_metrics(config, system):
+    return {
+        "end": system.now,
+        "overhead": system.processors["cpu"].overhead_time,
+    }
+
+
+class TestExplore:
+    def test_runs_every_point(self):
+        space = [
+            Parameter("overhead", [0, 5 * US]),
+            Parameter("work", [10 * US, 20 * US]),
+        ]
+        results = explore(space, simple_build, simple_metrics)
+        assert len(results) == 4
+        ends = {tuple(r.config.values()): r.metrics["end"] for r in results}
+        # zero-overhead 10us work finishes at 10us + final sched (0)
+        assert ends[(0, 10 * US)] == 10 * US
+        # 5us overhead adds the dispatch & terminate scheduling passes
+        assert ends[(5 * US, 10 * US)] == 20 * US
+
+    def test_on_point_callback(self):
+        seen = []
+        space = [Parameter("overhead", [0]), Parameter("work", [1 * US])]
+        explore(space, simple_build, simple_metrics,
+                on_point=lambda r: seen.append(r.config))
+        assert seen == [{"overhead": 0, "work": 1 * US}]
+
+    def test_result_getitem(self):
+        result = ExplorationResult(
+            config={"a": 1}, metrics={"m": 2}, simulated_time=0
+        )
+        assert result["a"] == 1
+        assert result["m"] == 2
+
+
+class TestPareto:
+    def make(self, latency, misses):
+        return ExplorationResult(
+            config={}, metrics={"latency": latency, "misses": misses},
+            simulated_time=0,
+        )
+
+    def test_front_excludes_dominated(self):
+        a = self.make(10, 0)
+        b = self.make(5, 2)
+        c = self.make(12, 1)  # dominated by a
+        front = pareto_front([a, b, c], minimize=("latency", "misses"))
+        assert a in front and b in front and c not in front
+
+    def test_identical_points_both_kept(self):
+        a = self.make(1, 1)
+        b = self.make(1, 1)
+        front = pareto_front([a, b], minimize=("latency", "misses"))
+        assert len(front) == 2
+
+    def test_empty_metric_list_rejected(self):
+        with pytest.raises(ReproError):
+            pareto_front([], minimize=())
+
+
+class TestTabulate:
+    def test_renders_all_rows(self):
+        space = [Parameter("overhead", [0, 5 * US])]
+
+        def build(config):
+            config["work"] = 10 * US
+            return simple_build(config)
+
+        results = explore(space, build, simple_metrics)
+        text = tabulate(results, columns=["overhead", "end"])
+        assert "overhead" in text
+        assert len(text.splitlines()) == 3
+
+    def test_empty(self):
+        assert tabulate([]) == "(no results)"
+
+    def test_missing_column_dash(self):
+        result = ExplorationResult(config={}, metrics={}, simulated_time=0)
+        assert "-" in tabulate([result], columns=["ghost"])

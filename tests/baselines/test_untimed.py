@@ -1,0 +1,49 @@
+"""Tests for the untimed fully-concurrent baseline."""
+
+from repro.baselines import build_untimed, strip_mapping
+from repro.kernel.time import US
+from repro.mcse import build_system
+
+from ..mcse.test_builder import fig6_spec
+
+
+class TestStripMapping:
+    def test_removes_processors_and_mappings(self):
+        spec = fig6_spec()
+        stripped = strip_mapping(spec)
+        assert "processors" not in stripped
+        assert all("processor" not in f for f in stripped["functions"])
+
+    def test_original_untouched(self):
+        spec = fig6_spec()
+        strip_mapping(spec)
+        assert spec["processors"]
+        assert any("processor" in f for f in spec["functions"])
+
+
+class TestUntimedBaseline:
+    def test_all_functions_are_hardware(self):
+        system = build_untimed(fig6_spec())
+        assert all(fn.task is None for fn in system.functions.values())
+
+    def test_untimed_is_faster_than_rtos_mapped(self):
+        """Serialization + overheads must lengthen the mapped run: the
+        paper's point that functional simulation alone misses platform
+        effects."""
+        untimed = build_untimed(fig6_spec())
+        untimed_end = untimed.run()
+        mapped = build_system(fig6_spec())
+        mapped_end = mapped.run()
+        assert untimed_end < mapped_end
+
+    def test_untimed_durations_are_nominal(self):
+        """Without a processor, Function_3 finishes after exactly its
+        200us of compute (fully concurrent, no overheads)."""
+        system = build_untimed(fig6_spec())
+        system.run()
+        from repro.trace.records import TaskState
+
+        f3 = system.functions["Function_3"]
+        assert f3.state_durations[TaskState.RUNNING] == 200 * US
+        # ... and with zero ready (serialization) time
+        assert f3.state_durations[TaskState.READY] == 0

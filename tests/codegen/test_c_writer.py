@@ -1,0 +1,147 @@
+"""Tests for C code generation (paper §6 future work)."""
+
+import shutil
+import subprocess
+
+import pytest
+
+from repro.codegen import CWriter, c_identifier, generate_c
+from repro.errors import BuildError
+
+from ..mcse.test_builder import fig6_spec
+
+HAS_CC = shutil.which("cc") is not None
+
+
+class TestIdentifiers:
+    def test_plain_name(self):
+        assert c_identifier("Function_1") == "Function_1"
+
+    def test_specials_replaced(self):
+        assert c_identifier("my.event-1") == "my_event_1"
+
+    def test_leading_digit(self):
+        assert c_identifier("1shot") == "_1shot"
+
+    def test_empty(self):
+        assert c_identifier("") == "_"
+
+
+class TestGeneration:
+    def test_all_three_files(self):
+        files = generate_c(fig6_spec())
+        assert set(files) == {"rtos_api.h", "rtos_port_posix.c", "app.c"}
+
+    def test_app_structure(self):
+        app = generate_c(fig6_spec())["app.c"]
+        # one task function per model function
+        for name in ("Function_1", "Function_2", "Function_3", "Clock"):
+            assert f"static void task_{name}(void *arg)" in app
+        # relations declared and created with the right policies
+        assert "static rtos_event_t *Clk;" in app
+        assert 'rtos_event_create("Clk", RTOS_EVENT_FUGITIVE);' in app
+        assert 'rtos_event_create("Event_1", RTOS_EVENT_BOOLEAN);' in app
+        # behaviors translated op for op
+        assert "rtos_event_wait(Clk);" in app
+        assert "rtos_busy_us(20);" in app
+        assert "rtos_event_signal(Event_1);" in app
+        assert "rtos_delay_us(100);" in app
+        # tasks registered with their model priorities
+        assert 'rtos_task_create("Function_1", task_Function_1, 0, 5);' in app
+        assert "rtos_start();" in app
+
+    def test_queue_and_shared_ops(self):
+        spec = {
+            "name": "qs",
+            "relations": [
+                {"kind": "queue", "name": "q", "capacity": 4},
+                {"kind": "shared", "name": "sv", "initial": 7},
+            ],
+            "functions": [
+                {"name": "p", "script": [
+                    ["loop", 3, [["write", "q", 42]]],
+                    ["write_shared", "sv", 9],
+                ]},
+                {"name": "c", "script": [
+                    ["loop", 3, [["read", "q"]]],
+                    ["lock", "sv"], ["unlock", "sv"],
+                    ["read_shared", "sv"],
+                ]},
+            ],
+        }
+        app = generate_c(spec)["app.c"]
+        assert "rtos_queue_send(q, 42);" in app
+        assert "(void)rtos_queue_recv(q);" in app
+        assert "rtos_mutex_lock(sv_mutex);" in app
+        assert "sv_value = 9;" in app
+        assert 'rtos_queue_create("q", 4);' in app
+        assert "sv_value = 7;" in app  # initial value
+
+    def test_infinite_loop(self):
+        spec = {
+            "relations": [],
+            "functions": [
+                {"name": "spin",
+                 "script": [["loop", None, [["delay", "1us"]]]]}
+            ],
+        }
+        app = generate_c(spec)["app.c"]
+        assert "for (;;) {" in app
+
+    def test_python_behavior_becomes_stub(self):
+        def body(fn):
+            yield from fn.execute(1)
+
+        spec = {"relations": [], "functions": [{"name": "f", "behavior": body}]}
+        app = generate_c(spec)["app.c"]
+        assert "TODO" in app
+
+    def test_set_preemptive(self):
+        spec = {
+            "relations": [],
+            "functions": [
+                {"name": "f", "script": [["set_preemptive", False],
+                                          ["set_preemptive", True]]}
+            ],
+        }
+        app = generate_c(spec)["app.c"]
+        assert "rtos_set_preemptive(0);" in app
+        assert "rtos_set_preemptive(1);" in app
+
+    def test_unknown_relation_rejected(self):
+        spec = {"relations": [],
+                "functions": [{"name": "f", "script": [["wait", "ghost"]]}]}
+        with pytest.raises(BuildError):
+            generate_c(spec)
+
+    def test_write_to_directory(self, tmp_path):
+        paths = generate_c(fig6_spec(), str(tmp_path))
+        assert len(paths) == 3
+        assert (tmp_path / "app.c").exists()
+
+
+@pytest.mark.skipif(not HAS_CC, reason="no C compiler available")
+class TestCompilation:
+    def test_fig6_compiles(self, tmp_path):
+        generate_c(fig6_spec(), str(tmp_path))
+        binary = tmp_path / "app"
+        subprocess.run(
+            ["cc", "-O1", "-Wall", "-Werror", "app.c", "rtos_port_posix.c",
+             "-lpthread", "-o", str(binary)],
+            cwd=tmp_path, check=True, capture_output=True,
+        )
+        assert binary.exists()
+
+    def test_generated_binary_runs(self, tmp_path):
+        """The generated Fig-6 application actually executes on POSIX."""
+        generate_c(fig6_spec(), str(tmp_path))
+        binary = tmp_path / "app"
+        subprocess.run(
+            ["cc", "-O1", "app.c", "rtos_port_posix.c", "-lpthread",
+             "-o", str(binary)],
+            cwd=tmp_path, check=True, capture_output=True,
+        )
+        result = subprocess.run(
+            [str(binary)], timeout=30, capture_output=True
+        )
+        assert result.returncode == 0

@@ -1,0 +1,194 @@
+"""Tests for bus-mapped (remote) queues, including RTOS integration."""
+
+import pytest
+
+from repro.comm import Bus, RemoteQueue
+from repro.kernel.time import NS, US
+from repro.mcse import System
+
+
+def make_remote(system, bus, **kwargs):
+    queue = RemoteQueue(system.sim, "rq", bus=bus, **kwargs)
+    system.relations["rq"] = queue
+    return queue
+
+
+class TestTransferDelay:
+    def test_message_arrives_after_bus_latency(self):
+        system = System("t")
+        bus = Bus(system.sim, "bus", setup=10 * US)
+        rq = make_remote(system, bus)
+        got = []
+
+        def producer(fn):
+            yield from fn.write(rq, "msg")  # posted write: returns at 0
+
+        def consumer(fn):
+            item = yield from fn.read(rq)
+            got.append((system.now, item))
+
+        system.function("p", producer)
+        system.function("c", consumer)
+        system.run()
+        assert got == [(10 * US, "msg")]
+
+    def test_writer_not_blocked_by_bus(self):
+        system = System("t")
+        bus = Bus(system.sim, "bus", setup=50 * US)
+        rq = make_remote(system, bus)
+        times = []
+
+        def producer(fn):
+            yield from fn.write(rq, 1)
+            times.append(system.now)
+            yield from fn.execute(1 * US)
+
+        system.function("p", producer)
+        system.run()
+        assert times == [0]  # posted write
+
+    def test_sizer_controls_duration(self):
+        system = System("t")
+        bus = Bus(system.sim, "bus", per_byte=1 * US)
+        rq = make_remote(system, bus, sizer=lambda item: len(item))
+        got = []
+
+        def producer(fn):
+            yield from fn.write(rq, "abc")     # 3 bytes -> 3us
+            yield from fn.write(rq, "abcdef")  # 6 bytes -> +6us
+
+        def consumer(fn):
+            for _ in range(2):
+                item = yield from fn.read(rq)
+                got.append((system.now, item))
+
+        system.function("p", producer)
+        system.function("c", consumer)
+        system.run()
+        assert got == [(3 * US, "abc"), (9 * US, "abcdef")]
+
+    def test_bus_contention_between_queues(self):
+        """Two queues sharing one bus serialize their transfers."""
+        system = System("t")
+        bus = Bus(system.sim, "bus", setup=10 * US)
+        q1 = RemoteQueue(system.sim, "q1", bus=bus)
+        q2 = RemoteQueue(system.sim, "q2", bus=bus)
+        got = []
+
+        def producer(fn):
+            yield from fn.write(q1, "a")
+            yield from fn.write(q2, "b")
+
+        def consumer(queue, tag):
+            def body(fn):
+                yield from fn.read(queue)
+                got.append((tag, system.now))
+
+            return body
+
+        system.function("p", producer)
+        system.function("c1", consumer(q1, "q1"))
+        system.function("c2", consumer(q2, "q2"))
+        system.run()
+        assert sorted(got) == [("q1", 10 * US), ("q2", 20 * US)]
+
+
+class TestCapacityAtDestination:
+    def test_arrivals_park_when_full(self):
+        system = System("t")
+        bus = Bus(system.sim, "bus", setup=1 * US)
+        rq = make_remote(system, bus, capacity=1)
+        got = []
+
+        def producer(fn):
+            for i in range(3):
+                yield from fn.write(rq, i)
+
+        def consumer(fn):
+            yield from fn.delay(50 * US)
+            for _ in range(3):
+                item = yield from fn.read(rq)
+                got.append(item)
+
+        system.function("p", producer)
+        system.function("c", consumer)
+        system.run()
+        assert got == [0, 1, 2]
+        assert len(rq) == 0
+
+    def test_in_flight_counter(self):
+        system = System("t")
+        bus = Bus(system.sim, "bus", setup=100 * US)
+        rq = make_remote(system, bus)
+
+        def producer(fn):
+            yield from fn.write(rq, 1)
+            yield from fn.write(rq, 2)
+
+        system.function("p", producer)
+        system.run(50 * US)
+        assert rq.in_flight == 2
+        system.run()
+        assert rq.in_flight == 0
+
+
+class TestRtosIntegration:
+    def test_remote_wake_preempts_exactly_at_arrival(self):
+        """A message crossing the bus wakes the reader's task at the
+        exact transfer-completion time (time-accurate preemption across
+        the interconnect)."""
+        system = System("t")
+        bus = Bus(system.sim, "bus", setup=7 * US)
+        rq = make_remote(system, bus)
+        cpu = system.processor("cpu")
+        log = []
+
+        def reader(fn):
+            item = yield from fn.read(rq)
+            log.append((system.now, item))
+            yield from fn.execute(1 * US)
+
+        def background(fn):
+            yield from fn.execute(100 * US)
+
+        cpu.map(system.function("reader", reader, priority=9))
+        cpu.map(system.function("bg", background, priority=1))
+
+        def hw_writer(fn):
+            yield from fn.delay(20 * US)
+            yield from fn.write(rq, "x")
+
+        system.function("hw", hw_writer)
+        system.run()
+        assert log == [(27 * US, "x")]  # 20us send + 7us bus
+
+    def test_priority_bus_reorders_messages(self):
+        system = System("t")
+        bus = Bus(system.sim, "bus", setup=10 * US, arbitration="priority")
+        urgent = RemoteQueue(system.sim, "urgent", bus=bus,
+                             transfer_priority=9)
+        bulk = RemoteQueue(system.sim, "bulk", bus=bus, transfer_priority=1)
+        arrivals = []
+
+        def producer(fn):
+            # three bulk messages queued first, then one urgent
+            for i in range(3):
+                yield from fn.write(bulk, i)
+            yield from fn.write(urgent, "!")
+
+        def watcher(queue, tag, count):
+            def body(fn):
+                for _ in range(count):
+                    yield from fn.read(queue)
+                    arrivals.append((tag, system.now))
+
+            return body
+
+        system.function("p", producer)
+        system.function("wu", watcher(urgent, "urgent", 1))
+        system.function("wb", watcher(bulk, "bulk", 3))
+        system.run()
+        urgent_time = next(t for tag, t in arrivals if tag == "urgent")
+        # the urgent transfer jumps the two queued bulk ones (only the
+        # in-flight first bulk transfer is ahead of it)
+        assert urgent_time == 20 * US

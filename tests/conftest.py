@@ -1,0 +1,11 @@
+"""Shared pytest fixtures."""
+
+import pytest
+
+from repro.kernel import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh, empty simulator for each test."""
+    return Simulator("test")

@@ -1,0 +1,155 @@
+"""Integration: multi-processor systems with inter-CPU communication."""
+
+import pytest
+
+from repro.comm import Bus, RemoteQueue
+from repro.kernel.time import MS, US
+from repro.mcse import System, build_system
+from repro.trace import TraceRecorder, task_stats_from_functions
+from repro.trace.records import TaskState
+from repro.workloads import random_pipeline_spec
+
+
+class TestTwoCpuPipeline:
+    def build(self, engine="procedural"):
+        system = System("duo")
+        cpu0 = system.processor("cpu0", engine=engine,
+                                scheduling_duration=2 * US,
+                                context_load_duration=2 * US,
+                                context_save_duration=2 * US)
+        cpu1 = system.processor("cpu1", engine=engine,
+                                scheduling_duration=2 * US,
+                                context_load_duration=2 * US,
+                                context_save_duration=2 * US)
+        link = system.queue("link", capacity=2)
+        done = []
+
+        def producer(fn):
+            for i in range(10):
+                yield from fn.execute(5 * US)
+                yield from fn.write(link, i)
+
+        def consumer(fn):
+            for _ in range(10):
+                item = yield from fn.read(link)
+                yield from fn.execute(8 * US)
+                done.append((item, system.now))
+
+        cpu0.map(system.function("producer", producer, priority=1))
+        cpu1.map(system.function("consumer", consumer, priority=1))
+        return system, done
+
+    def test_cpus_overlap_in_time(self):
+        """Two processors pipeline: total < serial sum."""
+        system, done = self.build()
+        end = system.run()
+        assert len(done) == 10
+        serial = 10 * (5 + 8) * US  # ignoring overheads
+        assert end < serial + 60 * US  # pipelined, not serialized
+
+    def test_cross_cpu_wake_is_external(self):
+        """A wake from another CPU takes the external (interrupt-like)
+        path: no local scheduling charge on the sender."""
+        system, done = self.build()
+        system.run()
+        cpu0 = system.processors["cpu0"]
+        # producer never self-preempts on cpu0 (it is alone there)
+        assert cpu0.preemption_count == 0
+
+    def test_engines_agree_across_cpus(self):
+        sys_p, done_p = self.build("procedural")
+        sys_t, done_t = self.build("threaded")
+        sys_p.run()
+        sys_t.run()
+        assert done_p == done_t
+
+
+class TestBusConnectedCpus:
+    def test_pipeline_over_shared_bus(self):
+        system = System("bussed")
+        bus = Bus(system.sim, "bus", setup=20 * US, arbitration="priority")
+        cpu0 = system.processor("cpu0")
+        cpu1 = system.processor("cpu1")
+        link = RemoteQueue(system.sim, "link", bus=bus, message_size=64)
+        got = []
+
+        def producer(fn):
+            for i in range(5):
+                yield from fn.execute(10 * US)
+                yield from fn.write(link, i)
+
+        def consumer(fn):
+            for _ in range(5):
+                item = yield from fn.read(link)
+                got.append((item, system.now))
+
+        cpu0.map(system.function("p", producer, priority=1))
+        cpu1.map(system.function("c", consumer, priority=1))
+        system.run()
+        assert [i for i, _ in got] == [0, 1, 2, 3, 4]
+        # every message paid at least the bus setup after production
+        assert got[0][1] >= 10 * US + 20 * US
+        assert bus.transfer_count == 5
+
+    def test_bus_contention_skews_one_stream(self):
+        """Two producer CPUs share the bus; a hog delays the other."""
+        system = System("contended")
+        bus = Bus(system.sim, "bus", setup=30 * US)
+        cpu0 = system.processor("cpu0")
+        cpu1 = system.processor("cpu1")
+        q_a = RemoteQueue(system.sim, "qa", bus=bus)
+        q_b = RemoteQueue(system.sim, "qb", bus=bus)
+        arrivals = {"a": [], "b": []}
+
+        def producer(queue, n):
+            def body(fn):
+                for i in range(n):
+                    yield from fn.write(queue, i)
+
+            return body
+
+        def watcher(queue, tag, n):
+            def body(fn):
+                for _ in range(n):
+                    yield from fn.read(queue)
+                    arrivals[tag].append(system.now)
+
+            return body
+
+        cpu0.map(system.function("hog", producer(q_a, 10), priority=1))
+        cpu1.map(system.function("one", producer(q_b, 1), priority=1))
+        system.function("wa", watcher(q_a, "a", 10))
+        system.function("wb", watcher(q_b, "b", 1))
+        system.run()
+        # the single message of cpu1 waited behind hog transfers
+        assert arrivals["b"][0] > 30 * US
+
+
+class TestStatsAcrossProcessors:
+    def test_per_processor_attribution(self):
+        spec = random_pipeline_spec(6, seed=4, processors=3, items=15)
+        system = build_system(spec)
+        recorder = TraceRecorder(system.sim)
+        system.run()
+        stats = {s.name: s for s in task_stats_from_functions(
+            system.functions.values())}
+        # every stage is attributed to the processor it was mapped on
+        for index in range(6):
+            assert stats[f"stage{index}"].processor == f"cpu{index % 3}"
+        # total running time equals the sum of per-CPU busy task time
+        for cpu in system.processors.values():
+            cpu_running = sum(
+                s.running for s in stats.values()
+                if s.processor == cpu.name
+            )
+            assert cpu_running == sum(t.cpu_time for t in cpu.tasks)
+
+    def test_processors_never_oversubscribed(self):
+        """At no instant do two tasks of one processor run simultaneously:
+        total per-CPU running time fits into elapsed time."""
+        spec = random_pipeline_spec(8, seed=9, processors=2, items=20)
+        system = build_system(spec)
+        end = system.run()
+        for cpu in system.processors.values():
+            busy = sum(t.cpu_time for t in cpu.tasks) + cpu.overhead_time
+            assert busy <= end

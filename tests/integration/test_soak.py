@@ -1,0 +1,91 @@
+"""Soak tests: long runs keep every invariant and stay linear-ish.
+
+These runs are one to two orders of magnitude longer than the unit
+tests; they catch slow state leaks (growing queues, stale waiters,
+drifting accounting) that short runs cannot.
+"""
+
+import time
+
+import pytest
+
+from repro.kernel.time import MS, US
+from repro.mcse import System
+from repro.workloads import Mpeg2Soc, build_periodic_system, generate_periodic_taskset
+
+
+class TestMpeg2Soak:
+    def test_600_frames(self):
+        soc = Mpeg2Soc(frames=600, seed=3)
+        start = time.perf_counter()
+        soc.run()
+        wall = time.perf_counter() - start
+        assert soc.completed_frames() == 600
+        assert abs(soc.throughput_fps() - 30) < 1
+        # no queue leaks: everything drained at the end
+        for name, queue in soc.queues.items():
+            assert len(queue) == 0, name
+        # the run stays tractable on the Python substrate
+        assert wall < 30
+
+    def test_latency_stationary_over_time(self):
+        """Mean end-to-end latency of the last 100 frames matches the
+        first 100: no systematic drift or backlog buildup."""
+        soc = Mpeg2Soc(frames=300, seed=1)
+        soc.run()
+        e2e = soc.latencies("end_to_end")
+        first = sum(e2e[:100]) / 100
+        last = sum(e2e[-100:]) / 100
+        assert abs(first - last) / first < 0.05
+
+
+class TestPeriodicSoak:
+    def test_10k_jobs_accounting_exact(self):
+        tasks = generate_periodic_taskset(6, 0.5, seed=4,
+                                          period_min=1 * MS,
+                                          period_max=10 * MS)
+        system, result = build_periodic_system(
+            tasks, scheduling_duration=5 * US,
+            context_load_duration=5 * US, context_save_duration=5 * US,
+        )
+        system.run(3000 * MS)
+        total_jobs = sum(result.releases.values())
+        assert total_jobs > 2000
+        assert result.total_misses() == 0
+        cpu = system.processors["cpu"]
+        busy = sum(t.cpu_time for t in cpu.tasks) + cpu.overhead_time
+        assert busy <= system.now
+        # cpu_time is exactly jobs x wcet for every task
+        for task in tasks:
+            fn = system.functions[task.name]
+            expected = len(result.responses[task.name]) * task.wcet
+            # the in-flight job (if any) contributes partially
+            assert 0 <= fn.task.cpu_time - expected <= task.wcet
+
+
+class TestEventStormSoak:
+    def test_dense_interrupts_long_run(self):
+        """50k interrupt deliveries with exact budget conservation."""
+        system = System("storm")
+        cpu = system.processor("cpu")
+        tick = system.event("tick", policy="counter")
+        served = [0]
+
+        def handler(fn):
+            while True:
+                yield from fn.wait(tick)
+                served[0] += 1
+                yield from fn.execute(1 * US)
+
+        def background(fn):
+            yield from fn.execute(200 * MS)
+
+        cpu.map(system.function("handler", handler, priority=9))
+        cpu.map(system.function("bg", background, priority=1))
+        interrupts = 50_000
+        for index in range(1, interrupts + 1):
+            system.sim.schedule_callback(index * 5 * US, tick.signal)
+        system.run(int(0.5 * 10**15))  # 500ms
+        assert served[0] == interrupts
+        bg = system.functions["bg"]
+        assert bg.task.cpu_time == 200 * MS

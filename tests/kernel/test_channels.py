@@ -1,0 +1,301 @@
+"""Tests for primitive channels: Signal, Fifo, Mutex, Semaphore, EventQueue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.kernel import EventQueue, Fifo, Mutex, Semaphore, Signal, Simulator
+from repro.kernel.time import NS, US
+
+
+class TestSignal:
+    def test_write_deferred_to_update_phase(self, sim):
+        sig = Signal(sim, "s", initial=0)
+        observed = []
+
+        def writer():
+            sig.write(1)
+            observed.append(("writer-sees", sig.read()))
+            yield 1 * NS
+
+        def reader():
+            yield sig.value_changed
+            observed.append(("reader-sees", sig.read()))
+
+        sim.thread(reader)
+        sim.thread(writer)
+        sim.run()
+        # within the writing delta, the old value is still visible
+        assert ("writer-sees", 0) in observed
+        assert ("reader-sees", 1) in observed
+
+    def test_no_event_on_same_value(self, sim):
+        sig = Signal(sim, "s", initial=5)
+
+        def writer():
+            sig.write(5)
+            yield 1 * NS
+
+        sim.thread(writer)
+        sim.run()
+        assert sig.change_count == 0
+
+    def test_last_write_wins_within_delta(self, sim):
+        sig = Signal(sim, "s", initial=0)
+
+        def writer():
+            sig.write(1)
+            sig.write(2)
+            yield 1 * NS
+
+        sim.thread(writer)
+        sim.run()
+        assert sig.read() == 2
+        assert sig.change_count == 1
+
+
+class TestFifo:
+    def test_put_get_order(self, sim):
+        fifo = Fifo(sim, "f", capacity=4)
+        got = []
+
+        def producer():
+            for i in range(3):
+                yield from fifo.put(i)
+                yield 1 * US
+
+        def consumer():
+            for _ in range(3):
+                item = yield from fifo.get()
+                got.append((sim.now, item))
+
+        sim.thread(producer)
+        sim.thread(consumer)
+        sim.run()
+        assert [item for _, item in got] == [0, 1, 2]
+
+    def test_blocking_put_when_full(self, sim):
+        fifo = Fifo(sim, "f", capacity=1)
+        times = []
+
+        def producer():
+            yield from fifo.put("a")
+            times.append(("a-in", sim.now))
+            yield from fifo.put("b")  # must block until the consumer reads
+            times.append(("b-in", sim.now))
+
+        def consumer():
+            yield 5 * US
+            item = yield from fifo.get()
+            times.append((f"{item}-out", sim.now))
+
+        sim.thread(producer)
+        sim.thread(consumer)
+        sim.run()
+        assert ("a-in", 0) in times
+        b_in = dict(times)["b-in"]
+        assert b_in >= 5 * US
+
+    def test_blocking_get_when_empty(self, sim):
+        fifo = Fifo(sim, "f", capacity=2)
+        got = []
+
+        def consumer():
+            item = yield from fifo.get()
+            got.append((sim.now, item))
+
+        def producer():
+            yield 7 * US
+            yield from fifo.put("x")
+
+        sim.thread(consumer)
+        sim.thread(producer)
+        sim.run()
+        assert got == [(7 * US, "x")]
+
+    def test_try_put_try_get(self, sim):
+        fifo = Fifo(sim, "f", capacity=1)
+        assert fifo.try_put(1)
+        assert not fifo.try_put(2)
+        ok, item = fifo.try_get()
+        assert ok and item == 1
+        ok, item = fifo.try_get()
+        assert not ok and item is None
+
+    def test_capacity_validation(self, sim):
+        with pytest.raises(SimulationError):
+            Fifo(sim, "f", capacity=0)
+
+    def test_counters(self, sim):
+        fifo = Fifo(sim, "f", capacity=8)
+
+        def body():
+            for i in range(5):
+                yield from fifo.put(i)
+            for _ in range(2):
+                yield from fifo.get()
+
+        sim.thread(body)
+        sim.run()
+        assert fifo.total_put == 5
+        assert fifo.total_got == 2
+        assert len(fifo) == 3
+
+
+class TestMutex:
+    def test_mutual_exclusion(self, sim):
+        mutex = Mutex(sim, "m")
+        inside = []
+        overlap = []
+
+        def contender(tag):
+            yield from mutex.lock()
+            inside.append(tag)
+            if len(inside) > 1:
+                overlap.append(tuple(inside))
+            yield 5 * US
+            inside.remove(tag)
+            mutex.unlock()
+
+        for tag in "abc":
+            sim.thread(contender, tag, name=tag)
+        sim.run()
+        assert overlap == []
+        assert mutex.acquisitions == 3
+        assert mutex.contentions == 2
+
+    def test_unlock_unlocked_raises(self, sim):
+        mutex = Mutex(sim, "m")
+
+        def body():
+            mutex.unlock()
+            yield 1 * NS
+
+        sim.thread(body)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_unlock_by_non_owner_raises(self, sim):
+        mutex = Mutex(sim, "m")
+
+        def owner():
+            yield from mutex.lock()
+            yield 10 * US
+            mutex.unlock()
+
+        def thief():
+            yield 1 * US
+            mutex.unlock()
+
+        sim.thread(owner)
+        sim.thread(thief)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_try_lock(self, sim):
+        mutex = Mutex(sim, "m")
+        results = []
+
+        def body():
+            results.append(mutex.try_lock())
+            results.append(mutex.try_lock())
+            mutex.unlock()
+            yield 1 * NS
+
+        sim.thread(body)
+        sim.run()
+        assert results == [True, False]
+
+
+class TestSemaphore:
+    def test_counting(self, sim):
+        sem = Semaphore(sim, "s", initial=2)
+        active = []
+        peak = []
+
+        def worker(tag):
+            yield from sem.wait()
+            active.append(tag)
+            peak.append(len(active))
+            yield 5 * US
+            active.remove(tag)
+            sem.post()
+
+        for tag in "abcd":
+            sim.thread(worker, tag, name=tag)
+        sim.run()
+        assert max(peak) == 2
+
+    def test_initial_validation(self, sim):
+        with pytest.raises(SimulationError):
+            Semaphore(sim, "s", initial=-1)
+
+    def test_try_wait(self, sim):
+        sem = Semaphore(sim, "s", initial=1)
+        assert sem.try_wait()
+        assert not sem.try_wait()
+        sem.post()
+        assert sem.try_wait()
+
+
+class TestEventQueue:
+    def test_each_notification_fires(self, sim):
+        queue = EventQueue(sim, "q")
+        wakes = []
+
+        def body():
+            for _ in range(3):
+                yield queue.event
+                wakes.append(sim.now)
+
+        sim.thread(body)
+        queue.notify(1 * US)
+        queue.notify(2 * US)
+        queue.notify(3 * US)
+        sim.run()
+        assert wakes == [1 * US, 2 * US, 3 * US]
+
+    def test_same_instant_notifications_all_fire(self, sim):
+        queue = EventQueue(sim, "q")
+        wakes = []
+
+        def body():
+            for _ in range(3):
+                yield queue.event
+                wakes.append(sim.now)
+
+        sim.thread(body)
+        for _ in range(3):
+            queue.notify(1 * US)
+        sim.run()
+        assert wakes == [1 * US, 1 * US, 1 * US]
+
+    def test_negative_delay_rejected(self, sim):
+        queue = EventQueue(sim, "q")
+        with pytest.raises(SimulationError):
+            queue.notify(-1)
+
+    def test_pending_count(self, sim):
+        queue = EventQueue(sim, "q")
+        queue.notify(1 * US)
+        queue.notify(2 * US)
+        assert queue.pending_count == 2
+        sim.run()
+        assert queue.pending_count == 0
+
+    def test_cancel_all(self, sim):
+        queue = EventQueue(sim, "q")
+        wakes = []
+
+        def body():
+            yield queue.event
+            wakes.append(sim.now)
+
+        sim.thread(body)
+        queue.notify(5 * US)
+        queue.notify(6 * US)
+        queue.cancel_all()
+        sim.run(20 * US)
+        # note: cancel_all is best effort -- already-scheduled kernel
+        # callbacks still fire but find the queue drained
+        assert queue.pending_count == 0
+        assert wakes == [] or all(w >= 5 * US for w in wakes)

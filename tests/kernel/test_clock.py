@@ -1,0 +1,126 @@
+"""Tests for Clock and TickClock generators."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.kernel import Clock, TickClock
+from repro.kernel.time import NS, US
+
+
+class TestClock:
+    def test_posedges_at_period(self, sim):
+        clock = Clock(sim, "clk", period=10 * US)
+        edges = []
+
+        def watcher():
+            for _ in range(3):
+                yield clock.posedge
+                edges.append(sim.now)
+
+        sim.thread(watcher)
+        sim.run(35 * US)
+        assert edges == [0, 10 * US, 20 * US]
+
+    def test_duty_cycle(self, sim):
+        clock = Clock(sim, "clk", period=10 * US, duty=0.3)
+        transitions = []
+
+        def watcher():
+            for _ in range(4):
+                fired = yield (clock.posedge, clock.negedge)
+                transitions.append((sim.now, fired is clock.posedge))
+
+        sim.thread(watcher)
+        sim.run(25 * US)
+        assert transitions == [
+            (0, True),
+            (3 * US, False),
+            (10 * US, True),
+            (13 * US, False),
+        ]
+
+    def test_signal_tracks_level(self, sim):
+        clock = Clock(sim, "clk", period=10 * US)
+        levels = []
+
+        def watcher():
+            yield 1 * US
+            levels.append(clock.read())
+            yield 5 * US
+            levels.append(clock.read())
+
+        sim.thread(watcher)
+        sim.run(12 * US)
+        assert levels == [True, False]
+
+    def test_start_time(self, sim):
+        clock = Clock(sim, "clk", period=10 * US, start_time=4 * US)
+        edges = []
+
+        def watcher():
+            yield clock.posedge
+            edges.append(sim.now)
+
+        sim.thread(watcher)
+        sim.run(20 * US)
+        assert edges == [4 * US]
+
+    def test_stop_freezes(self, sim):
+        clock = Clock(sim, "clk", period=10 * US)
+        sim.run(15 * US)
+        clock.stop()
+        count = clock.cycle_count
+        sim.run(100 * US)
+        assert clock.cycle_count == count
+
+    def test_invalid_period(self, sim):
+        with pytest.raises(SimulationError):
+            Clock(sim, "clk", period=0)
+
+    def test_invalid_duty(self, sim):
+        with pytest.raises(SimulationError):
+            Clock(sim, "clk", period=10 * US, duty=1.0)
+
+
+class TestTickClock:
+    def test_first_tick_after_one_period(self, sim):
+        tick = TickClock(sim, "t", period=5 * US)
+        times = []
+
+        def watcher():
+            for _ in range(3):
+                yield tick.tick
+                times.append(sim.now)
+
+        sim.thread(watcher)
+        sim.run(100 * US)
+        assert times == [5 * US, 10 * US, 15 * US]
+
+    def test_immediate_first(self, sim):
+        tick = TickClock(sim, "t", period=5 * US, immediate_first=True)
+        times = []
+
+        def watcher():
+            for _ in range(2):
+                yield tick.tick
+                times.append(sim.now)
+
+        sim.thread(watcher)
+        sim.run(100 * US)
+        assert times == [0, 5 * US]
+
+    def test_max_ticks(self, sim):
+        tick = TickClock(sim, "t", period=1 * US, max_ticks=4)
+        sim.run(100 * US)
+        assert tick.tick_count == 4
+
+    def test_stop(self, sim):
+        tick = TickClock(sim, "t", period=1 * US)
+        sim.run(3500 * NS)
+        tick.stop()
+        sim.run(100 * US)
+        assert tick.tick_count == 3
+
+    def test_invalid_period(self, sim):
+        with pytest.raises(SimulationError):
+            TickClock(sim, "t", period=0)

@@ -1,0 +1,209 @@
+"""Tests for sc_event-style notification semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.kernel import Simulator
+from repro.kernel.time import NS, US
+
+
+def waiter(sim, event, log):
+    fired = yield event
+    log.append((sim.now, fired))
+
+
+class TestTimedNotify:
+    def test_timed_notification_wakes_at_exact_time(self, sim):
+        ev = sim.event("ev")
+        log = []
+        sim.thread(waiter, sim, ev, log, name="w")
+        ev.notify_after(7 * US)
+        sim.run()
+        assert log == [(7 * US, ev)]
+
+    def test_earlier_notification_overrides_later(self, sim):
+        ev = sim.event("ev")
+        log = []
+        sim.thread(waiter, sim, ev, log, name="w")
+        ev.notify_after(10 * US)
+        ev.notify_after(3 * US)
+        sim.run()
+        assert log == [(3 * US, ev)]
+        # the 10us notification must not fire a second time
+        assert ev.trigger_count == 1
+
+    def test_later_notification_discarded(self, sim):
+        ev = sim.event("ev")
+        ev.notify_after(3 * US)
+        ev.notify_after(10 * US)
+        assert ev.pending_time == 3 * US
+
+    def test_zero_delay_is_delta(self, sim):
+        ev = sim.event("ev")
+        log = []
+        sim.thread(waiter, sim, ev, log, name="w")
+        ev.notify_after(0)
+        sim.run()
+        assert log == [(0, ev)]
+        assert sim.delta_count >= 1
+
+    def test_negative_delay_rejected(self, sim):
+        ev = sim.event("ev")
+        with pytest.raises(SimulationError):
+            ev.notify_after(-1)
+
+    def test_cancel_pending(self, sim):
+        ev = sim.event("ev")
+        log = []
+        sim.thread(waiter, sim, ev, log, name="w")
+        ev.notify_after(5 * US)
+        ev.cancel()
+        sim.run(100 * US)
+        assert log == []
+        assert not ev.pending
+
+    def test_cancel_then_renotify(self, sim):
+        ev = sim.event("ev")
+        log = []
+        sim.thread(waiter, sim, ev, log, name="w")
+        ev.notify_after(5 * US)
+        ev.cancel()
+        ev.notify_after(8 * US)
+        sim.run()
+        assert log == [(8 * US, ev)]
+
+
+class TestDeltaNotify:
+    def test_delta_wakes_without_time_advance(self, sim):
+        ev = sim.event("ev")
+        log = []
+
+        def notifier():
+            ev.notify_delta()
+            yield 1 * US
+
+        sim.thread(waiter, sim, ev, log, name="w")
+        sim.thread(notifier, name="n")
+        sim.run()
+        assert log == [(0, ev)]
+
+    def test_delta_overrides_timed(self, sim):
+        ev = sim.event("ev")
+        ev.notify_after(5 * US)
+        ev.notify_delta()
+        assert ev.pending_time == sim.now
+
+    def test_double_delta_is_single_trigger(self, sim):
+        ev = sim.event("ev")
+        log = []
+        sim.thread(waiter, sim, ev, log, name="w")
+
+        def notifier():
+            ev.notify_delta()
+            ev.notify_delta()
+            yield 1 * NS
+
+        sim.thread(notifier, name="n")
+        sim.run()
+        assert ev.trigger_count == 1
+
+    def test_cancelled_delta_does_not_fire(self, sim):
+        ev = sim.event("ev")
+        log = []
+        sim.thread(waiter, sim, ev, log, name="w")
+
+        def notifier():
+            ev.notify_delta()
+            ev.cancel()
+            yield 1 * NS
+
+        sim.thread(notifier, name="n")
+        sim.run()
+        assert log == []
+
+
+class TestImmediateNotify:
+    def test_immediate_wakes_same_evaluate_phase(self, sim):
+        ev = sim.event("ev")
+        order = []
+
+        def a():
+            ev.notify()
+            order.append("a-after-notify")
+            yield 1 * NS
+
+        def b():
+            yield ev
+            order.append("b-woken")
+
+        sim.thread(b, name="b")
+        sim.thread(a, name="a")
+        sim.run()
+        # b wakes within the same delta cycle (evaluate phase), after a yields
+        assert order == ["a-after-notify", "b-woken"]
+        assert ev.last_trigger_time == 0
+
+    def test_immediate_cancels_pending(self, sim):
+        ev = sim.event("ev")
+        ev.notify_after(10 * US)
+
+        def a():
+            ev.notify()
+            yield 1 * NS
+
+        counts = []
+
+        def b():
+            yield ev
+            counts.append(sim.now)
+            yield ev  # should never fire again
+            counts.append(sim.now)
+
+        sim.thread(b, name="b")
+        sim.thread(a, name="a")
+        sim.run(20 * US)
+        assert counts == [0]
+
+    def test_missed_immediate_notification_is_lost(self, sim):
+        """Events have no memory: a notify with no waiter is dropped."""
+        ev = sim.event("ev")
+        log = []
+
+        def late_waiter():
+            yield 5 * US
+            yield ev  # notified at t=0; must NOT resume
+            log.append(sim.now)
+
+        def notifier():
+            ev.notify()
+            yield 1 * NS
+
+        sim.thread(late_waiter, name="w")
+        sim.thread(notifier, name="n")
+        sim.run(50 * US)
+        assert log == []
+
+
+class TestEventIntrospection:
+    def test_trigger_statistics(self, sim):
+        ev = sim.event("ev")
+        ev.notify_after(2 * US)
+        sim.run()
+        assert ev.trigger_count == 1
+        assert ev.last_trigger_time == 2 * US
+
+    def test_pending_flags(self, sim):
+        ev = sim.event("ev")
+        assert not ev.pending
+        ev.notify_after(1 * US)
+        assert ev.pending
+        assert ev.pending_time == 1 * US
+
+    def test_repr_mentions_name(self, sim):
+        ev = sim.event("my_event")
+        assert "my_event" in repr(ev)
+
+    def test_unique_naming(self, sim):
+        a = sim.event("ev")
+        b = sim.event("ev")
+        assert a.name != b.name

@@ -1,0 +1,65 @@
+"""Tests for the module hierarchy."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.kernel import Module
+from repro.kernel.time import US
+
+
+class TestHierarchy:
+    def test_full_names(self, sim):
+        top = Module(sim, "top")
+        cpu = Module(sim, "cpu0", parent=top)
+        rtos = Module(sim, "rtos", parent=cpu)
+        assert top.name == "top"
+        assert cpu.name == "top.cpu0"
+        assert rtos.name == "top.cpu0.rtos"
+
+    def test_child_lookup(self, sim):
+        top = Module(sim, "top")
+        cpu = Module(sim, "cpu0", parent=top)
+        assert top.child("cpu0") is cpu
+        with pytest.raises(ModelError):
+            top.child("nope")
+
+    def test_duplicate_child_rejected(self, sim):
+        top = Module(sim, "top")
+        Module(sim, "x", parent=top)
+        with pytest.raises(ModelError):
+            Module(sim, "x", parent=top)
+
+    def test_empty_name_rejected(self, sim):
+        with pytest.raises(ModelError):
+            Module(sim, "")
+
+    def test_walk_depth_first(self, sim):
+        top = Module(sim, "top")
+        a = Module(sim, "a", parent=top)
+        b = Module(sim, "b", parent=top)
+        a1 = Module(sim, "a1", parent=a)
+        assert list(top.walk()) == [top, a, a1, b]
+
+
+class TestScopedFactories:
+    def test_event_names_scoped(self, sim):
+        mod = Module(sim, "top")
+        ev = mod.event("go")
+        assert ev.name == "top.go"
+
+    def test_thread_names_scoped(self, sim):
+        mod = Module(sim, "top")
+
+        def body():
+            yield 1 * US
+
+        proc = mod.thread(body, name="worker")
+        assert proc.name == "top.worker"
+        sim.run()
+        assert proc.terminated
+
+    def test_method_names_scoped(self, sim):
+        mod = Module(sim, "top")
+        ev = mod.event("ev")
+        proc = mod.method(lambda: None, sensitive=(ev,), name="handler")
+        assert proc.name == "top.handler"

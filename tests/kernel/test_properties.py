@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) for kernel invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import Fifo, Simulator
+from repro.kernel.time import NS, format_time, parse_time
+
+durations = st.integers(min_value=1, max_value=10**12)
+
+
+class TestTimeProperties:
+    @given(t=st.integers(min_value=0, max_value=10**18))
+    def test_format_parse_roundtrip(self, t):
+        """format_time output always parses back to the same femtoseconds."""
+        assert parse_time(format_time(t, precision=17)) == t
+
+    @given(a=durations, b=durations)
+    def test_formatting_preserves_order(self, a, b):
+        if a < b:
+            assert parse_time(format_time(a, 17)) < parse_time(format_time(b, 17))
+
+
+class TestSchedulerProperties:
+    @given(steps=st.lists(durations, min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_sequential_waits_sum(self, steps):
+        """A chain of waits ends exactly at the sum of the waits."""
+        sim = Simulator("prop")
+
+        def body():
+            for step in steps:
+                yield step
+
+        sim.thread(body)
+        end = sim.run()
+        assert end == sum(steps)
+
+    @given(
+        schedule=st.lists(
+            st.tuples(durations, st.sampled_from("abc")), min_size=1, max_size=15
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_multi_process_time_monotonic(self, schedule):
+        """Interleaved processes always observe non-decreasing time."""
+        sim = Simulator("prop")
+        observed = []
+
+        def worker(waits):
+            for w in waits:
+                yield w
+                observed.append(sim.now)
+
+        by_tag = {}
+        for dur, tag in schedule:
+            by_tag.setdefault(tag, []).append(dur)
+        for tag, waits in by_tag.items():
+            sim.thread(worker, waits, name=tag)
+        sim.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(schedule)
+
+    @given(delays=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_event_notifications_fire_in_order(self, delays):
+        """Callbacks scheduled with arbitrary delays run in time order."""
+        sim = Simulator("prop")
+        fired = []
+        for d in delays:
+            sim.schedule_callback(d * NS, lambda d=d: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+
+class TestFifoProperties:
+    @given(
+        items=st.lists(st.integers(), min_size=1, max_size=30),
+        capacity=st.integers(min_value=1, max_value=5),
+        producer_gap=st.integers(min_value=0, max_value=3),
+        consumer_gap=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fifo_preserves_order_and_counts(
+        self, items, capacity, producer_gap, consumer_gap
+    ):
+        """Whatever the capacity and relative speeds, FIFO order holds."""
+        sim = Simulator("prop")
+        fifo = Fifo(sim, "f", capacity=capacity)
+        received = []
+
+        def producer():
+            for item in items:
+                yield from fifo.put(item)
+                if producer_gap:
+                    yield producer_gap * NS
+
+        def consumer():
+            for _ in items:
+                value = yield from fifo.get()
+                received.append(value)
+                if consumer_gap:
+                    yield consumer_gap * NS
+
+        sim.thread(producer)
+        sim.thread(consumer)
+        sim.run()
+        assert received == items
+        assert fifo.total_put == len(items)
+        assert fifo.total_got == len(items)
+        assert len(fifo) == 0

@@ -1,0 +1,156 @@
+"""Corner-case kernel semantics the main suites do not reach."""
+
+import pytest
+
+from repro.errors import ProcessError, ProcessKilled, SimulationError
+from repro.kernel import Simulator, wait_all, wait_any, wait_on
+from repro.kernel.time import NS, US
+
+
+class TestWaitAllCorners:
+    def test_wait_all_with_timeout_expiring(self, sim):
+        a, b = sim.event("a"), sim.event("b")
+        log = []
+
+        def body():
+            result = yield wait_all(a, b, timeout=5 * US)
+            log.append((sim.now, result))
+
+        sim.thread(body)
+        a.notify_after(1 * US)  # b never fires
+        sim.run(20 * US)
+        assert log == [(5 * US, None)]
+
+    def test_wait_all_same_event_listed_once_effectively(self, sim):
+        a = sim.event("a")
+        log = []
+
+        def body():
+            yield wait_all(a, a)
+            log.append(sim.now)
+
+        sim.thread(body)
+        a.notify_after(2 * US)
+        sim.run()
+        assert log == [2 * US]
+
+    def test_wait_all_events_fire_same_instant(self, sim):
+        a, b = sim.event("a"), sim.event("b")
+        log = []
+
+        def body():
+            yield wait_all(a, b)
+            log.append(sim.now)
+
+        sim.thread(body)
+        a.notify_after(3 * US)
+        b.notify_after(3 * US)
+        sim.run()
+        assert log == [3 * US]
+
+
+class TestKillCorners:
+    def test_kill_before_first_step(self, sim):
+        ran = []
+
+        def body():
+            ran.append(True)
+            yield 1 * US
+
+        proc = sim.thread(body)
+        proc.kill()
+        sim.run()
+        assert proc.terminated
+        # kill lands before the generator's first statement executes
+        assert ran == []
+
+    def test_self_kill_via_exception(self, sim):
+        def body():
+            yield 1 * US
+            raise ProcessKilled()
+
+        proc = sim.thread(body)
+        sim.run()
+        assert proc.terminated
+        assert proc.exception is None  # a kill is not an error
+
+    def test_kill_daemon_process(self, sim):
+        def loop():
+            while True:
+                yield 1 * US
+
+        proc = sim.thread(loop)
+        proc.daemon = True
+        sim.run(5 * US)
+        proc.kill()
+        sim.run(10 * US)
+        assert proc.terminated
+
+
+class TestGeneratorMisuse:
+    def test_passing_ready_made_generator(self, sim):
+        log = []
+
+        def body():
+            yield 2 * US
+            log.append(sim.now)
+
+        sim.thread(body())  # generator instance, not function
+        sim.run()
+        assert log == [2 * US]
+
+    def test_thread_args_with_generator_instance_ignored(self, sim):
+        # passing a generator plus args is contradictory but harmless:
+        # the kernel uses the generator as-is
+        def body():
+            yield 1 * US
+
+        proc = sim.thread(body(), name="pre-made")
+        sim.run()
+        assert proc.terminated
+
+    def test_yield_none_rejected(self, sim):
+        def body():
+            yield None
+
+        sim.thread(body)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestNotifyFromOutside:
+    def test_notify_between_runs(self, sim):
+        ev = sim.event("ev")
+        log = []
+
+        def body():
+            yield ev
+            log.append(sim.now)
+            yield 1 * US
+
+        sim.thread(body)
+        sim.run(5 * US)
+        ev.notify()  # immediate notify from host code between runs
+        sim.run(10 * US)
+        assert log == [5 * US]
+
+    def test_schedule_callback_before_start(self, sim):
+        fired = []
+        sim.schedule_callback(3 * US, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [3 * US]
+
+
+class TestUniqueNaming:
+    def test_threads_auto_suffixed(self, sim):
+        def body():
+            yield 1 * NS
+
+        a = sim.thread(body)
+        b = sim.thread(body)
+        assert a.name != b.name
+
+    def test_unique_name_deterministic(self, sim):
+        assert sim.unique_name("x") == "x"
+        assert sim.unique_name("x") == "x_1"
+        assert sim.unique_name("x") == "x_2"

@@ -1,0 +1,114 @@
+"""Tests for time representation, parsing and formatting."""
+
+import pytest
+
+from repro.kernel.time import (
+    FS,
+    MS,
+    NS,
+    PS,
+    SEC,
+    US,
+    format_time,
+    from_seconds,
+    parse_time,
+    time_from_unit,
+    to_seconds,
+)
+
+
+class TestUnits:
+    def test_unit_ladder(self):
+        assert PS == 1000 * FS
+        assert NS == 1000 * PS
+        assert US == 1000 * NS
+        assert MS == 1000 * US
+        assert SEC == 1000 * MS
+
+    def test_times_are_plain_ints(self):
+        assert isinstance(5 * US, int)
+
+
+class TestTimeFromUnit:
+    def test_integer_value(self):
+        assert time_from_unit(5, "us") == 5 * US
+
+    def test_fractional_value(self):
+        assert time_from_unit(1.5, "ms") == 1500 * US
+
+    def test_case_insensitive(self):
+        assert time_from_unit(2, "NS") == 2 * NS
+
+    def test_alias_sec(self):
+        assert time_from_unit(1, "sec") == SEC
+
+    def test_micro_sign_alias(self):
+        assert time_from_unit(3, "µs") == 3 * US
+
+    def test_unknown_unit(self):
+        with pytest.raises(ValueError, match="unknown time unit"):
+            time_from_unit(1, "parsec")
+
+
+class TestParseTime:
+    def test_simple(self):
+        assert parse_time("15us") == 15 * US
+
+    def test_with_spaces(self):
+        assert parse_time(" 1.5 ms ") == 1500 * US
+
+    def test_int_passthrough(self):
+        assert parse_time(42) == 42
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            parse_time(True)
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            parse_time(1.5)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_time("soon")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            parse_time("-5us")
+
+
+class TestFormatTime:
+    def test_zero(self):
+        assert format_time(0) == "0s"
+
+    def test_exact_unit(self):
+        assert format_time(15 * US) == "15us"
+
+    def test_fractional(self):
+        assert format_time(1500 * NS) == "1.5us"
+
+    def test_sub_picosecond(self):
+        assert format_time(7) == "7fs"
+
+    def test_negative(self):
+        assert format_time(-3 * MS) == "-3ms"
+
+    def test_seconds(self):
+        assert format_time(2 * SEC) == "2s"
+
+    def test_roundtrip_through_parse(self):
+        for t in (1, 999, 1000, 5 * US, 123 * MS, 7 * SEC):
+            assert parse_time(format_time(t)) == t
+
+
+class TestSecondsConversion:
+    def test_to_seconds(self):
+        assert to_seconds(SEC) == 1.0
+        assert to_seconds(500 * MS) == 0.5
+
+    def test_from_seconds(self):
+        assert from_seconds(1.0) == SEC
+        assert from_seconds(0.000001) == US
+
+    def test_roundtrip(self):
+        assert to_seconds(from_seconds(0.125)) == 0.125

@@ -1,0 +1,266 @@
+"""Tests for the declarative system builder (the 'code generator')."""
+
+import pytest
+
+from repro.errors import BuildError
+from repro.kernel.time import US
+from repro.mcse import build_system
+
+
+def fig6_spec():
+    """The paper's §5 system as a plain-data specification."""
+    return {
+        "name": "fig6",
+        "relations": [
+            {"kind": "event", "name": "Clk", "policy": "fugitive"},
+            {"kind": "event", "name": "Event_1", "policy": "boolean"},
+        ],
+        "processors": [
+            {
+                "name": "Processor",
+                "policy": "priority_preemptive",
+                "scheduling_duration": "5us",
+                "context_load_duration": "5us",
+                "context_save_duration": "5us",
+            }
+        ],
+        "functions": [
+            {
+                "name": "Function_1",
+                "priority": 5,
+                "processor": "Processor",
+                "script": [
+                    ["wait", "Clk"],
+                    ["execute", "20us"],
+                    ["signal", "Event_1"],
+                    ["execute", "10us"],
+                ],
+            },
+            {
+                "name": "Function_2",
+                "priority": 3,
+                "processor": "Processor",
+                "script": [["wait", "Event_1"], ["execute", "30us"]],
+            },
+            {
+                "name": "Function_3",
+                "priority": 2,
+                "processor": "Processor",
+                "script": [["execute", "200us"]],
+            },
+            {
+                "name": "Clock",
+                "script": [["delay", "100us"], ["signal", "Clk"]],
+            },
+        ],
+    }
+
+
+class TestBuildFig6:
+    def test_elaborates_and_runs(self):
+        system = build_system(fig6_spec())
+        end = system.run()
+        assert end == 345 * US
+
+    def test_same_timing_as_hand_written_model(self):
+        """The generated model must match tests.rtos.helpers exactly."""
+        from ..rtos.helpers import build_fig6_system
+
+        generated = build_system(fig6_spec())
+        generated.run()
+        hand_written, _ = build_fig6_system("procedural")
+        hand_written.run()
+        assert generated.now == hand_written.now
+        for name in ("Function_1", "Function_2", "Function_3"):
+            g = generated.functions[name]
+            h = hand_written.functions[name]
+            assert g.state_durations == h.state_durations, name
+
+    def test_mapping_applied(self):
+        system = build_system(fig6_spec())
+        assert system.functions["Function_1"].task is not None
+        assert system.functions["Clock"].task is None  # hardware
+
+
+class TestScriptOps:
+    def test_queue_and_shared_ops(self):
+        spec = {
+            "relations": [
+                {"kind": "queue", "name": "q", "capacity": 2},
+                {"kind": "shared", "name": "sv", "initial": 5},
+            ],
+            "functions": [
+                {
+                    "name": "producer",
+                    "script": [["loop", 3, [["write", "q", 7], ["execute", "1us"]]]],
+                },
+                {
+                    "name": "consumer",
+                    "script": [
+                        ["loop", 3, [["read", "q"]]],
+                        ["lock", "sv"],
+                        ["execute", "2us"],
+                        ["unlock", "sv"],
+                        ["read_shared", "sv"],
+                        ["write_shared", "sv", 9],
+                    ],
+                },
+            ],
+        }
+        system = build_system(spec)
+        system.run()
+        assert system.relations["q"].total_got == 3
+        assert system.relations["sv"].value == 9
+
+    def test_infinite_loop_bounded_by_run(self):
+        spec = {
+            "relations": [],
+            "functions": [
+                {"name": "spin", "script": [["loop", None, [["execute", "1us"]]]]}
+            ],
+        }
+        system = build_system(spec)
+        system.run(50 * US)
+        assert system.now == 50 * US
+
+    def test_set_preemptive_op(self):
+        spec = {
+            "relations": [],
+            "processors": [{"name": "cpu"}],
+            "functions": [
+                {
+                    "name": "t",
+                    "processor": "cpu",
+                    "script": [
+                        ["set_preemptive", False],
+                        ["execute", "1us"],
+                        ["set_preemptive", True],
+                    ],
+                }
+            ],
+        }
+        system = build_system(spec)
+        system.run()
+        assert system.processors["cpu"].preemptive
+
+
+class TestProcessorParamPassthrough:
+    def test_engine_selected_from_spec(self):
+        spec = {
+            "relations": [],
+            "processors": [{"name": "cpu", "engine": "threaded"}],
+            "functions": [
+                {"name": "f", "processor": "cpu",
+                 "script": [["execute", "1us"]]}
+            ],
+        }
+        system = build_system(spec)
+        assert system.processors["cpu"].engine == "threaded"
+        system.run()
+
+    def test_policy_with_time_slice(self):
+        spec = {
+            "relations": [],
+            "processors": [{"name": "cpu", "policy": "round_robin",
+                            "time_slice": "2us"}],
+            "functions": [
+                {"name": "a", "processor": "cpu",
+                 "script": [["execute", "4us"]]},
+                {"name": "b", "processor": "cpu",
+                 "script": [["execute", "4us"]]},
+            ],
+        }
+        system = build_system(spec)
+        assert system.processors["cpu"].policy.name == "round_robin"
+        system.run()
+        assert system.processors["cpu"].preemption_count > 0
+
+    def test_speed_from_spec(self):
+        spec = {
+            "relations": [],
+            "processors": [{"name": "cpu", "speed": 2.0}],
+            "functions": [
+                {"name": "f", "processor": "cpu",
+                 "script": [["execute", "10us"]]}
+            ],
+        }
+        system = build_system(spec)
+        end = system.run()
+        assert end == 5 * US
+
+    def test_non_preemptive_from_spec(self):
+        spec = {
+            "relations": [],
+            "processors": [{"name": "cpu", "preemptive": False}],
+            "functions": [
+                {"name": "f", "processor": "cpu",
+                 "script": [["execute", "1us"]]}
+            ],
+        }
+        system = build_system(spec)
+        assert not system.processors["cpu"].preemptive
+
+
+class TestSpecValidation:
+    def test_unknown_relation_kind(self):
+        with pytest.raises(BuildError, match="unknown relation kind"):
+            build_system({"relations": [{"kind": "wormhole", "name": "w"}]})
+
+    def test_missing_function_name(self):
+        with pytest.raises(BuildError, match="missing a name"):
+            build_system({"functions": [{"script": []}]})
+
+    def test_unknown_processor_reference(self):
+        spec = {
+            "functions": [
+                {"name": "f", "processor": "ghost", "script": [["execute", "1us"]]}
+            ]
+        }
+        with pytest.raises(BuildError, match="unknown processor"):
+            build_system(spec)
+
+    def test_unknown_relation_reference(self):
+        spec = {"functions": [{"name": "f", "script": [["wait", "ghost"]]}]}
+        with pytest.raises(BuildError, match="unknown relation"):
+            build_system(spec)
+
+    def test_unknown_op(self):
+        spec = {"functions": [{"name": "f", "script": [["teleport", "x"]]}]}
+        with pytest.raises(BuildError, match="unknown op"):
+            build_system(spec)
+
+    def test_behavior_and_script_exclusive(self):
+        def body(fn):
+            yield from fn.execute(1 * US)
+
+        spec = {
+            "functions": [
+                {"name": "f", "behavior": body, "script": [["execute", "1us"]]}
+            ]
+        }
+        with pytest.raises(BuildError, match="not both"):
+            build_system(spec)
+
+    def test_function_needs_some_behavior(self):
+        with pytest.raises(BuildError, match="needs a behavior"):
+            build_system({"functions": [{"name": "f"}]})
+
+    def test_bad_loop_count(self):
+        spec = {"functions": [{"name": "f", "script": [["loop", -1, []]]}]}
+        with pytest.raises(BuildError, match="loop count"):
+            build_system(spec)
+
+    def test_non_dict_spec(self):
+        with pytest.raises(BuildError):
+            build_system(["not", "a", "dict"])
+
+    def test_python_behavior_callable(self):
+        seen = []
+
+        def body(fn):
+            yield from fn.execute(3 * US)
+            seen.append(fn.sim.now)
+
+        system = build_system({"functions": [{"name": "f", "behavior": body}]})
+        system.run()
+        assert seen == [3 * US]

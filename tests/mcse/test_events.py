@@ -1,0 +1,220 @@
+"""Tests for the three MCSE event memorization policies."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.kernel.time import US
+from repro.mcse import BooleanEvent, CounterEvent, FugitiveEvent, System
+
+
+def make_waiter(system, event, log, tag="w", priority=0):
+    def body(fn):
+        yield from fn.wait(event)
+        log.append((tag, system.now))
+
+    return system.function(tag, body, priority=priority)
+
+
+class TestFugitiveEvent:
+    def test_signal_with_no_waiter_is_lost(self):
+        system = System()
+        ev = system.event("ev", policy="fugitive")
+        log = []
+
+        def signaller(fn):
+            yield from fn.signal(ev)
+
+        def late_waiter(fn):
+            yield from fn.delay(5 * US)
+            yield from fn.wait(ev)
+            log.append(system.now)
+
+        system.function("s", signaller)
+        system.function("w", late_waiter)
+        system.run(100 * US)
+        assert log == []
+        assert ev.lost_count == 1
+
+    def test_signal_wakes_current_waiter(self):
+        system = System()
+        ev = system.event("ev", policy="fugitive")
+        log = []
+        make_waiter(system, ev, log)
+
+        def signaller(fn):
+            yield from fn.execute(3 * US)
+            yield from fn.signal(ev)
+
+        system.function("s", signaller)
+        system.run()
+        assert log == [("w", 3 * US)]
+
+    def test_broadcast_to_all_waiters(self):
+        system = System()
+        ev = system.event("ev", policy="fugitive")
+        log = []
+        for tag in ("w1", "w2", "w3"):
+            make_waiter(system, ev, log, tag)
+
+        def signaller(fn):
+            yield from fn.execute(1 * US)
+            yield from fn.signal(ev)
+
+        system.function("s", signaller)
+        system.run()
+        assert sorted(log) == [("w1", 1 * US), ("w2", 1 * US), ("w3", 1 * US)]
+
+    def test_try_wait_never_succeeds(self):
+        system = System()
+        ev = system.event("ev", policy="fugitive")
+        assert not ev.try_wait()
+        assert ev.pending() == 0
+
+
+class TestBooleanEvent:
+    def test_memorizes_one_signal(self):
+        system = System()
+        ev = system.event("ev", policy="boolean")
+        log = []
+
+        def signaller(fn):
+            yield from fn.signal(ev)
+
+        def late_waiter(fn):
+            yield from fn.delay(5 * US)
+            yield from fn.wait(ev)  # consumes the memorized signal: no block
+            log.append(system.now)
+
+        system.function("s", signaller)
+        system.function("w", late_waiter)
+        system.run()
+        assert log == [5 * US]
+        assert not ev.flag
+
+    def test_single_level_of_memory(self):
+        system = System()
+        ev = system.event("ev", policy="boolean")
+        log = []
+
+        def signaller(fn):
+            yield from fn.signal(ev)
+            yield from fn.signal(ev)  # second occurrence is absorbed
+
+        def waiter(fn):
+            yield from fn.delay(1 * US)
+            yield from fn.wait(ev)
+            log.append(("first", system.now))
+            yield from fn.wait(ev)  # must block forever
+            log.append(("second", system.now))
+
+        system.function("s", signaller)
+        system.function("w", waiter)
+        system.run(100 * US)
+        assert log == [("first", 1 * US)]
+
+    def test_broadcast_when_waiters_present(self):
+        system = System()
+        ev = system.event("ev", policy="boolean")
+        log = []
+        make_waiter(system, ev, log, "w1")
+        make_waiter(system, ev, log, "w2")
+
+        def signaller(fn):
+            yield from fn.execute(2 * US)
+            yield from fn.signal(ev)
+
+        system.function("s", signaller)
+        system.run()
+        assert sorted(log) == [("w1", 2 * US), ("w2", 2 * US)]
+        assert not ev.flag  # delivery did not also set the flag
+
+
+class TestCounterEvent:
+    def test_counts_signals(self):
+        system = System()
+        ev = system.event("ev", policy="counter")
+        log = []
+
+        def signaller(fn):
+            for _ in range(3):
+                yield from fn.signal(ev)
+
+        def waiter(fn):
+            yield from fn.delay(1 * US)
+            for _ in range(3):
+                yield from fn.wait(ev)  # all three consumed without blocking
+                log.append(system.now)
+
+        system.function("s", signaller)
+        system.function("w", waiter)
+        system.run()
+        assert log == [1 * US, 1 * US, 1 * US]
+        assert ev.count == 0
+
+    def test_one_signal_wakes_one_waiter(self):
+        system = System()
+        ev = system.event("ev", policy="counter")
+        log = []
+        make_waiter(system, ev, log, "w1")
+        make_waiter(system, ev, log, "w2")
+
+        def signaller(fn):
+            yield from fn.execute(1 * US)
+            yield from fn.signal(ev)
+
+        system.function("s", signaller)
+        system.run(50 * US)
+        assert len(log) == 1  # token semantics: exactly one woken
+
+    def test_priority_wake_order(self):
+        system = System()
+        ev = CounterEvent(system.sim, "ev", wake_order="priority")
+        log = []
+        make_waiter(system, ev, log, "low", priority=1)
+        make_waiter(system, ev, log, "high", priority=9)
+
+        def signaller(fn):
+            yield from fn.execute(1 * US)
+            yield from fn.signal(ev)
+            yield from fn.execute(1 * US)
+            yield from fn.signal(ev)
+
+        system.function("s", signaller)
+        system.run()
+        assert log == [("high", 1 * US), ("low", 2 * US)]
+
+    def test_saturation(self):
+        system = System()
+        ev = CounterEvent(system.sim, "ev", max_count=2)
+
+        def signaller(fn):
+            for _ in range(5):
+                yield from fn.signal(ev)
+
+        system.function("s", signaller)
+        system.run()
+        assert ev.count == 2
+        assert ev.saturated_count == 3
+
+    def test_bad_max_count(self):
+        system = System()
+        with pytest.raises(ModelError):
+            CounterEvent(system.sim, "ev", max_count=0)
+
+
+class TestEventFactoryValidation:
+    def test_unknown_policy(self):
+        system = System()
+        with pytest.raises(ModelError, match="policy"):
+            system.event("ev", policy="psychic")
+
+    def test_unknown_wake_order(self):
+        system = System()
+        with pytest.raises(ModelError, match="wake order"):
+            FugitiveEvent(system.sim, "ev", wake_order="random")
+
+    def test_policies_map(self):
+        system = System()
+        assert isinstance(system.event("a", "fugitive"), FugitiveEvent)
+        assert isinstance(system.event("b", "boolean"), BooleanEvent)
+        assert isinstance(system.event("c", "counter"), CounterEvent)

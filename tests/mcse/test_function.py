@@ -1,0 +1,159 @@
+"""Tests for Function life cycle, state tracking and subclassing."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.kernel.time import US
+from repro.mcse import Function, System
+from repro.trace.records import TaskState
+
+
+class TestLifecycle:
+    def test_states_through_simple_run(self):
+        system = System()
+
+        def body(fn):
+            yield from fn.execute(5 * US)
+
+        f = system.function("f", body)
+        system.run()
+        assert f.state is TaskState.TERMINATED
+        assert f.state_durations[TaskState.RUNNING] == 5 * US
+
+    def test_start_time_delays_creation(self):
+        system = System()
+        created = []
+
+        def body(fn):
+            created.append(system.now)
+            yield from fn.execute(1 * US)
+
+        system.function("f", body, start_time=10 * US)
+        system.run()
+        assert created == [10 * US]
+
+    def test_no_behavior_raises(self):
+        system = System()
+        system.function("f", None)
+        with pytest.raises(Exception, match="behavior"):
+            system.run()
+
+    def test_double_start_rejected(self):
+        system = System()
+
+        def body(fn):
+            yield from fn.execute(1 * US)
+
+        f = system.function("f", body)
+        with pytest.raises(ModelError):
+            f.start()
+
+    def test_subclass_behavior(self):
+        system = System()
+        log = []
+
+        class Pinger(Function):
+            def behavior(self):
+                yield from self.execute(3 * US)
+                log.append(self.sim.now)
+
+        Pinger(system.sim, "pinger")
+        system.run()
+        assert log == [3 * US]
+
+    def test_negative_execute_rejected(self):
+        system = System()
+
+        def body(fn):
+            yield from fn.execute(-1)
+
+        system.function("f", body)
+        with pytest.raises(Exception):
+            system.run()
+
+
+class TestStateAccounting:
+    def test_waiting_vs_running_split(self):
+        system = System()
+        ev = system.event("ev", policy="boolean")
+
+        def waiter(fn):
+            yield from fn.execute(2 * US)
+            yield from fn.wait(ev)  # blocks 2us -> 7us
+            yield from fn.execute(3 * US)
+
+        def signaller(fn):
+            yield from fn.delay(7 * US)
+            yield from fn.signal(ev)
+
+        w = system.function("w", waiter)
+        system.function("s", signaller)
+        system.run()
+        assert w.state_durations[TaskState.RUNNING] == 5 * US
+        assert w.state_durations[TaskState.WAITING] == 5 * US
+
+    def test_state_ratio(self):
+        system = System()
+
+        def body(fn):
+            yield from fn.execute(4 * US)
+            yield from fn.delay(6 * US)
+
+        f = system.function("f", body)
+        system.run(10 * US)
+        assert f.state_ratio(TaskState.RUNNING) == pytest.approx(0.4)
+        assert f.state_ratio(TaskState.WAITING) == pytest.approx(0.6)
+
+    def test_state_ratio_empty_run(self):
+        system = System()
+
+        def body(fn):
+            yield from fn.execute(1 * US)
+
+        f = system.function("f", body)
+        assert f.state_ratio(TaskState.RUNNING) == 0.0
+
+    def test_hw_function_has_no_processor(self):
+        system = System()
+
+        def body(fn):
+            yield from fn.execute(1 * US)
+
+        f = system.function("f", body)
+        assert f.processor_name is None
+
+
+class TestSystemFacade:
+    def test_duplicate_function_rejected(self):
+        system = System()
+
+        def body(fn):
+            yield from fn.execute(1 * US)
+
+        system.function("f", body)
+        with pytest.raises(ModelError):
+            system.function("f", body)
+
+    def test_getitem_lookup(self):
+        system = System()
+
+        def body(fn):
+            yield from fn.execute(1 * US)
+
+        f = system.function("f", body)
+        q = system.queue("q")
+        assert system["f"] is f
+        assert system["q"] is q
+        with pytest.raises(KeyError):
+            system["nope"]
+
+    def test_add_function_registers_subclass(self):
+        system = System()
+
+        class Thing(Function):
+            def behavior(self):
+                yield from self.execute(1 * US)
+
+        thing = Thing(system.sim, "thing")
+        system.add_function(thing)
+        assert system["thing"] is thing

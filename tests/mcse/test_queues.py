@@ -1,0 +1,185 @@
+"""Tests for MCSE message queues."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.kernel.time import US
+from repro.mcse import System
+
+
+class TestBasicExchange:
+    def test_fifo_order(self):
+        system = System()
+        q = system.queue("q", capacity=4)
+        got = []
+
+        def producer(fn):
+            for i in range(5):
+                yield from fn.write(q, i)
+                yield from fn.execute(1 * US)
+
+        def consumer(fn):
+            for _ in range(5):
+                item = yield from fn.read(q)
+                got.append(item)
+
+        system.function("p", producer)
+        system.function("c", consumer)
+        system.run()
+        assert got == [0, 1, 2, 3, 4]
+        assert q.total_put == 5
+        assert q.total_got == 5
+
+    def test_reader_blocks_until_message(self):
+        system = System()
+        q = system.queue("q")
+        got = []
+
+        def consumer(fn):
+            item = yield from fn.read(q)
+            got.append((system.now, item))
+
+        def producer(fn):
+            yield from fn.execute(7 * US)
+            yield from fn.write(q, "msg")
+
+        system.function("c", consumer)
+        system.function("p", producer)
+        system.run()
+        assert got == [(7 * US, "msg")]
+
+    def test_writer_blocks_when_full(self):
+        system = System()
+        q = system.queue("q", capacity=1)
+        times = {}
+
+        def producer(fn):
+            yield from fn.write(q, "a")
+            times["a"] = system.now
+            yield from fn.write(q, "b")  # blocks: queue holds "a"
+            times["b"] = system.now
+
+        def consumer(fn):
+            yield from fn.delay(10 * US)
+            yield from fn.read(q)
+
+        system.function("p", producer)
+        system.function("c", consumer)
+        system.run()
+        assert times["a"] == 0
+        assert times["b"] == 10 * US
+        assert len(q) == 1  # "b" moved into the freed slot
+
+    def test_unbounded_never_blocks_writer(self):
+        system = System()
+        q = system.queue("q", capacity=None)
+
+        def producer(fn):
+            for i in range(100):
+                yield from fn.write(q, i)
+
+        system.function("p", producer)
+        system.run(1 * US)
+        assert len(q) == 100
+        assert not q.full
+
+    def test_direct_handoff_preserves_order(self):
+        """A put with blocked readers must not overtake buffered items."""
+        system = System()
+        q = system.queue("q", capacity=4)
+        got = []
+
+        def consumer(fn):
+            for _ in range(3):
+                item = yield from fn.read(q)
+                got.append(item)
+                yield from fn.execute(1 * US)
+
+        def producer(fn):
+            yield from fn.delay(5 * US)
+            for i in range(3):
+                yield from fn.write(q, i)
+
+        system.function("c", consumer)
+        system.function("p", producer)
+        system.run()
+        assert got == [0, 1, 2]
+
+
+class TestQueueValidation:
+    def test_zero_capacity_rejected(self):
+        system = System()
+        with pytest.raises(ModelError):
+            system.queue("q", capacity=0)
+
+    def test_duplicate_relation_name_rejected(self):
+        system = System()
+        system.queue("q")
+        with pytest.raises(ModelError):
+            system.queue("q")
+
+
+class TestMultipleClients:
+    def test_two_consumers_each_message_delivered_once(self):
+        system = System()
+        q = system.queue("q", capacity=8)
+        got = []
+
+        def consumer(tag):
+            def body(fn):
+                while True:
+                    item = yield from fn.read(q)
+                    got.append((tag, item))
+
+            return body
+
+        def producer(fn):
+            for i in range(6):
+                yield from fn.execute(1 * US)
+                yield from fn.write(q, i)
+
+        system.function("c1", consumer("c1"))
+        system.function("c2", consumer("c2"))
+        system.function("p", producer)
+        system.run(100 * US)
+        assert sorted(item for _, item in got) == [0, 1, 2, 3, 4, 5]
+
+    def test_two_producers_all_messages_arrive(self):
+        system = System()
+        q = system.queue("q", capacity=2)
+        got = []
+
+        def producer(base):
+            def body(fn):
+                for i in range(3):
+                    yield from fn.write(q, base + i)
+
+            return body
+
+        def consumer(fn):
+            for _ in range(6):
+                yield from fn.execute(1 * US)
+                item = yield from fn.read(q)
+                got.append(item)
+
+        system.function("p1", producer(0))
+        system.function("p2", producer(100))
+        system.function("c", consumer)
+        system.run()
+        assert sorted(got) == [0, 1, 2, 100, 101, 102]
+
+
+class TestOccupancyTracking:
+    def test_mean_occupancy(self):
+        system = System()
+        q = system.queue("q", capacity=4)
+
+        def producer(fn):
+            yield from fn.write(q, "x")  # occupancy 1 from t=0
+            yield from fn.delay(10 * US)
+            yield from fn.read(q)  # occupancy 0 from t=10us
+
+        system.function("p", producer)
+        system.run(20 * US)
+        # occupied 10us of 20us at level 1
+        assert q.mean_occupancy() == pytest.approx(0.5)

@@ -1,0 +1,140 @@
+"""Tests for shared variables and mutual exclusion."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.kernel.time import US
+from repro.mcse import System
+from repro.trace.records import TaskState
+
+
+class TestLocking:
+    def test_mutual_exclusion(self):
+        system = System()
+        sv = system.shared("sv", initial=0)
+        critical = []
+
+        def contender(tag):
+            def body(fn):
+                yield from fn.lock(sv)
+                critical.append(tag)
+                assert len(critical) == 1, "two owners inside the critical section"
+                yield from fn.execute(5 * US)
+                sv.value += 1
+                critical.remove(tag)
+                yield from fn.unlock(sv)
+
+            return body
+
+        for tag in ("a", "b", "c"):
+            system.function(tag, contender(tag))
+        system.run()
+        assert sv.value == 3
+        assert sv.acquisitions == 3
+        assert sv.contentions == 2
+
+    def test_fifo_handoff(self):
+        system = System()
+        sv = system.shared("sv")
+        order = []
+
+        def holder(fn):
+            yield from fn.lock(sv)
+            yield from fn.execute(10 * US)
+            yield from fn.unlock(sv)
+
+        def contender(tag, delay):
+            def body(fn):
+                yield from fn.delay(delay)
+                yield from fn.lock(sv)
+                order.append(tag)
+                yield from fn.unlock(sv)
+
+            return body
+
+        system.function("h", holder)
+        system.function("late", contender("late", 2 * US))
+        system.function("later", contender("later", 3 * US))
+        system.run()
+        assert order == ["late", "later"]
+
+    def test_unlock_not_owner_rejected(self):
+        system = System()
+        sv = system.shared("sv")
+
+        def thief(fn):
+            yield from fn.unlock(sv)
+
+        system.function("t", thief)
+        with pytest.raises(Exception):
+            system.run()
+
+    def test_unlock_unlocked_rejected(self):
+        system = System()
+        sv = system.shared("sv")
+        with pytest.raises(ModelError):
+            sv.unlock(None)
+
+
+class TestConvenienceAccessors:
+    def test_read_shared(self):
+        system = System()
+        sv = system.shared("sv", initial=42)
+        got = []
+
+        def reader(fn):
+            value = yield from fn.read_shared(sv)
+            got.append(value)
+
+        system.function("r", reader)
+        system.run()
+        assert got == [42]
+        assert not sv.locked
+
+    def test_write_shared_with_hold(self):
+        system = System()
+        sv = system.shared("sv", initial=0)
+
+        def writer(fn):
+            yield from fn.write_shared(sv, 7, hold=5 * US)
+
+        system.function("w", writer)
+        end = system.run()
+        assert sv.value == 7
+        assert end == 5 * US
+        assert sv.locked_time() == 5 * US
+
+
+class TestResourceWaitState:
+    def test_blocked_lock_counts_as_waiting_resource(self):
+        system = System()
+        sv = system.shared("sv")
+
+        def holder(fn):
+            yield from fn.lock(sv)
+            yield from fn.execute(10 * US)
+            yield from fn.unlock(sv)
+
+        def contender(fn):
+            yield from fn.delay(2 * US)
+            yield from fn.lock(sv)
+            yield from fn.unlock(sv)
+
+        system.function("h", holder)
+        c = system.function("c", contender)
+        system.run()
+        # blocked from 2us to 10us
+        assert c.state_durations[TaskState.WAITING_RESOURCE] == 8 * US
+
+    def test_utilization(self):
+        system = System()
+        sv = system.shared("sv")
+
+        def holder(fn):
+            yield from fn.lock(sv)
+            yield from fn.execute(5 * US)
+            yield from fn.unlock(sv)
+
+        system.function("h", holder)
+        system.run(10 * US)
+        assert sv.utilization() == pytest.approx(0.5)

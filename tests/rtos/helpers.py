@@ -1,0 +1,98 @@
+"""Scenario builders shared by the RTOS tests and benchmarks."""
+
+from repro.kernel.time import US
+from repro.mcse import System
+
+#: The paper's Figure-6 overhead settings: 5us for each component.
+FIG6_OVERHEADS = dict(
+    scheduling_duration=5 * US,
+    context_load_duration=5 * US,
+    context_save_duration=5 * US,
+)
+
+
+def build_fig6_system(engine="procedural", clk_period=100 * US, overheads=None):
+    """The §5 example: HW Clock + three prioritized functions on one CPU.
+
+    Returns ``(system, log)`` where ``log`` collects (tag, time) tuples
+    for the observable instants the paper measures on the TimeLine.
+    """
+    system = System("fig6")
+    clk = system.event("Clk", policy="fugitive")
+    ev1 = system.event("Event_1", policy="boolean")
+    cpu = system.processor(
+        "Processor", engine=engine, **(overheads or FIG6_OVERHEADS)
+    )
+    log = []
+
+    def f1(fn):
+        yield from fn.wait(clk)
+        log.append(("F1-start", system.now))
+        yield from fn.execute(20 * US)
+        log.append(("F1-signal", system.now))
+        yield from fn.signal(ev1)
+        yield from fn.execute(10 * US)
+        log.append(("F1-end", system.now))
+
+    def f2(fn):
+        yield from fn.wait(ev1)
+        log.append(("F2-start", system.now))
+        yield from fn.execute(30 * US)
+        log.append(("F2-end", system.now))
+
+    def f3(fn):
+        yield from fn.execute(200 * US)
+        log.append(("F3-end", system.now))
+
+    def clock(fn):
+        yield from fn.delay(clk_period)
+        log.append(("Clk", system.now))
+        yield from fn.signal(clk)
+
+    funcs = [
+        system.function("Function_1", f1, priority=5),
+        system.function("Function_2", f2, priority=3),
+        system.function("Function_3", f3, priority=2),
+    ]
+    system.function("Clock", clock)  # hardware task
+    for fn in funcs:
+        cpu.map(fn)
+    return system, log
+
+
+def build_pingpong_system(engine="procedural", rounds=5, overheads=None):
+    """Two tasks exchanging messages through bounded queues."""
+    system = System("pingpong")
+    to_b = system.queue("to_b", capacity=1)
+    to_a = system.queue("to_a", capacity=1)
+    cpu = system.processor(
+        "cpu", engine=engine, **(overheads or FIG6_OVERHEADS)
+    )
+    log = []
+
+    def ping(fn):
+        for i in range(rounds):
+            yield from fn.execute(3 * US)
+            yield from fn.write(to_b, i)
+            reply = yield from fn.read(to_a)
+            log.append(("a-got", reply, system.now))
+
+    def pong(fn):
+        for _ in range(rounds):
+            item = yield from fn.read(to_b)
+            yield from fn.execute(2 * US)
+            yield from fn.write(to_a, item * 10)
+            log.append(("b-sent", item, system.now))
+
+    a = system.function("ping", ping, priority=2)
+    b = system.function("pong", pong, priority=1)
+    cpu.map(a)
+    cpu.map(b)
+    return system, log
+
+
+def run_scenario(builder, engine, **kwargs):
+    """Run a scenario builder to completion; return its observation log."""
+    system, log = builder(engine=engine, **kwargs)
+    system.run()
+    return log, system

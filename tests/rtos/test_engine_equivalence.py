@@ -1,0 +1,119 @@
+"""Both RTOS engines must produce identical simulated timing.
+
+The paper presents the dedicated-thread (§4.1) and procedure-call (§4.2)
+techniques as two implementations of the *same* model, differing only in
+simulation cost.  These tests run a battery of scenarios on both engines
+and require bit-identical observation logs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.time import US
+from repro.mcse import System
+
+from .helpers import build_fig6_system, build_pingpong_system
+
+
+def run(builder, engine, **kwargs):
+    system, log = builder(engine=engine, **kwargs)
+    system.run()
+    return log
+
+
+class TestScenarioBattery:
+    def test_fig6_identical(self):
+        assert run(build_fig6_system, "procedural") == run(
+            build_fig6_system, "threaded"
+        )
+
+    def test_fig6_zero_overheads_identical(self):
+        zero = dict(scheduling_duration=0, context_load_duration=0,
+                    context_save_duration=0)
+        assert run(build_fig6_system, "procedural", overheads=zero) == run(
+            build_fig6_system, "threaded", overheads=zero
+        )
+
+    def test_pingpong_identical(self):
+        assert run(build_pingpong_system, "procedural", rounds=8) == run(
+            build_pingpong_system, "threaded", rounds=8
+        )
+
+    @pytest.mark.parametrize("period", [30 * US, 55 * US, 130 * US])
+    def test_fig6_various_clock_periods(self, period):
+        assert run(build_fig6_system, "procedural", clk_period=period) == run(
+            build_fig6_system, "threaded", clk_period=period
+        )
+
+
+def build_random_system(engine, seed_spec):
+    """A randomized periodic workload driven by hypothesis-chosen integers.
+
+    ``seed_spec`` is a list of (period_factor, exec_factor, priority)
+    triples; every task periodically computes then sleeps.
+    """
+    system = System("rand")
+    cpu = system.processor(
+        "cpu",
+        engine=engine,
+        scheduling_duration=2 * US,
+        context_load_duration=1 * US,
+        context_save_duration=1 * US,
+    )
+    log = []
+
+    def make(tag, period, exec_time):
+        def body(fn):
+            for _ in range(4):
+                yield from fn.execute(exec_time)
+                log.append((tag, system.now))
+                yield from fn.delay(period)
+
+        return body
+
+    for index, (pf, ef, prio) in enumerate(seed_spec):
+        period = (5 + pf) * US
+        exec_time = (1 + ef) * US
+        fn = system.function(f"t{index}", make(f"t{index}", period, exec_time),
+                             priority=prio)
+        cpu.map(fn)
+    return system, log
+
+
+class TestRandomizedEquivalence:
+    @given(
+        spec=st.lists(
+            st.tuples(
+                st.integers(0, 20),
+                st.integers(0, 8),
+                st.integers(0, 5),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_engines_agree_on_random_workloads(self, spec):
+        sys_p, log_p = build_random_system("procedural", spec)
+        sys_t, log_t = build_random_system("threaded", spec)
+        sys_p.run()
+        sys_t.run()
+        assert log_p == log_t
+
+    @given(
+        spec=st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 8), st.integers(0, 5)),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_threaded_never_cheaper_in_switches(self, spec):
+        sys_p, _ = build_random_system("procedural", spec)
+        sys_t, _ = build_random_system("threaded", spec)
+        sys_p.run()
+        sys_t.run()
+        assert (
+            sys_t.sim.process_switch_count >= sys_p.sim.process_switch_count
+        )

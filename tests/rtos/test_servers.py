@@ -1,0 +1,174 @@
+"""Tests for the polling and deferrable aperiodic servers."""
+
+import pytest
+
+from repro.errors import RTOSError
+from repro.kernel.time import MS, US
+from repro.mcse import System
+from repro.rtos.servers import DeferrableServer, PollingServer
+
+
+def make_system():
+    system = System("srv")
+    cpu = system.processor("cpu")
+    return system, cpu
+
+
+class TestValidation:
+    def test_bad_period(self):
+        system, cpu = make_system()
+        with pytest.raises(RTOSError):
+            PollingServer(system, cpu, "ps", period=0, budget=1, priority=5)
+
+    def test_bad_budget(self):
+        system, cpu = make_system()
+        with pytest.raises(RTOSError):
+            PollingServer(system, cpu, "ps", period=10 * MS, budget=11 * MS,
+                          priority=5)
+
+    def test_bad_request(self):
+        system, cpu = make_system()
+        server = PollingServer(system, cpu, "ps", period=10 * MS,
+                               budget=2 * MS, priority=5)
+        with pytest.raises(RTOSError):
+            server.submit(0)
+
+
+class TestPollingServer:
+    def test_serves_at_period_boundaries(self):
+        system, cpu = make_system()
+        server = PollingServer(system, cpu, "ps", period=10 * MS,
+                               budget=3 * MS, priority=5)
+        request = server.submit(1 * MS)  # arrives at t=0
+        system.run(25 * MS)
+        # polling: served at the first boundary (10ms), not immediately
+        assert request.completion == 11 * MS
+        assert request.response_time == 11 * MS
+
+    def test_budget_limits_service(self):
+        system, cpu = make_system()
+        server = PollingServer(system, cpu, "ps", period=10 * MS,
+                               budget=2 * MS, priority=5)
+        request = server.submit(5 * MS)  # needs 3 periods of budget
+        system.run(50 * MS)
+        # 2ms at t=10..12, 2ms at 20..22, 1ms at 30..31
+        assert request.completion == 31 * MS
+        assert server.exhaustions == 2
+
+    def test_multiple_requests_fifo(self):
+        system, cpu = make_system()
+        server = PollingServer(system, cpu, "ps", period=10 * MS,
+                               budget=5 * MS, priority=5)
+        first = server.submit(2 * MS)
+        second = server.submit(2 * MS)
+        system.run(25 * MS)
+        assert first.completion == 12 * MS
+        assert second.completion == 14 * MS
+
+    def test_idle_budget_forfeited(self):
+        """A request arriving just after the boundary waits a full period."""
+        system, cpu = make_system()
+        server = PollingServer(system, cpu, "ps", period=10 * MS,
+                               budget=5 * MS, priority=5)
+        holder = {}
+
+        def submitter(fn):
+            yield from fn.delay(10 * MS + 1 * US)
+            holder["req"] = server.submit(1 * MS)
+
+        system.function("hw", submitter)
+        system.run(50 * MS)
+        assert holder["req"].completion == 21 * MS
+
+
+class TestDeferrableServer:
+    def test_serves_immediately_with_budget(self):
+        system, cpu = make_system()
+        server = DeferrableServer(system, cpu, "ds", period=10 * MS,
+                                  budget=3 * MS, priority=5)
+        holder = {}
+
+        def submitter(fn):
+            yield from fn.delay(4 * MS)
+            holder["req"] = server.submit(1 * MS)
+
+        system.function("hw", submitter)
+        system.run(20 * MS)
+        # deferrable: budget was preserved; service starts at arrival
+        assert holder["req"].completion == 5 * MS
+
+    def test_budget_exhaustion_waits_replenishment(self):
+        system, cpu = make_system()
+        server = DeferrableServer(system, cpu, "ds", period=10 * MS,
+                                  budget=2 * MS, priority=5)
+        request = server.submit(5 * MS)
+        system.run(50 * MS)
+        # 2ms at 0..2, wait to 10, 2ms to 12, wait to 20, 1ms to 21
+        assert request.completion == 21 * MS
+        assert server.exhaustions == 2
+
+    def test_better_average_response_than_polling(self):
+        """The textbook result: deferrable beats polling on response."""
+
+        def run(server_cls):
+            system, cpu = make_system()
+            server = server_cls(system, cpu, "srv", period=10 * MS,
+                                budget=4 * MS, priority=5)
+            requests = []
+
+            def submitter(fn):
+                for delay in (3 * MS, 12 * MS, 9 * MS):
+                    yield from fn.delay(delay)
+                    requests.append(server.submit(1 * MS))
+
+            system.function("hw", submitter)
+            system.run(100 * MS)
+            assert all(r.completion is not None for r in requests)
+            return sum(r.response_time for r in requests) / len(requests)
+
+        assert run(DeferrableServer) < run(PollingServer)
+
+    def test_server_preempted_by_higher_priority_keeps_budget_exact(self):
+        """Preemption must not leak server budget (CPU-time accounting)."""
+        system, cpu = make_system()
+        server = DeferrableServer(system, cpu, "ds", period=20 * MS,
+                                  budget=5 * MS, priority=3)
+
+        def interferer(fn):
+            yield from fn.delay(1 * MS)
+            yield from fn.execute(2 * MS)  # preempts the serving server
+
+        cpu.map(system.function("hot", interferer, priority=9))
+        request = server.submit(4 * MS)
+        system.run(40 * MS)
+        # service: 0..1 (1ms), preempted 1..3, resumes 3..6 (3ms more)
+        assert request.completion == 6 * MS
+        assert server.exhaustions == 0  # 4ms of work fit the 5ms budget
+
+    def test_periodic_tasks_still_meet_deadlines(self):
+        """A bounded server coexists with periodic work."""
+        system, cpu = make_system()
+        server = DeferrableServer(system, cpu, "ds", period=10 * MS,
+                                  budget=2 * MS, priority=9)
+        responses = []
+
+        def periodic(fn):
+            release = 0
+            for _ in range(8):
+                yield from fn.execute(3 * MS)
+                responses.append(system.now - release)
+                release += 10 * MS
+                if system.now < release:
+                    yield from fn.delay(release - system.now)
+
+        cpu.map(system.function("periodic", periodic, priority=5))
+
+        def submitter(fn):
+            while True:
+                yield from fn.delay(7 * MS)
+                server.submit(1 * MS)
+
+        system.function("hw", submitter)
+        system.run(80 * MS)
+        # interference is bounded by the server budget: 3ms + at most 2ms
+        assert max(responses) <= 5 * MS

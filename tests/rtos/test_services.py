@@ -1,0 +1,214 @@
+"""Priority inversion (paper Figure 7) and the three fixes.
+
+The paper demonstrates the inversion on a shared variable and proposes
+disabling preemption during the access; this suite reproduces the
+inversion and validates all three remedies on the same workload:
+preemption masking (the paper's), priority inheritance, and priority
+ceiling.
+"""
+
+import pytest
+
+from repro.kernel.time import US
+from repro.mcse import System
+from repro.rtos import CeilingSharedVariable, InheritanceSharedVariable
+
+
+def build_inversion_system(shared_factory, guard_with_preemption_mask=False):
+    """The classic 3-task inversion: H and L share a lock, M interferes.
+
+    Timeline without a remedy (zero RTOS overheads):
+      t=0   L starts, locks the resource at t=1us, holds it for 8us of work
+      t=2   H wakes, preempts L, blocks on the lock at t=3us (L resumes)
+      t=4   M (middle priority, no lock use) wakes and preempts L,
+            running 20us -- this is the inversion: M delays H via L.
+
+    Returns (system, log, shared).
+    """
+    system = System("inversion")
+    cpu = system.processor("cpu")
+    shared = shared_factory(system)
+    log = []
+
+    def low(fn):
+        yield from fn.execute(1 * US)
+        yield from fn.lock(shared)
+        log.append(("L-locked", system.now))
+        if guard_with_preemption_mask:
+            cpu.set_preemptive(False)
+        yield from fn.execute(8 * US)
+        yield from fn.unlock(shared)
+        if guard_with_preemption_mask:
+            cpu.set_preemptive(True)
+        log.append(("L-unlocked", system.now))
+        yield from fn.execute(1 * US)
+
+    def high(fn):
+        yield from fn.delay(2 * US)
+        yield from fn.execute(1 * US)
+        log.append(("H-lock-attempt", system.now))
+        yield from fn.lock(shared)
+        log.append(("H-locked", system.now))
+        yield from fn.execute(2 * US)
+        yield from fn.unlock(shared)
+        log.append(("H-done", system.now))
+
+    def mid(fn):
+        yield from fn.delay(4 * US)
+        yield from fn.execute(20 * US)
+        log.append(("M-done", system.now))
+
+    cpu.map(system.function("L", low, priority=1))
+    cpu.map(system.function("H", high, priority=9))
+    cpu.map(system.function("M", mid, priority=5))
+    return system, log, shared
+
+
+def plain_shared(system):
+    return system.shared("R")
+
+
+class TestPriorityInversion:
+    def test_inversion_happens_with_plain_mutex(self):
+        system, log, _ = build_inversion_system(plain_shared)
+        system.run()
+        times = dict(log)
+        # M's whole 20us of middle-priority work lands between H's lock
+        # attempt and H's acquisition: unbounded priority inversion
+        assert times["M-done"] < times["H-locked"]
+        assert times["H-done"] > 25 * US
+
+    def test_paper_fix_disable_preemption(self):
+        """The paper's remedy: non-preemptive critical region."""
+        system, log, _ = build_inversion_system(
+            plain_shared, guard_with_preemption_mask=True
+        )
+        system.run()
+        times = dict(log)
+        # with the region masked, H acquires as soon as L unlocks, before
+        # M gets to run its 20us
+        assert times["H-locked"] < times["M-done"]
+        assert times["H-done"] < 15 * US
+
+    def test_priority_inheritance_fix(self):
+        system, log, shared = build_inversion_system(
+            lambda s: InheritanceSharedVariable(s.sim, "R")
+        )
+        system.run()
+        times = dict(log)
+        assert times["H-locked"] < times["M-done"]
+        # inheritance is transient: L's boost is gone after unlock
+        assert system.functions["L"].task.inherited_priority is None
+
+    def test_priority_ceiling_fix(self):
+        system, log, shared = build_inversion_system(
+            lambda s: CeilingSharedVariable(s.sim, "R", ceiling=9)
+        )
+        system.run()
+        times = dict(log)
+        assert times["H-locked"] < times["M-done"]
+
+    def test_remedies_preserve_mutual_exclusion(self):
+        for factory in (
+            plain_shared,
+            lambda s: InheritanceSharedVariable(s.sim, "R"),
+            lambda s: CeilingSharedVariable(s.sim, "R", ceiling=9),
+        ):
+            system, log, shared = build_inversion_system(factory)
+            system.run()
+            times = dict(log)
+            # H cannot own the lock before L finished its 8us of locked
+            # work (the L-unlocked *log line* may run later: H preempts L
+            # inside the unlock call itself)
+            assert times["H-locked"] >= times["L-locked"] + 8 * US
+            assert not shared.locked
+
+
+class TestInheritanceMechanics:
+    def test_owner_boosted_while_waiter_blocked(self):
+        system = System("t")
+        cpu = system.processor("cpu")
+        shared = InheritanceSharedVariable(system.sim, "R")
+        observed = {}
+
+        def low(fn):
+            yield from fn.lock(shared)
+            yield from fn.execute(5 * US)
+            observed["during"] = fn.task.effective_priority
+            yield from fn.execute(5 * US)
+            yield from fn.unlock(shared)
+            observed["after"] = fn.task.effective_priority
+
+        def high(fn):
+            yield from fn.delay(2 * US)
+            yield from fn.lock(shared)
+            yield from fn.unlock(shared)
+
+        cpu.map(system.function("low", low, priority=1))
+        cpu.map(system.function("high", high, priority=9))
+        system.run()
+        assert observed["during"] == 9
+        assert observed["after"] == 1
+
+    def test_transitive_inheritance_chain(self):
+        """H blocks on R2 held by M, which blocks on R1 held by L: the
+        boost must flow H -> M -> L so L cannot be starved by mids."""
+        system = System("chain")
+        cpu = system.processor("cpu")
+        r1 = InheritanceSharedVariable(system.sim, "R1")
+        r2 = InheritanceSharedVariable(system.sim, "R2")
+        log = {}
+
+        def low(fn):  # holds R1 for a long section
+            yield from fn.lock(r1)
+            yield from fn.execute(20 * US)
+            log["low_boost"] = fn.task.effective_priority
+            yield from fn.execute(20 * US)
+            yield from fn.unlock(r1)
+
+        def mid(fn):  # takes R2, then blocks on R1
+            yield from fn.delay(2 * US)
+            yield from fn.lock(r2)
+            yield from fn.lock(r1)
+            yield from fn.unlock(r1)
+            yield from fn.unlock(r2)
+
+        def high(fn):  # blocks on R2 at t=10us
+            yield from fn.delay(10 * US)
+            yield from fn.lock(r2)
+            yield from fn.unlock(r2)
+            log["high_done"] = system.now
+
+        def interferer(fn):  # must NOT run while the chain is boosted
+            yield from fn.delay(12 * US)
+            yield from fn.execute(100 * US)
+            log["interferer_done"] = system.now
+
+        cpu.map(system.function("L", low, priority=1))
+        cpu.map(system.function("M", mid, priority=3))
+        cpu.map(system.function("H", high, priority=9))
+        cpu.map(system.function("I", interferer, priority=5))
+        system.run()
+        # L inherited H's priority through M's block on R1
+        assert log["low_boost"] == 9
+        # so H finished before the priority-5 interferer got the CPU
+        assert log["high_done"] < log["interferer_done"] - 100 * US + 1
+
+    def test_ceiling_applies_for_whole_section(self):
+        system = System("t")
+        cpu = system.processor("cpu")
+        shared = CeilingSharedVariable(system.sim, "R", ceiling=7)
+        observed = {}
+
+        def solo(fn):
+            before = fn.task.effective_priority
+            yield from fn.lock(shared)
+            inside = fn.task.effective_priority
+            yield from fn.execute(1 * US)
+            yield from fn.unlock(shared)
+            after = fn.task.effective_priority
+            observed.update(before=before, inside=inside, after=after)
+
+        cpu.map(system.function("solo", solo, priority=2))
+        system.run()
+        assert observed == {"before": 2, "inside": 7, "after": 2}

@@ -1,0 +1,118 @@
+"""Tests for processor speed scaling ('the effect of processor change')."""
+
+import pytest
+
+from repro.errors import RTOSError
+from repro.kernel.time import MS, US
+from repro.mcse import System
+
+
+def run_on_speed(speed, work=10 * US):
+    system = System("speed")
+    cpu = system.processor("cpu", speed=speed)
+
+    def body(fn):
+        yield from fn.execute(work)
+
+    fn = system.function("t", body)
+    cpu.map(fn)
+    end = system.run()
+    return end, fn.task.cpu_time
+
+
+class TestSpeedScaling:
+    def test_default_speed_is_nominal(self):
+        end, cpu_time = run_on_speed(1.0)
+        assert end == 10 * US
+        assert cpu_time == 10 * US
+
+    def test_double_speed_halves_time(self):
+        end, cpu_time = run_on_speed(2.0)
+        assert end == 5 * US
+        assert cpu_time == 5 * US
+
+    def test_half_speed_doubles_time(self):
+        end, _ = run_on_speed(0.5)
+        assert end == 20 * US
+
+    def test_invalid_speed(self):
+        system = System("t")
+        with pytest.raises(RTOSError):
+            system.processor("cpu", speed=0)
+
+    def test_zero_budget_stays_zero(self):
+        system = System("t")
+        cpu = system.processor("cpu", speed=3.0)
+        assert cpu.scale_duration(0) == 0
+
+    def test_heterogeneous_processors(self):
+        """The same behavior on a fast and a slow core: the fast core's
+        task finishes proportionally earlier."""
+        system = System("hetero")
+        fast = system.processor("fast", speed=4.0)
+        slow = system.processor("slow", speed=1.0)
+        done = {}
+
+        def make(tag):
+            def body(fn):
+                yield from fn.execute(20 * US)
+                done[tag] = system.now
+
+            return body
+
+        fast.map(system.function("on_fast", make("fast")))
+        slow.map(system.function("on_slow", make("slow")))
+        system.run()
+        assert done["fast"] == 5 * US
+        assert done["slow"] == 20 * US
+
+    def test_overheads_not_scaled(self):
+        """RTOS overheads are wall-clock properties of the OS and are
+        configured directly; speed scales only compute budgets."""
+        system = System("t")
+        cpu = system.processor("cpu", speed=2.0, scheduling_duration=4 * US)
+
+        def body(fn):
+            yield from fn.execute(10 * US)
+
+        cpu.map(system.function("t", body))
+        end = system.run()
+        # idle-dispatch sched 4us + 5us scaled work + terminate sched 4us
+        assert end == 13 * US
+        assert cpu.overhead_time == 8 * US
+
+    def test_hw_functions_unaffected(self):
+        system = System("t")
+        system.processor("cpu", speed=8.0)
+        log = []
+
+        def hw(fn):
+            yield from fn.execute(10 * US)
+            log.append(system.now)
+
+        system.function("hw", hw)  # not mapped
+        system.run()
+        assert log == [10 * US]
+
+    def test_speed_preserves_preemption_exactness(self):
+        system = System("t")
+        cpu = system.processor("cpu", speed=2.0)
+        tick = system.event("tick", policy="counter")
+        log = []
+
+        def worker(fn):
+            yield from fn.execute(100 * US)  # 50us on this core
+            log.append(("worker-done", system.now))
+
+        def urgent(fn):
+            yield from fn.wait(tick)
+            yield from fn.execute(10 * US)  # 5us on this core
+            log.append(("urgent-done", system.now))
+
+        cpu.map(system.function("worker", worker, priority=1))
+        cpu.map(system.function("urgent", urgent, priority=9))
+        system.sim.schedule_callback(20 * US, tick.signal)
+        system.run()
+        times = dict(log)
+        assert times["urgent-done"] == 25 * US
+        assert times["worker-done"] == 55 * US  # exact 50us of core time

@@ -1,0 +1,63 @@
+"""Tests for the Figure-2/4 task state machine."""
+
+import pytest
+
+from repro.errors import TaskStateError
+from repro.rtos import ALLOWED_TRANSITIONS, check_transition
+from repro.trace.records import TaskState
+
+
+class TestTransitionMap:
+    def test_created_only_goes_ready(self):
+        assert ALLOWED_TRANSITIONS[TaskState.CREATED] == {TaskState.READY}
+
+    def test_ready_only_goes_running(self):
+        assert ALLOWED_TRANSITIONS[TaskState.READY] == {TaskState.RUNNING}
+
+    def test_running_exits(self):
+        assert ALLOWED_TRANSITIONS[TaskState.RUNNING] == {
+            TaskState.READY,
+            TaskState.WAITING,
+            TaskState.WAITING_RESOURCE,
+            TaskState.TERMINATED,
+        }
+
+    def test_waiting_only_goes_ready(self):
+        assert ALLOWED_TRANSITIONS[TaskState.WAITING] == {TaskState.READY}
+        assert ALLOWED_TRANSITIONS[TaskState.WAITING_RESOURCE] == {TaskState.READY}
+
+    def test_terminated_is_final(self):
+        assert ALLOWED_TRANSITIONS[TaskState.TERMINATED] == frozenset()
+
+    def test_every_state_covered(self):
+        assert set(ALLOWED_TRANSITIONS) == set(TaskState)
+
+
+class TestCheckTransition:
+    @pytest.mark.parametrize(
+        "src,dst",
+        [
+            (TaskState.CREATED, TaskState.READY),
+            (TaskState.READY, TaskState.RUNNING),
+            (TaskState.RUNNING, TaskState.WAITING),
+            (TaskState.RUNNING, TaskState.READY),
+            (TaskState.WAITING, TaskState.READY),
+            (TaskState.RUNNING, TaskState.TERMINATED),
+        ],
+    )
+    def test_legal(self, src, dst):
+        check_transition("t", src, dst)  # no exception
+
+    @pytest.mark.parametrize(
+        "src,dst",
+        [
+            (TaskState.CREATED, TaskState.RUNNING),  # must go via READY
+            (TaskState.READY, TaskState.WAITING),  # cannot block while ready
+            (TaskState.WAITING, TaskState.RUNNING),  # must go via READY
+            (TaskState.TERMINATED, TaskState.READY),  # no resurrection
+            (TaskState.READY, TaskState.TERMINATED),
+        ],
+    )
+    def test_illegal(self, src, dst):
+        with pytest.raises(TaskStateError):
+            check_transition("t", src, dst)

@@ -1,0 +1,155 @@
+"""Tests for the dedicated-RTOS-thread engine (paper §4.1)."""
+
+from repro.kernel.time import US
+from repro.mcse import System
+from repro.trace.records import TaskState
+
+from .helpers import build_fig6_system
+
+
+class TestFig6OnThreadedEngine:
+    def test_same_observable_timings_as_procedural(self):
+        sys_p, log_p = build_fig6_system("procedural")
+        sys_t, log_t = build_fig6_system("threaded")
+        sys_p.run()
+        sys_t.run()
+        assert log_p == log_t
+
+    def test_reaction_time(self):
+        system, log = build_fig6_system("threaded")
+        system.run()
+        times = dict(log)
+        assert times["F1-start"] - times["Clk"] == 15 * US
+
+    def test_time_accurate_preemption(self):
+        system, log = build_fig6_system("threaded")
+        system.run()
+        f3 = system.functions["Function_3"]
+        assert f3.task.cpu_time == 200 * US
+
+    def test_rtos_thread_exists_and_is_daemon(self):
+        system, _ = build_fig6_system("threaded")
+        cpu = system.processors["Processor"]
+        assert cpu._rtos_process.daemon
+        system.run(error_on_deadlock=True)  # daemon must not trip the check
+
+
+class TestThreadedCostsMoreSwitches:
+    def test_more_process_switches_than_procedural(self):
+        """The paper's §4 point: the RTOS thread doubles the switching."""
+        sys_p, _ = build_fig6_system("procedural")
+        sys_p.run()
+        sys_t, _ = build_fig6_system("threaded")
+        sys_t.run()
+        assert sys_t.sim.process_switch_count > sys_p.sim.process_switch_count
+
+
+class TestThreadedBasics:
+    def test_blocking_and_wakeup(self):
+        system = System("t")
+        cpu = system.processor("cpu", engine="threaded")
+        ev = system.event("ev", policy="boolean")
+        log = []
+
+        def sleeper(fn):
+            yield from fn.wait(ev)
+            log.append(system.now)
+            yield from fn.execute(1 * US)
+
+        cpu.map(system.function("s", sleeper, priority=1))
+
+        def hw(fn):
+            yield from fn.delay(20 * US)
+            yield from fn.signal(ev)
+
+        system.function("hw", hw)
+        system.run()
+        assert log == [20 * US]
+
+    def test_signal_with_no_waiter_costs_nothing(self):
+        """An event set while the peer is still Ready (not Waiting) wakes
+        nobody, so the RTOS charges no scheduling pass."""
+        system = System("t")
+        cpu = system.processor("cpu", engine="threaded",
+                               scheduling_duration=5 * US)
+        ev = system.event("ev", policy="boolean")
+        log = []
+
+        def high(fn):
+            yield from fn.execute(10 * US)
+            yield from fn.signal(ev)  # low is READY, not waiting: no charge
+            yield from fn.execute(10 * US)
+            log.append(("high-end", system.now))
+
+        def low(fn):
+            yield from fn.wait(ev)
+            yield from fn.execute(1 * US)
+            log.append(("low-end", system.now))
+
+        cpu.map(system.function("high", high, priority=9))
+        cpu.map(system.function("low", low, priority=1))
+        system.run()
+        times = dict(log)
+        # initial dispatch: sched 5us; high runs 10+10us with no extra cost
+        assert times["high-end"] == 25 * US
+        # high terminates (sched 5us), low consumes the memorized event
+        assert times["low-end"] == 31 * US
+
+    def test_local_signal_no_preempt_charges_one_sched_pass(self):
+        """A signal that wakes a blocked lower-priority task costs one
+        scheduling duration inline in the caller (paper case (c))."""
+        system = System("t")
+        cpu = system.processor("cpu", engine="threaded",
+                               scheduling_duration=5 * US)
+        ev = system.event("ev", policy="boolean")
+        log = []
+
+        def high(fn):
+            yield from fn.delay(20 * US)  # let low block on ev first
+            log.append(("high-resume", system.now))
+            yield from fn.execute(10 * US)
+            yield from fn.signal(ev)  # low IS waiting: 5us sched inline
+            yield from fn.execute(10 * US)
+            log.append(("high-end", system.now))
+
+        def low(fn):
+            yield from fn.wait(ev)
+            yield from fn.execute(1 * US)
+            log.append(("low-end", system.now))
+
+        cpu.map(system.function("high", high, priority=9))
+        cpu.map(system.function("low", low, priority=1))
+        system.run()
+        times = dict(log)
+        resume = times["high-resume"]
+        # 10us execute + 5us inline sched + 10us execute after the resume
+        assert times["high-end"] - resume == 25 * US
+
+    def test_local_signal_preemption(self):
+        system = System("t")
+        cpu = system.processor("cpu", engine="threaded")
+        ev = system.event("ev", policy="boolean")
+        log = []
+
+        def low(fn):
+            yield from fn.execute(5 * US)
+            yield from fn.signal(ev)  # wakes high: self-preemption
+            yield from fn.execute(5 * US)
+            log.append(("low-end", system.now))
+
+        def high(fn):
+            yield from fn.wait(ev)
+            yield from fn.execute(3 * US)
+            log.append(("high-end", system.now))
+
+        cpu.map(system.function("low", low, priority=1))
+        cpu.map(system.function("high", high, priority=9))
+        system.run()
+        times = dict(log)
+        assert times["high-end"] == 8 * US
+        assert times["low-end"] == 13 * US
+
+    def test_stats_engine_label(self):
+        system = System("t")
+        cpu = system.processor("cpu", engine="threaded")
+        assert cpu.stats()["engine"] == "threaded"

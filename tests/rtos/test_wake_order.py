@@ -1,0 +1,149 @@
+"""Tests for priority wake-order on relations, including under RTOS."""
+
+import pytest
+
+from repro.kernel.time import US
+from repro.mcse import System
+from repro.mcse.queues import MessageQueue
+from repro.mcse.shared import SharedVariable
+
+
+class TestQueueWakeOrder:
+    def build(self, wake_order):
+        system = System("wq")
+        queue = MessageQueue(system.sim, "q", capacity=8,
+                             wake_order=wake_order)
+        system.relations["q"] = queue
+        got = []
+
+        def reader(tag, priority):
+            def body(fn):
+                item = yield from fn.read(queue)
+                got.append((tag, item))
+
+            return system.function(tag, body, priority=priority)
+
+        return system, queue, got, reader
+
+    def test_fifo_readers(self):
+        system, queue, got, reader = self.build("fifo")
+        reader("first", priority=1)
+        reader("second", priority=9)
+
+        def producer(fn):
+            yield from fn.delay(5 * US)
+            yield from fn.write(queue, "a")
+            yield from fn.write(queue, "b")
+
+        system.function("p", producer)
+        system.run()
+        assert got == [("first", "a"), ("second", "b")]
+
+    def test_priority_readers(self):
+        system, queue, got, reader = self.build("priority")
+        reader("low", priority=1)
+        reader("high", priority=9)
+
+        def producer(fn):
+            yield from fn.delay(5 * US)
+            yield from fn.write(queue, "a")
+            yield from fn.write(queue, "b")
+
+        system.function("p", producer)
+        system.run()
+        assert got == [("high", "a"), ("low", "b")]
+
+    def test_priority_writers_when_full(self):
+        system = System("ww")
+        queue = MessageQueue(system.sim, "q", capacity=1,
+                             wake_order="priority")
+        order = []
+
+        def writer(tag, priority, delay):
+            def body(fn):
+                yield from fn.delay(delay)
+                yield from fn.write(queue, tag)
+                order.append(tag)
+
+            return system.function(tag, body, priority=priority)
+
+        def filler(fn):
+            yield from fn.write(queue, "fill")
+
+        system.function("filler", filler)
+        writer("low", 1, 1 * US)
+        writer("high", 9, 2 * US)
+
+        def consumer(fn):
+            yield from fn.delay(10 * US)
+            for _ in range(3):
+                yield from fn.read(queue)
+                yield from fn.delay(1 * US)
+
+        system.function("c", consumer)
+        system.run()
+        # when a slot frees, the higher-priority blocked writer wins
+        # even though it arrived later
+        assert order.index("high") < order.index("low")
+
+
+class TestSharedWakeOrder:
+    def test_priority_lock_handoff(self):
+        system = System("sw")
+        shared = SharedVariable(system.sim, "sv", wake_order="priority")
+        system.relations["sv"] = shared
+        order = []
+
+        def holder(fn):
+            yield from fn.lock(shared)
+            yield from fn.execute(10 * US)
+            yield from fn.unlock(shared)
+
+        def contender(tag, priority, delay):
+            def body(fn):
+                yield from fn.delay(delay)
+                yield from fn.lock(shared)
+                order.append(tag)
+                yield from fn.unlock(shared)
+
+            return system.function(tag, body, priority=priority)
+
+        system.function("h", holder)
+        contender("low", 1, 1 * US)
+        contender("high", 9, 2 * US)
+        system.run()
+        assert order == ["high", "low"]
+
+
+class TestWakeOrderUnderRtos:
+    def test_priority_queue_with_mapped_readers(self):
+        """Relation wake-order composes with CPU scheduling: the
+        higher-priority task gets both the message and the CPU first."""
+        system = System("rtos_wq")
+        queue = MessageQueue(system.sim, "q", capacity=8,
+                             wake_order="priority")
+        system.relations["q"] = queue
+        cpu = system.processor("cpu")
+        got = []
+
+        def reader(tag):
+            def body(fn):
+                item = yield from fn.read(queue)
+                yield from fn.execute(2 * US)
+                got.append((tag, item, system.now))
+
+            return body
+
+        cpu.map(system.function("low", reader("low"), priority=1))
+        cpu.map(system.function("high", reader("high"), priority=9))
+
+        def hw(fn):
+            yield from fn.delay(5 * US)
+            yield from fn.write(queue, "m1")
+            yield from fn.write(queue, "m2")
+
+        system.function("hw", hw)
+        system.run()
+        assert [(tag, item) for tag, item, _ in got] == [
+            ("high", "m1"), ("low", "m2"),
+        ]

@@ -1,0 +1,33 @@
+"""The checked-in API reference must match the code."""
+
+import os
+import subprocess
+import sys
+
+DOC_PATH = os.path.join(os.path.dirname(__file__), "..", "docs",
+                        "api_reference.md")
+TOOL = os.path.join(os.path.dirname(__file__), "..", "tools",
+                    "gen_api_docs.py")
+
+
+def test_api_reference_is_current(tmp_path):
+    """Regenerate in-process and compare with the committed file."""
+    sys.path.insert(0, os.path.dirname(TOOL))
+    try:
+        import gen_api_docs
+    finally:
+        sys.path.pop(0)
+    generated = gen_api_docs.generate()
+    with open(DOC_PATH) as handle:
+        committed = handle.read()
+    assert committed == generated, (
+        "docs/api_reference.md is stale; run: python tools/gen_api_docs.py"
+    )
+
+
+def test_tool_runs_standalone():
+    result = subprocess.run(
+        [sys.executable, TOOL], capture_output=True, text=True
+    )
+    assert result.returncode == 0
+    assert "wrote" in result.stdout

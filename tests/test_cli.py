@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def spec_file(tmp_path):
+    spec = {
+        "name": "demo",
+        "relations": [{"kind": "queue", "name": "q", "capacity": 2}],
+        "processors": [{"name": "cpu", "scheduling_duration": "1us"}],
+        "functions": [
+            {"name": "p", "priority": 2, "processor": "cpu",
+             "script": [["loop", 3, [["execute", "2us"], ["write", "q", 1]]]]},
+            {"name": "c", "priority": 1, "processor": "cpu",
+             "script": [["loop", 3, [["read", "q"], ["execute", "1us"]]]]},
+        ],
+    }
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec))
+    return str(path)
+
+
+class TestRunCommand:
+    def test_runs_spec(self, spec_file, capsys):
+        assert main(["run", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "simulated 'demo'" in out
+
+    def test_timeline_and_stats(self, spec_file, capsys):
+        assert main(["run", spec_file, "--timeline", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "legend" in out
+        assert "activity" in out
+
+    def test_duration_flag(self, spec_file, capsys):
+        assert main(["run", spec_file, "--duration", "3us"]) == 0
+        assert "t=3us" in capsys.readouterr().out
+
+    def test_exports(self, spec_file, tmp_path, capsys):
+        svg = tmp_path / "out.svg"
+        vcd = tmp_path / "out.vcd"
+        jsonl = tmp_path / "out.jsonl"
+        html = tmp_path / "out.html"
+        assert main([
+            "run", spec_file, "--svg", str(svg), "--vcd", str(vcd),
+            "--jsonl", str(jsonl), "--html", str(html),
+        ]) == 0
+        assert svg.read_text().startswith("<svg")
+        assert "$timescale" in vcd.read_text()
+        assert jsonl.read_text().strip()
+        assert html.read_text().startswith("<!DOCTYPE html>")
+
+
+class TestFig6Command:
+    def test_reports_15us_reaction(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "reaction Clk -> Function_1: 15us" in out
+
+    def test_threaded_engine(self, capsys):
+        assert main(["fig6", "--engine", "threaded"]) == 0
+        assert "15us" in capsys.readouterr().out
+
+
+class TestMpeg2Command:
+    def test_summary_printed(self, capsys):
+        assert main(["mpeg2", "--frames", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "MPEG-2 SoC: 18 tasks" in out
+        assert "4/4 frames" in out
+
+
+class TestCodegenCommand:
+    def test_generates_files(self, spec_file, tmp_path, capsys):
+        out = tmp_path / "gen"
+        assert main(["codegen", spec_file, str(out)]) == 0
+        assert (out / "app.c").exists()
+        assert (out / "rtos_api.h").exists()
+        assert "build with: cc" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_unknown_command_fails(self):
+        with pytest.raises(SystemExit):
+            main(["teleport"])
+
+    def test_missing_spec_fails(self):
+        with pytest.raises(SystemExit):
+            main(["run"])

@@ -1,0 +1,39 @@
+"""Every example script must run to completion (they embed assertions).
+
+Each example doubles as an integration test: the scripts assert their
+own expected shapes (reaction times, inversion bounds, Pareto results),
+so running them is a meaningful end-to-end check, not just smoke.
+"""
+
+import glob
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+EXAMPLES = sorted(glob.glob(os.path.join(EXAMPLES_DIR, "*.py")))
+
+
+def test_examples_discovered():
+    assert len(EXAMPLES) >= 11
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLES, ids=[os.path.basename(p) for p in EXAMPLES]
+)
+def test_example_runs(path, tmp_path):
+    env = dict(os.environ)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        cwd=tmp_path,  # examples must not depend on the repo CWD
+        env=env,
+    )
+    assert result.returncode == 0, (
+        f"{os.path.basename(path)} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert result.stdout.strip(), "examples should print their findings"

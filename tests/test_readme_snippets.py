@@ -1,0 +1,44 @@
+"""README code blocks must actually run (documentation drift guard)."""
+
+import os
+import re
+
+import pytest
+
+README = os.path.join(os.path.dirname(__file__), "..", "README.md")
+
+
+def python_blocks():
+    with open(README) as handle:
+        text = handle.read()
+    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+    return blocks
+
+
+def test_readme_has_python_examples():
+    assert len(python_blocks()) >= 1
+
+
+@pytest.mark.parametrize("index", range(len(python_blocks())))
+def test_readme_python_block_executes(index):
+    block = python_blocks()[index]
+    namespace = {}
+    exec(compile(block, f"README.md[block {index}]", "exec"), namespace)
+
+
+def test_top_level_reexports():
+    """The convenience imports advertised in the docs exist."""
+    import repro
+
+    assert repro.US == 10**9
+    system = repro.System("readme")
+    recorder = repro.TraceRecorder(system.sim)
+
+    def body(fn):
+        yield from fn.execute(3 * repro.US)
+
+    system.function("f", body)
+    system.run()
+    assert repro.format_time(system.now) == "3us"
+    chart = repro.TimelineChart.from_recorder(recorder)
+    assert "f" in chart.tasks()

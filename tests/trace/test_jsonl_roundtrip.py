@@ -1,0 +1,74 @@
+"""Tests for JSONL trace persistence and offline analysis."""
+
+import pytest
+
+from repro.kernel.time import US
+from repro.trace import (
+    TimelineChart,
+    TraceRecorder,
+    diff_traces,
+    task_stats_from_records,
+)
+
+from ..rtos.helpers import build_fig6_system
+
+
+@pytest.fixture()
+def saved_trace(tmp_path):
+    system, _ = build_fig6_system("procedural")
+    recorder = TraceRecorder(system.sim)
+    system.run()
+    path = tmp_path / "trace.jsonl"
+    recorder.save_jsonl(str(path))
+    return system, recorder, str(path)
+
+
+class TestRoundTrip:
+    def test_record_count_preserved(self, saved_trace):
+        _, original, path = saved_trace
+        loaded = TraceRecorder.load_jsonl(path)
+        assert len(loaded) == len(original)
+
+    def test_observably_identical(self, saved_trace):
+        _, original, path = saved_trace
+        loaded = TraceRecorder.load_jsonl(path)
+        assert diff_traces(original, loaded) == []
+
+    def test_statistics_identical(self, saved_trace):
+        system, original, path = saved_trace
+        loaded = TraceRecorder.load_jsonl(path)
+        by_orig = {s.name: s for s in task_stats_from_records(original)}
+        by_load = {s.name: s for s in task_stats_from_records(loaded)}
+        assert set(by_orig) == set(by_load)
+        for name in by_orig:
+            assert by_orig[name].running == by_load[name].running
+            assert by_orig[name].preempted == by_load[name].preempted
+
+    def test_timeline_renders_from_loaded(self, saved_trace):
+        _, _, path = saved_trace
+        loaded = TraceRecorder.load_jsonl(path)
+        chart = TimelineChart.from_recorder(loaded)
+        text = chart.render_ascii(width=60)
+        assert "Function_1" in text
+
+    def test_overheads_roundtrip(self, saved_trace):
+        _, original, path = saved_trace
+        loaded = TraceRecorder.load_jsonl(path)
+        assert len(loaded.overheads("Processor")) == len(
+            original.overheads("Processor")
+        )
+
+
+class TestCliReport:
+    def test_report_from_saved_trace(self, saved_trace, tmp_path, capsys):
+        from repro.cli import main
+
+        _, _, path = saved_trace
+        svg = tmp_path / "offline.svg"
+        assert main(["report", path, "--timeline", "--stats",
+                     "--svg", str(svg)]) == 0
+        out = capsys.readouterr().out
+        assert "loaded" in out
+        assert "Function_1" in out
+        assert "activity" in out
+        assert svg.read_text().startswith("<svg")

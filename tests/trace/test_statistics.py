@@ -1,0 +1,149 @@
+"""Tests for the Figure-8 statistics, cross-checking both computation paths."""
+
+import pytest
+
+from repro.kernel.time import US
+from repro.mcse import System
+from repro.trace import (
+    TraceRecorder,
+    format_report,
+    relation_stats,
+    task_stats_from_functions,
+    task_stats_from_records,
+)
+
+from ..rtos.helpers import build_fig6_system
+
+
+@pytest.fixture()
+def fig6_run():
+    system, _ = build_fig6_system("procedural")
+    recorder = TraceRecorder(system.sim)
+    system.run()
+    return system, recorder
+
+
+class TestCrossCheck:
+    def test_records_agree_with_accumulators(self, fig6_run):
+        """The two independent stats pipelines must agree exactly."""
+        system, recorder = fig6_run
+        by_fn = {s.name: s for s in task_stats_from_functions(
+            system.functions.values(), total=system.now)}
+        by_rec = {s.name: s for s in task_stats_from_records(
+            recorder, total=system.now)}
+        assert set(by_fn) == set(by_rec)
+        for name in by_fn:
+            a, b = by_fn[name], by_rec[name]
+            assert a.running == b.running, name
+            assert a.ready == b.ready, name
+            assert a.waiting == b.waiting, name
+            assert a.waiting_resource == b.waiting_resource, name
+            assert a.preempted == b.preempted, name
+
+
+class TestFig8Ratios:
+    def test_activity_ratio(self, fig6_run):
+        system, _ = fig6_run
+        stats = {s.name: s for s in task_stats_from_functions(
+            system.functions.values())}
+        # F3 executes 200us of the 345us run
+        assert stats["Function_3"].activity_ratio == pytest.approx(200 / 345)
+
+    def test_preempted_ratio_only_counts_eviction(self, fig6_run):
+        system, _ = fig6_run
+        stats = {s.name: s for s in task_stats_from_functions(
+            system.functions.values())}
+        # F3 is preempted at 100us and resumes (running) at 205us: during
+        # that window it first sits preempted until F1/F2 finish
+        assert stats["Function_3"].preempted > 0
+        assert stats["Function_3"].preempted_ratio == pytest.approx(
+            stats["Function_3"].preempted / 345_000_000_000
+        )
+        # F1 and F2 are never evicted
+        assert stats["Function_1"].preempted_ratio == 0
+        assert stats["Function_2"].preempted_ratio == 0
+
+    def test_hardware_task_has_no_processor(self, fig6_run):
+        system, _ = fig6_run
+        stats = {s.name: s for s in task_stats_from_functions(
+            system.functions.values())}
+        assert stats["Clock"].processor is None
+        assert stats["Function_1"].processor == "Processor"
+
+    def test_waiting_resource_ratio(self):
+        system = System("t")
+        cpu = system.processor("cpu")
+        sv = system.shared("R")
+
+        def holder(fn):
+            yield from fn.lock(sv)
+            yield from fn.execute(10 * US)
+            yield from fn.unlock(sv)
+
+        def contender(fn):
+            yield from fn.delay(2 * US)
+            yield from fn.lock(sv)
+            yield from fn.unlock(sv)
+
+        # the contender must outrank the holder to preempt it and find
+        # the lock taken
+        cpu.map(system.function("holder", holder, priority=1))
+        cpu.map(system.function("contender", contender, priority=5))
+        system.run(20 * US)
+        stats = {s.name: s for s in task_stats_from_functions(
+            system.functions.values())}
+        assert stats["contender"].waiting_resource_ratio > 0
+
+
+class TestRelationStats:
+    def test_shared_utilization(self):
+        system = System("t")
+        sv = system.shared("R")
+
+        def holder(fn):
+            yield from fn.lock(sv)
+            yield from fn.execute(5 * US)
+            yield from fn.unlock(sv)
+
+        system.function("h", holder)
+        system.run(10 * US)
+        stats = {s.name: s for s in relation_stats([sv])}
+        assert stats[sv.name].kind == "shared"
+        assert stats[sv.name].utilization == pytest.approx(0.5)
+
+    def test_queue_utilization_normalized_by_capacity(self):
+        system = System("t")
+        q = system.queue("q", capacity=4)
+
+        def p(fn):
+            yield from fn.write(q, 1)
+            yield from fn.write(q, 2)
+            yield from fn.delay(10 * US)
+
+        system.function("p", p)
+        system.run(10 * US)
+        stats = relation_stats([q])[0]
+        assert stats.kind == "queue"
+        # 2 of 4 slots used the whole time
+        assert stats.utilization == pytest.approx(0.5)
+
+    def test_event_stats(self, fig6_run):
+        system, _ = fig6_run
+        stats = {s.name: s for s in relation_stats(system.relations.values())}
+        assert stats["Clk"].access_count >= 1
+        assert stats["Event_1"].blocked_count >= 1
+
+
+class TestReport:
+    def test_report_renders_all_sections(self, fig6_run):
+        system, _ = fig6_run
+        text = format_report(
+            task_stats_from_functions(system.functions.values()),
+            relation_stats(system.relations.values()),
+            system.processors.values(),
+        )
+        assert "activity" in text
+        assert "Function_1" in text
+        assert "relation" in text
+        assert "processor Processor" in text
+        assert "%" in text

@@ -1,0 +1,117 @@
+"""Tests for the TimeLine chart model and ASCII renderer."""
+
+import pytest
+
+from repro.kernel.time import US
+from repro.mcse import System
+from repro.trace import TaskState, TimelineChart, TraceRecorder
+
+from ..rtos.helpers import build_fig6_system
+
+
+@pytest.fixture()
+def fig6_chart():
+    system, log = build_fig6_system("procedural")
+    recorder = TraceRecorder(system.sim)
+    system.run()
+    return system, dict(log), TimelineChart.from_recorder(recorder)
+
+
+class TestChartModel:
+    def test_tasks_present(self, fig6_chart):
+        _, _, chart = fig6_chart
+        assert set(chart.tasks()) == {
+            "Function_1", "Function_2", "Function_3", "Clock",
+        }
+
+    def test_segments_cover_run(self, fig6_chart):
+        system, _, chart = fig6_chart
+        for task in ("Function_1", "Function_2", "Function_3"):
+            segments = chart.segments(task)
+            # contiguous, ordered coverage from creation to the end
+            for before, after in zip(segments, segments[1:]):
+                assert before.end == after.start
+            assert segments[-1].end == chart.end
+
+    def test_reaction_measured_on_chart(self, fig6_chart):
+        """The paper's measurement (1) read straight off the chart."""
+        _, times, chart = fig6_chart
+        started = chart.first_running("Function_1", after=times["Clk"])
+        assert started - times["Clk"] == 15 * US
+
+    def test_state_at(self, fig6_chart):
+        _, times, chart = fig6_chart
+        # during the preemption window F3 is ready
+        assert chart.state_at("Function_3", times["Clk"] + 20 * US) is TaskState.READY
+        assert chart.state_at("Function_1", times["F1-start"]) is TaskState.RUNNING
+
+    def test_time_in_state_matches_function_accumulators(self, fig6_chart):
+        system, _, chart = fig6_chart
+        f3 = system.functions["Function_3"]
+        assert chart.time_in_state("Function_3", TaskState.RUNNING) == (
+            f3.state_durations[TaskState.RUNNING]
+        )
+
+    def test_overhead_windows_present(self, fig6_chart):
+        _, _, chart = fig6_chart
+        windows = chart.overheads["Processor"]
+        assert windows
+        # every overhead window is 5us in the Fig-6 configuration
+        assert all(w.end - w.start == 5 * US for w in windows)
+
+    def test_arrows_present(self, fig6_chart):
+        _, _, chart = fig6_chart
+        relations = {arrow.relation for arrow in chart.arrows}
+        assert {"Clk", "Event_1"} <= relations
+
+
+class TestAsciiRender:
+    def test_renders_all_rows(self, fig6_chart):
+        _, _, chart = fig6_chart
+        text = chart.render_ascii(width=80)
+        for name in ("Function_1", "Function_2", "Function_3", "Clock",
+                     "Processor", "legend"):
+            assert name in text
+
+    def test_width_respected(self, fig6_chart):
+        _, _, chart = fig6_chart
+        text = chart.render_ascii(width=60)
+        label_width = max(len(t) for t in chart.tasks())
+        for line in text.splitlines()[1:-1]:
+            assert len(line) <= label_width + 1 + 60 + 1
+
+    def test_running_symbol_appears(self, fig6_chart):
+        _, _, chart = fig6_chart
+        text = chart.render_ascii(width=80)
+        f3_line = next(l for l in text.splitlines() if l.startswith("Function_3"))
+        assert "#" in f3_line
+        assert "=" in f3_line  # the preempted (ready) window
+
+
+class TestChartEdgeCases:
+    def test_empty_recorder(self):
+        recorder = TraceRecorder()
+        chart = TimelineChart.from_recorder(recorder)
+        assert chart.tasks() == []
+        assert "legend" in chart.render_ascii(width=40)
+
+    def test_explicit_window(self):
+        system = System("t")
+        recorder = TraceRecorder(system.sim)
+
+        def a(fn):
+            yield from fn.execute(10 * US)
+
+        system.function("a", a)
+        system.run()
+        chart = TimelineChart.from_recorder(recorder, start=0, end=20 * US)
+        assert chart.end == 20 * US
+        # the terminated tail is padded to the window end
+        assert chart.segments("a")[-1].end == 20 * US
+
+    def test_invalid_window(self):
+        from repro.errors import TraceError
+
+        recorder = TraceRecorder()
+        with pytest.raises(TraceError):
+            TimelineChart(10, 5)

@@ -1,0 +1,72 @@
+"""Tests for the automotive ECU-network workload."""
+
+import pytest
+
+from repro.kernel.time import MS, US
+from repro.trace import TraceRecorder
+from repro.workloads import build_automotive_system
+
+
+def run(**kwargs):
+    system, constraints, result, bus = build_automotive_system(**kwargs)
+    recorder = TraceRecorder(system.sim)
+    system.run()
+    return system, constraints, result, bus, recorder
+
+
+class TestBaseline:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return run(cycles=20)
+
+    def test_all_messages_delivered(self, baseline):
+        _, _, result, bus, _ = baseline
+        assert len(result.rpm_latencies) == 20
+        assert len(result.wheel_latencies) == 40
+        assert result.diag_sent == 40
+        assert bus.transfer_count == 20 + 40 + 40
+
+    def test_constraints_hold(self, baseline):
+        _, constraints, _, _, recorder = baseline
+        assert constraints.verify(recorder) == []
+
+    def test_safety_latency_bounded(self, baseline):
+        _, _, result, _, _ = baseline
+        # wheel frames: compute + one CAN frame + abs compute, plus at
+        # most one lower-priority frame already on the wire
+        assert result.worst("wheel") < 3 * MS
+
+    def test_bus_utilized(self, baseline):
+        _, _, _, bus, _ = baseline
+        assert 0 < bus.utilization() < 1
+
+    def test_three_rtos_processors(self, baseline):
+        system, _, _, _, _ = baseline
+        assert len(system.processors) == 3
+        assert all(cpu.tasks for cpu in system.processors.values())
+
+
+class TestPriorityOnTheWire:
+    def test_safety_beats_diagnostics(self):
+        """With heavy diagnostics, safety latency stays bounded while a
+        FIFO wire would have queued safety frames behind bulk dumps."""
+        _, _, busy, bus, _ = run(cycles=10, diagnostics_frames=120)
+        _, _, quiet, _, _ = run(cycles=10, diagnostics_frames=0)
+        # bulk load may cost at most ~one in-flight bulk frame per safety
+        # message (non-preemptive wire), never a full backlog
+        one_bulk_frame = bus.transfer_duration(64)
+        assert busy.worst("wheel") <= quiet.worst("wheel") + one_bulk_frame
+
+    def test_slow_bus_breaks_deadlines(self):
+        _, constraints, _, _, recorder = run(
+            cycles=10, bus_per_byte=600 * US
+        )
+        assert constraints.verify(recorder)  # violations found
+
+
+class TestEngineEquivalence:
+    def test_both_engines_agree(self):
+        _, _, a, _, _ = run(cycles=8, engine="procedural")
+        _, _, b, _, _ = run(cycles=8, engine="threaded")
+        assert a.rpm_latencies == b.rpm_latencies
+        assert a.wheel_latencies == b.wheel_latencies

@@ -1,0 +1,129 @@
+"""Tests for execution-time distributions."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.kernel.time import MS, US
+from repro.workloads import (
+    Bimodal,
+    Constant,
+    Empirical,
+    Exponential,
+    Normal,
+    Uniform,
+)
+
+
+class TestValidation:
+    def test_constant_negative(self):
+        with pytest.raises(ReproError):
+            Constant(-1)
+
+    def test_uniform_bad_bounds(self):
+        with pytest.raises(ReproError):
+            Uniform(5, 2)
+
+    def test_normal_bad_params(self):
+        with pytest.raises(ReproError):
+            Normal(0, 1)
+
+    def test_exponential_bad_mean(self):
+        with pytest.raises(ReproError):
+            Exponential(0)
+
+    def test_bimodal_bad_probability(self):
+        with pytest.raises(ReproError):
+            Bimodal(Constant(1), Constant(2), 1.5)
+
+    def test_empirical_empty(self):
+        with pytest.raises(ReproError):
+            Empirical([])
+
+
+class TestSampling:
+    def test_constant(self):
+        rng = random.Random(0)
+        dist = Constant(5 * US)
+        assert all(dist.sample(rng) == 5 * US for _ in range(10))
+
+    def test_uniform_within_bounds(self):
+        rng = random.Random(1)
+        dist = Uniform(1 * US, 3 * US)
+        samples = [dist.sample(rng) for _ in range(200)]
+        assert all(1 * US <= s <= 3 * US for s in samples)
+        assert len(set(samples)) > 10
+
+    def test_normal_clipped(self):
+        rng = random.Random(2)
+        dist = Normal(1 * US, 5 * US, minimum=100)
+        samples = [dist.sample(rng) for _ in range(200)]
+        assert all(s >= 100 for s in samples)
+
+    def test_exponential_capped(self):
+        rng = random.Random(3)
+        dist = Exponential(1 * MS, cap=2 * MS)
+        samples = [dist.sample(rng) for _ in range(500)]
+        assert all(1 <= s <= 2 * MS for s in samples)
+
+    def test_bimodal_both_modes_seen(self):
+        rng = random.Random(4)
+        dist = Bimodal(Constant(1 * US), Constant(9 * US), 0.5)
+        samples = {dist.sample(rng) for _ in range(100)}
+        assert samples == {1 * US, 9 * US}
+
+    def test_empirical_resamples_input(self):
+        rng = random.Random(5)
+        values = [10, 20, 30]
+        dist = Empirical(values)
+        assert all(dist.sample(rng) in values for _ in range(50))
+
+    def test_determinism_per_seed(self):
+        dist = Uniform(0, 10**9)
+        a = [dist.sample(random.Random(7)) for _ in range(5)]
+        b = [dist.sample(random.Random(7)) for _ in range(5)]
+        assert a == b
+
+
+class TestMeans:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_sample_mean_near_analytical(self, seed):
+        rng = random.Random(seed)
+        dist = Uniform(1 * US, 3 * US)
+        n = 2000
+        empirical = sum(dist.sample(rng) for _ in range(n)) / n
+        assert empirical == pytest.approx(dist.mean(), rel=0.05)
+
+    def test_bimodal_mean(self):
+        dist = Bimodal(Constant(0), Constant(10), 0.25)
+        assert dist.mean() == 7.5
+
+    def test_empirical_mean(self):
+        assert Empirical([1, 2, 3]).mean() == 2
+
+
+class TestInSimulation:
+    def test_stochastic_execute(self):
+        """Distributions drive execute budgets; totals stay exact."""
+        from repro.mcse import System
+
+        system = System("stoch")
+        cpu = system.processor("cpu")
+        rng = random.Random(11)
+        dist = Uniform(1 * US, 5 * US)
+        drawn = []
+
+        def worker(fn):
+            for _ in range(20):
+                budget = dist.sample(rng)
+                drawn.append(budget)
+                yield from fn.execute(budget)
+
+        fn = system.function("w", worker)
+        cpu.map(fn)
+        system.run()
+        assert fn.task.cpu_time == sum(drawn)

@@ -1,0 +1,120 @@
+"""Tests for the MPEG-2 SoC case study (paper §5)."""
+
+import pytest
+
+from repro.kernel.time import MS, US
+from repro.workloads import FRAME_PERIOD, Mpeg2Soc
+
+
+@pytest.fixture(scope="module")
+def soc():
+    instance = Mpeg2Soc(frames=12, seed=0)
+    instance.run()
+    return instance
+
+
+class TestPaperConfiguration:
+    def test_18_tasks(self, soc):
+        """The paper's headline: 18 tasks."""
+        assert soc.task_count == 18
+
+    def test_three_rtos_processors(self, soc):
+        """...on six processors, three of them SW with an RTOS model."""
+        assert len(soc.processors) == 3
+        sw_tasks = sum(len(cpu.tasks) for cpu in soc.processors)
+        hw_tasks = sum(
+            1 for fn in soc.system.functions.values() if fn.task is None
+        )
+        assert sw_tasks == 13
+        assert hw_tasks == 5
+
+    def test_all_frames_complete(self, soc):
+        assert soc.completed_frames() == 12
+
+    def test_throughput_near_camera_rate(self, soc):
+        """The pipeline keeps up with the 30fps camera."""
+        assert soc.throughput_fps() == pytest.approx(30, rel=0.1)
+
+    def test_latency_sane(self, soc):
+        e2e = soc.latencies("end_to_end")
+        assert len(e2e) == 12
+        # the pipeline is several stages deep: latency less than a few
+        # frame periods but more than the raw encode compute
+        assert all(10 * MS < v < 4 * FRAME_PERIOD for v in e2e)
+
+    def test_encoder_dsp_is_busiest(self, soc):
+        stats = {cpu.name: cpu.utilization() for cpu in soc.processors}
+        assert stats["DSP_enc"] > stats["DSP_dec"] > stats["CTRL_cpu"]
+
+    def test_preemptions_occur(self, soc):
+        """Pipeline priorities force preemptions on the DSPs."""
+        assert sum(cpu.preemption_count for cpu in soc.processors) > 0
+
+    def test_rate_control_feedback_applied(self, soc):
+        level = soc.system.relations["QuantLevel"].value
+        assert 1 <= level <= 31
+        assert soc.system.relations["QuantLevel"].acquisitions > 0
+
+
+class TestDeterminismAndVariants:
+    def test_deterministic_for_seed(self):
+        a = Mpeg2Soc(frames=6, seed=3)
+        a.run()
+        b = Mpeg2Soc(frames=6, seed=3)
+        b.run()
+        assert a.latencies("end_to_end") == b.latencies("end_to_end")
+
+    def test_seed_changes_latencies(self):
+        a = Mpeg2Soc(frames=6, seed=1)
+        a.run()
+        b = Mpeg2Soc(frames=6, seed=2)
+        b.run()
+        assert a.latencies("end_to_end") != b.latencies("end_to_end")
+
+    def test_threaded_engine_matches_procedural(self):
+        """The paper's two techniques agree on the full SoC model."""
+        a = Mpeg2Soc(frames=5, seed=0, engine="procedural")
+        a.run()
+        b = Mpeg2Soc(frames=5, seed=0, engine="threaded")
+        b.run()
+        assert a.latencies("end_to_end") == b.latencies("end_to_end")
+
+    def test_overheads_lengthen_latency(self):
+        cheap = Mpeg2Soc(frames=6, seed=0, scheduling_duration=0,
+                         context_load_duration=0, context_save_duration=0)
+        cheap.run()
+        costly = Mpeg2Soc(frames=6, seed=0, scheduling_duration=200 * US,
+                          context_load_duration=200 * US,
+                          context_save_duration=200 * US)
+        costly.run()
+        assert sum(costly.latencies("end_to_end")) > sum(
+            cheap.latencies("end_to_end")
+        )
+
+    def test_gop_pattern_shapes_budget(self):
+        soc = Mpeg2Soc(frames=9, seed=0)
+        budgets = soc._budgets["MotionEst"]
+        # I frames (index 0) need far less motion estimation than B frames
+        assert budgets[0] < budgets[1]
+
+
+class TestBusVariant:
+    def test_bus_mapped_channel_completes(self):
+        soc = Mpeg2Soc(frames=6, seed=0, use_bus=True)
+        soc.run()
+        assert soc.completed_frames() == 6
+        assert soc.bus is not None
+        assert soc.bus.transfer_count == 6  # one frame = one transfer
+
+    def test_bus_cost_monotone_in_latency(self):
+        def mean_e2e(**kw):
+            soc = Mpeg2Soc(frames=6, seed=0, use_bus=True, **kw)
+            soc.run()
+            return soc.summary()["mean_e2e_latency"]
+
+        assert mean_e2e(bus_setup=5000 * US) > mean_e2e(bus_setup=0)
+
+    def test_bus_utilization_reported(self):
+        soc = Mpeg2Soc(frames=6, seed=0, use_bus=True, bus_setup=2000 * US)
+        soc.run()
+        assert 0 < soc.bus.utilization() < 1
