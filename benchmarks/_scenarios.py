@@ -77,6 +77,63 @@ def build_fig6_system(engine: str = "procedural", clk_period=100 * US,
     return system, log
 
 
+def build_fig7_system(variant: str = "plain"):
+    """The Figure-7 blocking scenario: Low/High/Mid sharing a variable.
+
+    ``variant`` picks the mutual-exclusion remedy: ``plain`` (priority
+    inversion happens), ``preemption_mask`` (the paper's remedy),
+    ``inheritance`` or ``ceiling`` (the classic protocol remedies).
+    Returns ``(system, recorder, done)`` with a trace recorder attached
+    and ``done["high"]`` set to High's finish time after a run.
+    """
+    from repro.rtos import CeilingSharedVariable, InheritanceSharedVariable
+    from repro.trace import TraceRecorder
+
+    system = System(f"fig7_{variant}")
+    recorder = TraceRecorder(system.sim)
+    cpu = system.processor(
+        "Processor",
+        scheduling_duration=2 * US,
+        context_load_duration=2 * US,
+        context_save_duration=2 * US,
+    )
+    if variant == "inheritance":
+        shared = InheritanceSharedVariable(system.sim, "SharedVar_1")
+    elif variant == "ceiling":
+        shared = CeilingSharedVariable(system.sim, "SharedVar_1", ceiling=9)
+    else:
+        shared = system.shared("SharedVar_1")
+    mask = variant == "preemption_mask"
+    done = {}
+
+    def low(fn):
+        yield from fn.execute(1 * US)
+        yield from fn.lock(shared)
+        if mask:
+            cpu.set_preemptive(False)
+        yield from fn.execute(40 * US)
+        yield from fn.unlock(shared)
+        if mask:
+            cpu.set_preemptive(True)
+        yield from fn.execute(5 * US)
+
+    def high(fn):
+        yield from fn.delay(30 * US)
+        yield from fn.lock(shared)
+        yield from fn.execute(10 * US)
+        yield from fn.unlock(shared)
+        done["high"] = fn.sim.now
+
+    def mid(fn):
+        yield from fn.delay(45 * US)
+        yield from fn.execute(60 * US)
+
+    cpu.map(system.function("Low", low, priority=1))
+    cpu.map(system.function("High", high, priority=9))
+    cpu.map(system.function("Mid", mid, priority=5))
+    return system, recorder, done
+
+
 def build_interrupt_scenario(engine: str, *, interrupts: int = 20,
                              period=30 * US) -> System:
     """Figure-3/5 shape: two tasks + periodic HW interrupts.

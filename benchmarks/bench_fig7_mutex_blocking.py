@@ -11,64 +11,16 @@ resource", and the priority-inversion window -- and quantifies it:
   priority ceiling, implemented in :mod:`repro.rtos.services`) compare.
 """
 
-from _scenarios import write_result
+from _scenarios import build_fig7_system, write_result
 from repro.analysis import blocking_intervals
 from repro.kernel.time import US, format_time
-from repro.mcse import System
-from repro.rtos import CeilingSharedVariable, InheritanceSharedVariable
-from repro.trace import TimelineChart, TraceRecorder
+from repro.trace import TimelineChart
 
 VARIANTS = ("plain", "preemption_mask", "inheritance", "ceiling")
 
 
-def build(variant: str):
-    system = System(f"fig7_{variant}")
-    recorder = TraceRecorder(system.sim)
-    cpu = system.processor(
-        "Processor",
-        scheduling_duration=2 * US,
-        context_load_duration=2 * US,
-        context_save_duration=2 * US,
-    )
-    if variant == "inheritance":
-        shared = InheritanceSharedVariable(system.sim, "SharedVar_1")
-    elif variant == "ceiling":
-        shared = CeilingSharedVariable(system.sim, "SharedVar_1", ceiling=9)
-    else:
-        shared = system.shared("SharedVar_1")
-    mask = variant == "preemption_mask"
-    done = {}
-
-    def low(fn):
-        yield from fn.execute(1 * US)
-        yield from fn.lock(shared)
-        if mask:
-            cpu.set_preemptive(False)
-        yield from fn.execute(40 * US)
-        yield from fn.unlock(shared)
-        if mask:
-            cpu.set_preemptive(True)
-        yield from fn.execute(5 * US)
-
-    def high(fn):
-        yield from fn.delay(30 * US)
-        yield from fn.lock(shared)
-        yield from fn.execute(10 * US)
-        yield from fn.unlock(shared)
-        done["high"] = fn.sim.now
-
-    def mid(fn):
-        yield from fn.delay(45 * US)
-        yield from fn.execute(60 * US)
-
-    cpu.map(system.function("Low", low, priority=1))
-    cpu.map(system.function("High", high, priority=9))
-    cpu.map(system.function("Mid", mid, priority=5))
-    return system, recorder, done
-
-
 def run_variant(variant: str):
-    system, recorder, done = build(variant)
+    system, recorder, done = build_fig7_system(variant)
     system.run()
     blocked = sum(
         i.duration for i in blocking_intervals(recorder, "High")

@@ -4,11 +4,46 @@ Not a paper figure -- a calibration point for every other benchmark: how
 many kernel events per wall-clock second the Python substrate sustains.
 The paper's own numbers ride on a C++/QuickThreads SystemC kernel; this
 table is what grounds the wall-clock comparisons in EXPERIMENTS.md.
+
+Besides the pytest-benchmark entry points, this module is a standalone
+**regression harness**: running it as a script measures every scenario
+(the two kernel micro-scenarios plus the fig3/fig5 RTOS-layer scenarios
+from ``_scenarios.py``) and emits machine-readable
+``BENCH_kernel_throughput.json`` at the repository root, so the
+throughput trajectory is tracked PR over PR::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_throughput.py
+    PYTHONPATH=src python benchmarks/bench_kernel_throughput.py --smoke
+
+``--smoke`` shrinks iteration counts for CI; the JSON schema is
+identical.  Besides switches/s the harness records each scenario's final
+simulated time and exact switch count, so a "speedup" that changed
+simulation results is flagged by eye (and by the determinism tests).
 """
 
-from _scenarios import write_result
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+from _scenarios import (
+    build_interrupt_scenario,
+    build_messaging_system,
+    write_result,
+)
 from repro.kernel import Simulator
 from repro.kernel.time import NS, US
+
+#: Seed-state reference (benchmarks/results/kernel_throughput.txt at v0),
+#: kept here so every JSON emission self-reports its speedup.
+SEED_SWITCHES_PER_S = {
+    "timed_waits": 275379.0,
+    "event_wakeups": 318618.0,
+}
+
+SCHEMA_VERSION = 1
 
 
 def run_timer_wheel(processes: int, hops: int):
@@ -90,6 +125,159 @@ def bench_rtos_dispatch_rate(benchmark):
     benchmark.extra_info["dispatches"] = dispatches
 
 
+# ---------------------------------------------------------------------------
+# Regression harness (script entry point)
+# ---------------------------------------------------------------------------
+def _scenario_table(smoke: bool):
+    """(name, runner, switch-count getter) for every tracked scenario."""
+    wheel_hops = 100 if smoke else 1000
+    pingpong_rounds = 500 if smoke else 10_000
+    interrupts = 5 if smoke else 150
+    ring_rounds = 5 if smoke else 80
+
+    def kernel_switches(sim_or_system):
+        sim = getattr(sim_or_system, "sim", sim_or_system)
+        return sim.process_switch_count, sim.now
+
+    def run_interrupts(engine):
+        def run():
+            system = build_interrupt_scenario(engine, interrupts=interrupts)
+            system.run()
+            return system
+
+        return run
+
+    def run_messaging(engine):
+        def run():
+            system = build_messaging_system(engine, tasks=4,
+                                            rounds=ring_rounds)
+            system.run()
+            return system
+
+        return run
+
+    return [
+        ("timed_waits", lambda: run_timer_wheel(10, wheel_hops),
+         kernel_switches),
+        ("event_wakeups", lambda: run_event_pingpong(pingpong_rounds),
+         kernel_switches),
+        ("fig3_interrupts_threaded", run_interrupts("threaded"),
+         kernel_switches),
+        ("fig3_interrupts_procedural", run_interrupts("procedural"),
+         kernel_switches),
+        ("fig5_messaging_threaded", run_messaging("threaded"),
+         kernel_switches),
+        ("fig5_messaging_procedural", run_messaging("procedural"),
+         kernel_switches),
+    ]
+
+
+def measure(smoke: bool = False, rounds: int = 5) -> dict:
+    """Run every scenario ``rounds`` times; keep the best wall time.
+
+    Best-of-N is the standard throughput methodology: it isolates the
+    kernel's speed from scheduler noise on a shared machine.  Switch
+    counts and final simulated times must not vary across rounds (the
+    harness asserts they do not -- a free determinism check).
+    """
+    scenarios = {}
+    for name, runner, getter in _scenario_table(smoke):
+        best = float("inf")
+        reference = None
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            result = runner()
+            dt = time.perf_counter() - t0
+            switches, sim_now = getter(result)
+            if reference is None:
+                reference = (switches, sim_now)
+            else:
+                assert reference == (switches, sim_now), (
+                    f"{name}: non-deterministic run "
+                    f"({reference} != {(switches, sim_now)})"
+                )
+            best = min(best, dt)
+        switches, sim_now = reference
+        entry = {
+            "switches": switches,
+            "sim_now_fs": sim_now,
+            "best_wall_s": round(best, 6),
+            "switches_per_s": round(switches / best, 1),
+            "rounds": rounds,
+        }
+        seed = SEED_SWITCHES_PER_S.get(name)
+        if seed is not None:
+            entry["seed_switches_per_s"] = seed
+            entry["speedup_vs_seed"] = round(entry["switches_per_s"] / seed, 3)
+        scenarios[name] = entry
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "smoke": smoke,
+        },
+        "scenarios": scenarios,
+    }
+
+
+def validate_schema(payload: dict) -> None:
+    """Assert the JSON shape downstream tooling (and CI) relies on."""
+    assert payload["schema_version"] == SCHEMA_VERSION
+    assert isinstance(payload["meta"], dict)
+    assert {"python", "platform", "smoke"} <= set(payload["meta"])
+    scenarios = payload["scenarios"]
+    assert isinstance(scenarios, dict) and scenarios
+    for name, entry in scenarios.items():
+        assert isinstance(name, str)
+        for field, kind in (
+            ("switches", int),
+            ("sim_now_fs", int),
+            ("best_wall_s", float),
+            ("switches_per_s", (int, float)),
+            ("rounds", int),
+        ):
+            assert isinstance(entry[field], kind), (name, field)
+        assert entry["switches"] > 0, name
+        assert entry["switches_per_s"] > 0, name
+
+
+def default_output_path() -> str:
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return os.path.join(repo_root, "BENCH_kernel_throughput.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny iteration counts (CI schema check)")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="measurement rounds per scenario (keep best)")
+    parser.add_argument("--out", default=default_output_path(),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+    if args.rounds < 1:
+        parser.error(f"--rounds must be >= 1, got {args.rounds}")
+
+    payload = measure(smoke=args.smoke, rounds=args.rounds)
+    validate_schema(payload)
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    width = max(len(n) for n in payload["scenarios"])
+    print(f"{'scenario':>{width}} {'switches':>9} {'switches/s':>12} speedup")
+    for name, entry in payload["scenarios"].items():
+        speedup = entry.get("speedup_vs_seed")
+        print(
+            f"{name:>{width}} {entry['switches']:>9} "
+            f"{entry['switches_per_s']:>12,.0f} "
+            f"{f'{speedup:.2f}x' if speedup else '-'}"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
 def bench_throughput_table(benchmark):
     """One-shot table for EXPERIMENTS.md."""
     import time
@@ -117,3 +305,7 @@ def bench_throughput_table(benchmark):
             f"{label:>14} {switches:>9} {dt:>8.4f} {switches / dt:>12.0f}"
         )
     write_result("kernel_throughput.txt", "\n".join(lines))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

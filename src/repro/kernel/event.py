@@ -83,8 +83,12 @@ class Event:
         Any pending delta/timed notification is cancelled first (it would
         be redundant: the event just fired).
         """
-        self.cancel()
-        self.sim._immediate_notify(self)
+        if self._pending is not None:
+            self.cancel()
+        # immediate notification is a direct trigger (the kernel's
+        # _immediate_notify hook does exactly this; inlined as it is on
+        # the hottest notification path)
+        self._trigger()
 
     def notify_delta(self) -> None:
         """Delta notification: wake waiters one delta cycle from now."""
@@ -113,7 +117,8 @@ class Event:
         pending = self._pending
         if pending is _DELTA_PENDING:
             return  # delta is earlier than any timed notification
-        if isinstance(pending, _TimedNotification) and not pending.cancelled:
+        # past the delta check, ``pending`` is None or a _TimedNotification
+        if pending is not None and not pending.cancelled:
             if pending.time <= when:
                 return  # an earlier (or equal) notification already pending
             pending.cancelled = True
@@ -126,7 +131,7 @@ class Event:
             return
         if pending is _DELTA_PENDING:
             self.sim._cancel_delta_notify(self)
-        elif isinstance(pending, _TimedNotification):
+        else:
             pending.cancelled = True
         self._pending = None
 
@@ -170,9 +175,18 @@ class Event:
         self._pending = None
         self.trigger_count += 1
         self.last_trigger_time = self.sim.now
-        if not self._waiters:
+        waiters = self._waiters
+        if not waiters:
             return
-        for sensitivity in list(self._waiters):
+        if len(waiters) == 1:
+            # Fast path: the overwhelmingly common single-waiter case
+            # needs no snapshot list -- grab the sole sensitivity before
+            # its callback can mutate the waiter dict.
+            for sensitivity in waiters:
+                break
+            sensitivity.on_event(self)
+            return
+        for sensitivity in list(waiters):
             sensitivity.on_event(self)
 
     def _attach(self, sensitivity: "_Sensitivity") -> None:

@@ -148,14 +148,25 @@ def wait_all(*events: object, timeout: Optional[Time] = None) -> WaitEvents:
 # Sensitivities
 # ---------------------------------------------------------------------------
 class _Timeout:
-    """Cancellable timed-heap entry that resolves a sensitivity."""
+    """Cancellable timed-heap entry that resolves a sensitivity.
+
+    ``sensitivity`` is anything with an ``on_timeout()`` method: a
+    :class:`_Sensitivity` for event waits with a timeout, or the waiting
+    :class:`ProcessBase` itself for pure timed waits (which then need no
+    sensitivity object at all).  In the latter case the entry doubles as
+    the process's cancellation handle, hence :meth:`cancel`.
+    """
 
     __slots__ = ("time", "sensitivity", "cancelled")
 
-    def __init__(self, time: Time, sensitivity: "_Sensitivity") -> None:
+    def __init__(self, time: Time, sensitivity) -> None:
         self.time = time
         self.sensitivity = sensitivity
         self.cancelled = False
+
+    def cancel(self) -> None:
+        """Revoke the timeout without waking its target (kill/throw path)."""
+        self.cancelled = True
 
 
 class _Sensitivity:
@@ -164,6 +175,15 @@ class _Sensitivity:
     Exactly one sensitivity is live per waiting thread process.  It is
     resolved by the first matching trigger and then fully detached, so a
     stale event trigger can never wake a process twice.
+
+    Resolved sensitivities are recycled through the kernel's free-list
+    (see :meth:`_acquire`).  That is safe because resolution detaches
+    the object from every event and from its process before it is
+    pooled, and a pooled object can only be reused from a subsequent
+    ``_install_wait`` -- which never runs while an event-trigger
+    snapshot that might still name this object is being iterated.
+    Cancelled sensitivities (kill/throw) are *not* pooled: a snapshot
+    taken before the cancel may still reference them.
     """
 
     __slots__ = ("process", "events", "mode", "remaining", "timeout_entry", "resolved")
@@ -183,14 +203,34 @@ class _Sensitivity:
         for ev in events:
             ev._attach(self)
 
+    @staticmethod
+    def _acquire(
+        process: "ProcessBase",
+        events: Tuple[Event, ...],
+        mode: str,
+    ) -> "_Sensitivity":
+        """Pool-aware constructor: reuse a resolved sensitivity if any."""
+        pool = process.sim._free_sensitivities
+        if not pool:
+            return _Sensitivity(process, events, mode)
+        self = pool.pop()
+        self.process = process
+        self.events = events
+        self.mode = mode
+        self.remaining = set(events) if mode == "all" else None
+        self.timeout_entry = None
+        self.resolved = False
+        for ev in events:
+            ev._attach(self)
+        return self
+
     def on_event(self, event: Event) -> None:
         if self.resolved:
             return
-        if self.mode == "any":
+        if self.remaining is None:  # "any" mode
             self._resolve(event)
             return
         remaining = self.remaining
-        assert remaining is not None
         remaining.discard(event)
         event._detach(self)
         if not remaining:
@@ -210,7 +250,12 @@ class _Sensitivity:
     def _resolve(self, value: Optional[Event]) -> None:
         self.resolved = True
         self._detach_all()
-        self.process._on_wait_resolved(value)
+        process = self.process
+        self.process = None
+        self.events = ()
+        self.remaining = None
+        process._on_wait_resolved(value)
+        process.sim._free_sensitivities.append(self)
 
     def _detach_all(self) -> None:
         for ev in self.events:
@@ -262,13 +307,20 @@ class ProcessBase:
         self.terminated_event = Event(sim, f"{name}.terminated")
         self.result: object = None
         self.exception: Optional[BaseException] = None
-        self._sensitivity: Optional[_Sensitivity] = None
+        #: Live wakeup handle while WAITING: a :class:`_Sensitivity` for
+        #: event waits, or the :class:`_Timeout` entry itself for pure
+        #: timed waits.  Either way it has ``cancel()``.
+        self._sensitivity = None
         #: Number of times the kernel has resumed this process.
         self.step_count = 0
 
     @property
     def terminated(self) -> bool:
         return self.state is ProcessState.TERMINATED
+
+    def on_timeout(self) -> None:
+        """Resolve a pure timed wait (the process is its own sensitivity)."""
+        self._on_wait_resolved(None)
 
     def _on_wait_resolved(self, value: Optional[Event]) -> None:
         raise NotImplementedError
@@ -321,9 +373,18 @@ class Process(ProcessBase):
 
     # -- kernel interface ------------------------------------------------
     def _on_wait_resolved(self, value: Optional[Event]) -> None:
+        # inlined _make_runnable: this is the per-wakeup hot path
         self._sensitivity = None
         self._send_value = value
-        self.sim._make_runnable(self)
+        self.state = ProcessState.RUNNABLE
+        self.sim._runnable.append(self)
+
+    def on_timeout(self) -> None:
+        """Resolve a pure timed wait (the process is its own sensitivity)."""
+        self._sensitivity = None
+        self._send_value = None
+        self.state = ProcessState.RUNNABLE
+        self.sim._runnable.append(self)
 
     def _step(self) -> None:
         self.state = ProcessState.RUNNING
@@ -349,23 +410,40 @@ class Process(ProcessBase):
         self._install_wait(request)
 
     def _install_wait(self, request: object) -> None:
-        request = self._normalize(request)
+        sim = self.sim
         self.state = ProcessState.WAITING
+        # Fast paths for the two dominant yield shapes: a raw duration
+        # (int femtoseconds) and a single Event.  Both skip _normalize
+        # and, for timed waits, skip the _Sensitivity allocation -- the
+        # process itself is the timeout target (see _Timeout).
+        cls = request.__class__
+        if cls is int:
+            if request > 0:
+                self._sensitivity = sim._schedule_timeout(self, sim.now + request)
+            elif request == 0:
+                sim._schedule_delta_resume(self)
+            else:
+                raise ProcessError(
+                    f"cannot wait a negative duration: {request}"
+                )
+            return
+        if cls is Event:
+            self._sensitivity = _Sensitivity._acquire(self, (request,), "any")
+            return
+        request = self._normalize(request)
         if isinstance(request, WaitTime):
             if request.duration == 0:
-                self.sim._schedule_delta_resume(self)
+                sim._schedule_delta_resume(self)
                 return
-            sensitivity = _Sensitivity(self, (), "any")
-            sensitivity.timeout_entry = self.sim._schedule_timeout(
-                sensitivity, self.sim.now + request.duration
+            self._sensitivity = sim._schedule_timeout(
+                self, sim.now + request.duration
             )
-            self._sensitivity = sensitivity
             return
         assert isinstance(request, WaitEvents)
-        sensitivity = _Sensitivity(self, request.events, request.mode)
+        sensitivity = _Sensitivity._acquire(self, request.events, request.mode)
         if request.timeout is not None:
-            sensitivity.timeout_entry = self.sim._schedule_timeout(
-                sensitivity, self.sim.now + request.timeout
+            sensitivity.timeout_entry = sim._schedule_timeout(
+                sensitivity, sim.now + request.timeout
             )
         self._sensitivity = sensitivity
 
@@ -484,16 +562,14 @@ class MethodProcess(ProcessBase):
             if request.duration == 0:
                 self.sim._schedule_delta_resume(self)
                 return
-            sensitivity = _Sensitivity(self, (), "any")
-            sensitivity.timeout_entry = self.sim._schedule_timeout(
-                sensitivity, self.sim.now + request.duration
+            self._sensitivity = self.sim._schedule_timeout(
+                self, self.sim.now + request.duration
             )
-            self._sensitivity = sensitivity
             return
         if isinstance(request, WaitEvents):
             self._dynamic_active = True
             self.state = ProcessState.WAITING
-            sensitivity = _Sensitivity(self, request.events, request.mode)
+            sensitivity = _Sensitivity._acquire(self, request.events, request.mode)
             if request.timeout is not None:
                 sensitivity.timeout_entry = self.sim._schedule_timeout(
                     sensitivity, self.sim.now + request.timeout

@@ -27,7 +27,7 @@ from collections import deque
 from typing import List, Optional, Tuple
 
 from ..errors import DeadlockError, SchedulerError, SimulationError
-from .event import Event, _TimedNotification
+from .event import Event, _DELTA_PENDING, _TimedNotification
 from .process import MethodProcess, Process, ProcessBase, ProcessState, _Timeout
 from .time import Time, format_time
 
@@ -44,7 +44,39 @@ class _TimedCallback:
 
 
 class KernelCore:
-    """Event queues and scheduling loop shared by all simulations."""
+    """Event queues and scheduling loop shared by all simulations.
+
+    Hot-path note: the kernel recycles :class:`_TimedNotification` and
+    :class:`_Timeout` heap entries through free-lists.  An entry is only
+    recycled after it has been popped from the timed heap *and* every
+    external reference to it has been dropped (``Event._pending`` is
+    cleared by ``_trigger``/``cancel``; ``ProcessBase._sensitivity`` is
+    cleared on wait resolution), so a pooled object can never be observed
+    through a stale handle.
+    """
+
+    __slots__ = (
+        "now",
+        "delta_count",
+        "process_switch_count",
+        "processes",
+        "_runnable",
+        "_timed",
+        "_seq",
+        "_delta_events",
+        "_delta_resumes",
+        "_delta_callbacks",
+        "_update_requests",
+        "_current",
+        "_started",
+        "_running",
+        "_stop_requested",
+        "_pending_error",
+        "_max_delta_cycles",
+        "_free_notifications",
+        "_free_timeouts",
+        "_free_sensitivities",
+    )
 
     def __init__(self, max_delta_cycles: int = 1_000_000) -> None:
         #: Current simulated time in femtoseconds.
@@ -69,6 +101,11 @@ class KernelCore:
         self._stop_requested = False
         self._pending_error: Optional[Tuple[ProcessBase, BaseException]] = None
         self._max_delta_cycles = max_delta_cycles
+        # Free-lists recycling the high-churn kernel objects: the two
+        # timed-heap entry kinds, plus resolved wait sensitivities.
+        self._free_notifications: List[_TimedNotification] = []
+        self._free_timeouts: List[_Timeout] = []
+        self._free_sensitivities: List = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -108,7 +145,14 @@ class KernelCore:
         heapq.heappush(self._timed, (when, self._seq, entry))
 
     def _schedule_timed_notify(self, event: Event, when: Time) -> _TimedNotification:
-        entry = _TimedNotification(when, event)
+        pool = self._free_notifications
+        if pool:
+            entry = pool.pop()
+            entry.time = when
+            entry.event = event
+            entry.cancelled = False
+        else:
+            entry = _TimedNotification(when, event)
         self._push_timed(when, entry)
         return entry
 
@@ -146,7 +190,14 @@ class KernelCore:
         self._delta_callbacks.append(fn)
 
     def _schedule_timeout(self, sensitivity, when: Time) -> _Timeout:
-        entry = _Timeout(when, sensitivity)
+        pool = self._free_timeouts
+        if pool:
+            entry = pool.pop()
+            entry.time = when
+            entry.sensitivity = sensitivity
+            entry.cancelled = False
+        else:
+            entry = _Timeout(when, sensitivity)
         self._push_timed(when, entry)
         return entry
 
@@ -255,14 +306,24 @@ class KernelCore:
 
     def _run_loop(self, end: Optional[Time]) -> None:
         delta_guard = 0
+        # Hot-loop hoists: the phase queues and state sentinel are stable
+        # objects (the loop snapshots-and-clears them rather than
+        # rebinding), so bind them (and the deque's popleft) once.
+        runnable = self._runnable
+        popleft = runnable.popleft
+        RUNNABLE = ProcessState.RUNNABLE
+        TERMINATED = ProcessState.TERMINATED
+        delta_events = self._delta_events
+        delta_resumes = self._delta_resumes
+        delta_callbacks = self._delta_callbacks
+        update_requests = self._update_requests
         while True:
             # --- evaluate phase ---------------------------------------
             ran_any = False
-            while self._runnable:
-                process = self._runnable.popleft()
-                if process.terminated:
-                    continue
-                if process.state is not ProcessState.RUNNABLE:
+            while runnable:
+                process = popleft()
+                # a non-RUNNABLE state also covers terminated processes
+                if process.state is not RUNNABLE:
                     continue
                 ran_any = True
                 self._current = process
@@ -280,15 +341,15 @@ class KernelCore:
                     return
 
             # --- update phase -----------------------------------------
-            if self._update_requests:
-                channels = self._update_requests
-                self._update_requests = []
+            if update_requests:
+                channels = update_requests[:]
+                update_requests.clear()
                 for channel in channels:
                     channel._update_requested = False
                     channel._update()
 
             # --- delta notification phase ------------------------------
-            if self._delta_events or self._delta_resumes or self._delta_callbacks:
+            if delta_events or delta_resumes or delta_callbacks:
                 self.delta_count += 1
                 if ran_any:
                     delta_guard += 1
@@ -298,21 +359,21 @@ class KernelCore:
                             f"without time advancing at t={format_time(self.now)}; "
                             "the model probably has a zero-delay loop"
                         )
-                events = self._delta_events
-                self._delta_events = []
-                resumes = self._delta_resumes
-                self._delta_resumes = []
-                callbacks = self._delta_callbacks
-                self._delta_callbacks = []
+                events = delta_events[:]
+                delta_events.clear()
+                resumes = delta_resumes[:]
+                delta_resumes.clear()
+                callbacks = delta_callbacks[:]
+                delta_callbacks.clear()
                 for event in events:
-                    if event._pending == "delta":
+                    if event._pending is _DELTA_PENDING:
                         event._trigger()
                 for process in resumes:
-                    if not process.terminated:
+                    if process.state is not TERMINATED:
                         process._on_wait_resolved(None)
                 for fn in callbacks:
                     fn()
-                if self._runnable:
+                if runnable:
                     continue
 
             # --- timed notification phase ------------------------------
@@ -322,10 +383,27 @@ class KernelCore:
             delta_guard = 0
 
     def _advance_time(self, end: Optional[Time]) -> bool:
-        """Pop the earliest batch of timed entries; returns False when done."""
+        """Drain the earliest batch of timed entries; returns False when done.
+
+        All entries scheduled at the earliest instant are popped in one
+        heap pass.  Entries fired here may push *new* same-instant work
+        (e.g. a zero-delay ``schedule_callback`` from inside a callback);
+        the drain loop keeps going until the instant is exhausted, which
+        preserves the original one-at-a-time semantics.
+        """
         timed = self._timed
-        while timed and self._entry_cancelled(timed[0][2]):
-            heapq.heappop(timed)
+        pop = heapq.heappop
+        free_notifications = self._free_notifications
+        free_timeouts = self._free_timeouts
+        while timed and timed[0][2].cancelled:
+            entry = pop(timed)[2]
+            cls = entry.__class__
+            if cls is _TimedNotification:
+                entry.event = None
+                free_notifications.append(entry)
+            elif cls is _Timeout:
+                entry.sensitivity = None
+                free_timeouts.append(entry)
         if not timed:
             return False
         when = timed[0][0]
@@ -338,15 +416,21 @@ class KernelCore:
             )
         self.now = when
         while timed and timed[0][0] == when:
-            _, _, entry = heapq.heappop(timed)
-            if self._entry_cancelled(entry):
-                continue
-            if isinstance(entry, _TimedNotification):
-                entry.event._trigger()
-            elif isinstance(entry, _Timeout):
-                entry.sensitivity.on_timeout()
-            elif isinstance(entry, _TimedCallback):
-                entry.fn()
+            entry = pop(timed)[2]
+            cls = entry.__class__
+            if cls is _TimedNotification:
+                if not entry.cancelled:
+                    entry.event._trigger()
+                entry.event = None
+                free_notifications.append(entry)
+            elif cls is _Timeout:
+                if not entry.cancelled:
+                    entry.sensitivity.on_timeout()
+                entry.sensitivity = None
+                free_timeouts.append(entry)
+            elif cls is _TimedCallback:
+                if not entry.cancelled:
+                    entry.fn()
             else:  # pragma: no cover - defensive
                 raise SchedulerError(f"unknown timed entry: {entry!r}")
         return True

@@ -37,6 +37,8 @@ from .time import Time, format_time
 class Simulator(KernelCore):
     """A named simulation context with object factories."""
 
+    __slots__ = ("name", "_names", "recorder", "_observers")
+
     def __init__(self, name: str = "sim", max_delta_cycles: int = 1_000_000) -> None:
         super().__init__(max_delta_cycles=max_delta_cycles)
         self.name = name

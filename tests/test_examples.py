@@ -14,6 +14,9 @@ import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
 EXAMPLES = sorted(glob.glob(os.path.join(EXAMPLES_DIR, "*.py")))
+SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "src")
+)
 
 
 def test_examples_discovered():
@@ -25,6 +28,12 @@ def test_examples_discovered():
 )
 def test_example_runs(path, tmp_path):
     env = dict(os.environ)
+    # the examples import `repro` from the source tree; the subprocess
+    # does not inherit the parent's sys.path, so extend PYTHONPATH
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        SRC_DIR if not existing else SRC_DIR + os.pathsep + existing
+    )
     result = subprocess.run(
         [sys.executable, path],
         capture_output=True,

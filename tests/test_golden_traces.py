@@ -1,0 +1,93 @@
+"""Golden-trace conformance: the schedules the paper draws are frozen.
+
+The fig6 timeline and fig7 mutex-blocking schedules (built by
+``benchmarks/_scenarios.py``) are captured as checked-in traces under
+``tests/golden/``.  Every run must reproduce them record-for-record on
+the observable dimensions (task states, accesses, preemptions) --
+RTK-Spec-TRON-style trace conformance, with :mod:`repro.trace.diff`
+producing the failure report.
+
+Regenerating the goldens (only after an *intended* schedule change)::
+
+    PYTHONPATH=src:benchmarks python tests/test_golden_traces.py --regen
+"""
+
+import os
+import sys
+
+import pytest
+
+BENCHMARKS_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "benchmarks")
+)
+if BENCHMARKS_DIR not in sys.path:
+    sys.path.insert(0, BENCHMARKS_DIR)
+
+from _scenarios import build_fig6_system, build_fig7_system  # noqa: E402
+
+from repro.trace import TraceRecorder, diff_traces, format_diff  # noqa: E402
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+FIG7_VARIANTS = ("plain", "ceiling")
+
+
+def golden_path(name: str) -> str:
+    return os.path.join(GOLDEN_DIR, name)
+
+
+def record_fig6(engine: str) -> TraceRecorder:
+    system, _log = build_fig6_system(engine=engine)
+    recorder = TraceRecorder(system.sim)
+    system.run()
+    return recorder
+
+
+def record_fig7(variant: str) -> TraceRecorder:
+    system, recorder, _done = build_fig7_system(variant)
+    system.run()
+    return recorder
+
+
+def assert_conforms(fresh: TraceRecorder, golden_name: str) -> None:
+    golden = TraceRecorder.load_jsonl(golden_path(golden_name))
+    divergences = diff_traces(golden, fresh)
+    assert not divergences, (
+        f"trace diverges from {golden_name} (left=golden, right=run):\n"
+        + format_diff(divergences)
+    )
+
+
+@pytest.mark.parametrize("engine", ["procedural", "threaded"])
+def test_fig6_timeline_conforms(engine):
+    """Both engines must reproduce the checked-in fig6 schedule."""
+    assert_conforms(record_fig6(engine), "fig6_timeline.jsonl")
+
+
+@pytest.mark.parametrize("variant", FIG7_VARIANTS)
+def test_fig7_mutex_blocking_conforms(variant):
+    assert_conforms(record_fig7(variant), f"fig7_{variant}.jsonl")
+
+
+def test_goldens_are_nonempty():
+    """Guard against silently-empty golden files masking conformance."""
+    for name in ["fig6_timeline.jsonl"] + [
+        f"fig7_{v}.jsonl" for v in FIG7_VARIANTS
+    ]:
+        golden = TraceRecorder.load_jsonl(golden_path(name))
+        assert len(golden.records) > 20, name
+
+
+def _regen() -> None:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    record_fig6("procedural").save_jsonl(golden_path("fig6_timeline.jsonl"))
+    for variant in FIG7_VARIANTS:
+        record_fig7(variant).save_jsonl(golden_path(f"fig7_{variant}.jsonl"))
+    print(f"regenerated goldens under {GOLDEN_DIR}")
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)
