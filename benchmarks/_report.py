@@ -1,0 +1,59 @@
+"""Shared write/validate helpers for benchmark JSON reports.
+
+Every regression harness under ``benchmarks/`` emits a machine-readable
+``BENCH_*.json`` at the repository root with the same envelope::
+
+    {"schema_version": N, "meta": {"python", "platform", "smoke", ...},
+     ...harness-specific sections...}
+
+This module centralises the envelope: building ``meta``, writing the
+file (stable formatting so diffs are reviewable), and the assertion
+helpers the per-harness ``validate_schema`` functions are built from.
+CI imports those ``validate_schema`` functions to gate the emitted
+files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+
+
+def report_meta(smoke: bool, **extra) -> dict:
+    """The common ``meta`` block every benchmark report carries."""
+    meta = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "smoke": smoke,
+    }
+    meta.update(extra)
+    return meta
+
+
+def write_report(payload: dict, path: str) -> str:
+    """Write one report JSON with stable formatting; returns ``path``."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def repo_root_path(filename: str) -> str:
+    """Default output location: the repository root."""
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return os.path.join(repo_root, filename)
+
+
+def check_envelope(payload: dict, schema_version: int) -> None:
+    """Assert the envelope fields every report must carry."""
+    assert payload["schema_version"] == schema_version
+    assert isinstance(payload["meta"], dict)
+    assert {"python", "platform", "smoke"} <= set(payload["meta"])
+
+
+def check_fields(entry: dict, fields, context: str = "") -> None:
+    """Assert ``entry[name]`` is an instance of ``kind`` for each pair."""
+    for name, kind in fields:
+        assert name in entry, (context, name)
+        assert isinstance(entry[name], kind), (context, name, entry[name])

@@ -22,12 +22,16 @@ simulation results is flagged by eye (and by the determinism tests).
 """
 
 import argparse
-import json
-import os
-import platform
 import sys
 import time
 
+from _report import (
+    check_envelope,
+    check_fields,
+    repo_root_path,
+    report_meta,
+    write_report,
+)
 from _scenarios import (
     build_interrupt_scenario,
     build_messaging_system,
@@ -212,39 +216,31 @@ def measure(smoke: bool = False, rounds: int = 5) -> dict:
         scenarios[name] = entry
     return {
         "schema_version": SCHEMA_VERSION,
-        "meta": {
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "smoke": smoke,
-        },
+        "meta": report_meta(smoke),
         "scenarios": scenarios,
     }
 
 
 def validate_schema(payload: dict) -> None:
     """Assert the JSON shape downstream tooling (and CI) relies on."""
-    assert payload["schema_version"] == SCHEMA_VERSION
-    assert isinstance(payload["meta"], dict)
-    assert {"python", "platform", "smoke"} <= set(payload["meta"])
+    check_envelope(payload, SCHEMA_VERSION)
     scenarios = payload["scenarios"]
     assert isinstance(scenarios, dict) and scenarios
     for name, entry in scenarios.items():
         assert isinstance(name, str)
-        for field, kind in (
+        check_fields(entry, (
             ("switches", int),
             ("sim_now_fs", int),
             ("best_wall_s", float),
             ("switches_per_s", (int, float)),
             ("rounds", int),
-        ):
-            assert isinstance(entry[field], kind), (name, field)
+        ), context=name)
         assert entry["switches"] > 0, name
         assert entry["switches_per_s"] > 0, name
 
 
 def default_output_path() -> str:
-    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    return os.path.join(repo_root, "BENCH_kernel_throughput.json")
+    return repo_root_path("BENCH_kernel_throughput.json")
 
 
 def main(argv=None) -> int:
@@ -261,9 +257,7 @@ def main(argv=None) -> int:
 
     payload = measure(smoke=args.smoke, rounds=args.rounds)
     validate_schema(payload)
-    with open(args.out, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    write_report(payload, args.out)
 
     width = max(len(n) for n in payload["scenarios"])
     print(f"{'scenario':>{width}} {'switches':>9} {'switches/s':>12} speedup")

@@ -11,6 +11,7 @@ Layers (bottom-up):
 * :mod:`repro.rtos`     -- the paper's contribution: the generic RTOS model.
 * :mod:`repro.trace`    -- timeline charts, statistics, VCD/SVG export.
 * :mod:`repro.analysis` -- latency measurements, timing constraints, RTA.
+* :mod:`repro.campaign` -- parallel/cached batch execution of campaigns.
 * :mod:`repro.baselines`-- untimed and quantum-preemption baselines.
 * :mod:`repro.comm`     -- shared-bus interconnect substrate.
 * :mod:`repro.codegen`  -- C software generation (the paper's future work).

@@ -85,6 +85,12 @@ def explore(
     *,
     duration: Optional[Time] = None,
     on_point: Optional[Callable[[ExplorationResult], None]] = None,
+    workers: int = 1,
+    cache=None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    progress=False,
+    strict: bool = True,
 ) -> List[ExplorationResult]:
     """Run every configuration; returns one result per design point.
 
@@ -92,15 +98,57 @@ def explore(
     :class:`~repro.mcse.model.System` (or anything with ``run`` and
     ``now``); ``metrics(config, system)`` extracts the comparison values
     after the run.
+
+    With ``workers > 1`` (or ``cache``/``timeout``/``retries``/
+    ``progress`` set) the cross product is dispatched through the
+    :class:`repro.campaign.Runner`; results come back in configuration
+    order, so the returned list is identical to the serial one.
+    Parallel execution requires ``build`` and ``metrics`` to be
+    picklable (module-level functions).  ``strict=False`` drops failed
+    design points from the returned list instead of raising; use the
+    Runner directly when the structured failure records are needed.
     """
+    configs = configurations(space)
+    use_runner = (
+        workers != 1 or cache is not None or timeout is not None
+        or retries != 0 or progress
+    )
+    if not use_runner:
+        results = []
+        for config in configs:
+            system = build(dict(config))
+            system.run(duration)
+            result = ExplorationResult(
+                config=dict(config),
+                metrics=dict(metrics(dict(config), system)),
+                simulated_time=system.now,
+            )
+            results.append(result)
+            if on_point is not None:
+                on_point(result)
+        return results
+
+    from ..campaign import Runner, spec_from_design
+    from ..campaign.spec import DURATION_KEY, SIM_NOW_KEY, RunRequest
+
+    spec = spec_from_design(build, metrics)
+    requests = [
+        RunRequest(index=index, params={**config, DURATION_KEY: duration})
+        for index, config in enumerate(configs)
+    ]
+    runner = Runner(workers=workers, cache=cache, timeout=timeout,
+                    retries=retries, progress=progress)
+    outcome = runner.execute(spec, requests)
+    if strict:
+        outcome.raise_on_failure()
     results = []
-    for config in configurations(space):
-        system = build(dict(config))
-        system.run(duration)
+    for run in outcome.results:
+        point_metrics = dict(run.metrics)
+        simulated_time = point_metrics.pop(SIM_NOW_KEY)
         result = ExplorationResult(
-            config=dict(config),
-            metrics=dict(metrics(dict(config), system)),
-            simulated_time=system.now,
+            config=dict(configs[run.index]),
+            metrics=point_metrics,
+            simulated_time=simulated_time,
         )
         results.append(result)
         if on_point is not None:

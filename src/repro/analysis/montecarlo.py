@@ -18,6 +18,7 @@ Example::
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List
 
@@ -37,6 +38,8 @@ class MetricSample:
         return percentile(self.values, q)
 
     def mean(self) -> float:
+        if not self.values:
+            raise ReproError(f"metric {self.name!r} has no samples")
         return sum(self.values) / len(self.values)
 
     def minimum(self):
@@ -57,11 +60,20 @@ class MetricSample:
 
 
 class Campaign(dict):
-    """Mapping metric name -> :class:`MetricSample`, plus run count."""
+    """Mapping metric name -> :class:`MetricSample`, plus run count.
+
+    ``failures`` and ``stats`` are populated when the campaign executed
+    through the :mod:`repro.campaign` runner (``workers``/``cache``):
+    ``failures`` holds structured ``RunFailure`` records (only non-empty
+    with ``strict=False``), ``stats`` the runner's execution summary
+    (wall time, cache hits/misses, throughput).
+    """
 
     def __init__(self) -> None:
         super().__init__()
         self.runs = 0
+        self.failures: List = []
+        self.stats: Dict = {}
 
     def record(self, metrics: Dict) -> None:
         self.runs += 1
@@ -75,6 +87,12 @@ def monte_carlo(
     runs: int,
     base_seed: int = 0,
     on_run: Callable[[int, Dict], None] = None,
+    workers: int = 1,
+    cache=None,
+    timeout: float = None,
+    retries: int = 0,
+    progress=False,
+    strict: bool = True,
 ) -> Campaign:
     """Run ``experiment(seed)`` for ``runs`` distinct seeds.
 
@@ -82,16 +100,58 @@ def monte_carlo(
     a dict of numeric metrics.  Seeds are ``base_seed .. base_seed +
     runs - 1``, so campaigns are exactly reproducible and trivially
     shardable.
+
+    With ``workers > 1`` (or any of ``cache``/``timeout``/``retries``/
+    ``progress`` set) execution delegates to the
+    :class:`repro.campaign.Runner`: runs are sharded over a process
+    pool, served from the content-addressed result cache when enabled,
+    and retried/timed out individually.  Aggregation always happens in
+    seed order, so the returned :class:`Campaign` is identical to the
+    serial one.  Parallel execution requires ``experiment`` to be
+    picklable (a module-level function); ``strict=False`` collects
+    failed runs on ``campaign.failures`` instead of raising.
     """
     if runs < 1:
         raise ReproError(f"need at least one run, got {runs}")
+    use_runner = (
+        workers != 1 or cache is not None or timeout is not None
+        or retries != 0 or progress
+    )
+    if not use_runner:
+        started = time.perf_counter()
+        campaign = Campaign()
+        for offset in range(runs):
+            seed = base_seed + offset
+            metrics = experiment(seed)
+            campaign.record(metrics)
+            if on_run is not None:
+                on_run(seed, metrics)
+        wall = time.perf_counter() - started
+        campaign.stats = {
+            "spec": getattr(experiment, "__name__", "experiment"),
+            "runs": runs, "ok": runs, "failed": 0, "cached": 0,
+            "cache_hits": 0, "cache_misses": 0, "workers": 1,
+            "wall_s": round(wall, 6),
+            "runs_per_s": round(runs / wall, 3) if wall > 0 else None,
+        }
+        return campaign
+
+    from ..campaign import Runner, spec_from_experiment
+
+    spec = spec_from_experiment(experiment, base_seed=base_seed)
+    requests = [spec.request(index, seeded=True) for index in range(runs)]
+    runner = Runner(workers=workers, cache=cache, timeout=timeout,
+                    retries=retries, progress=progress)
+    outcome = runner.execute(spec, requests)
+    if strict:
+        outcome.raise_on_failure()
     campaign = Campaign()
-    for offset in range(runs):
-        seed = base_seed + offset
-        metrics = experiment(seed)
-        campaign.record(metrics)
+    for result in outcome.results:
+        campaign.record(result.metrics)
         if on_run is not None:
-            on_run(seed, metrics)
+            on_run(result.params["seed"], result.metrics)
+    campaign.failures = outcome.failures
+    campaign.stats = outcome.summary()
     return campaign
 
 

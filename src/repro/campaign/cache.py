@@ -1,0 +1,144 @@
+"""Content-addressed on-disk result cache for campaigns.
+
+Layout: one JSONL file per experiment *version* under the cache root
+(default ``.campaign-cache/``)::
+
+    .campaign-cache/<name>-<fingerprint12>.jsonl
+
+Each line is one completed run: ``{"key": ..., "metrics": ..., "wall_s":
+...}``.  The key is a SHA-256 over the spec fingerprint plus the
+canonical JSON of the run parameters, so
+
+* re-running an identical grid is a 100% hit (no simulation at all),
+* editing one parameter axis re-simulates only the new cells, and
+* editing the experiment code starts a fresh file (old results are kept
+  on disk for forensics but never served).
+
+Files are append-only; a torn final line (crash mid-write) is skipped on
+load rather than poisoning the campaign.  Failed runs are never cached
+-- a retry after a fix must actually re-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from typing import Dict, Optional
+
+from .spec import ExperimentSpec, canonical_json
+
+#: Default cache root, relative to the current working directory.
+DEFAULT_CACHE_ROOT = ".campaign-cache"
+
+
+def run_key(spec_fingerprint: str, params: Dict) -> str:
+    """The content hash identifying one run of one experiment version."""
+    payload = spec_fingerprint + "\n" + canonical_json(params)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _slug(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", name) or "campaign"
+
+
+class ResultCache:
+    """JSONL-backed result store keyed by run content hashes.
+
+    ``hits`` and ``misses`` account every lookup since construction, so
+    callers can report cache effectiveness without extra bookkeeping.
+    """
+
+    def __init__(self, root: str = DEFAULT_CACHE_ROOT) -> None:
+        self.root = str(root)
+        self.hits = 0
+        self.misses = 0
+        self._index: Dict[str, Dict[str, dict]] = {}
+
+    # -- file handling -------------------------------------------------
+    def path_for(self, spec: ExperimentSpec,
+                 fingerprint: Optional[str] = None) -> str:
+        fingerprint = fingerprint or spec.fingerprint()
+        return os.path.join(
+            self.root, f"{_slug(spec.name)}-{fingerprint[:12]}.jsonl"
+        )
+
+    def _load(self, path: str) -> Dict[str, dict]:
+        if path in self._index:
+            return self._index[path]
+        index: Dict[str, dict] = {}
+        if os.path.exists(path):
+            with open(path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue  # torn write; ignore the partial line
+                    key = record.get("key")
+                    if key:
+                        index[key] = record
+        self._index[path] = index
+        return index
+
+    # -- lookup / store ------------------------------------------------
+    def lookup(self, spec: ExperimentSpec, params: Dict, *,
+               fingerprint: Optional[str] = None) -> Optional[dict]:
+        """The cached record for ``params``, or None (counted as miss)."""
+        fingerprint = fingerprint or spec.fingerprint()
+        record = self._load(self.path_for(spec, fingerprint)).get(
+            run_key(fingerprint, params)
+        )
+        if record is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return record
+
+    def store(self, spec: ExperimentSpec, params: Dict, metrics: Dict,
+              *, wall_s: float = 0.0,
+              fingerprint: Optional[str] = None) -> dict:
+        """Append one completed run; returns the stored record."""
+        fingerprint = fingerprint or spec.fingerprint()
+        path = self.path_for(spec, fingerprint)
+        record = {
+            "key": run_key(fingerprint, params),
+            "params": json.loads(canonical_json(params)),
+            "metrics": metrics,
+            "wall_s": round(wall_s, 6),
+        }
+        index = self._load(path)
+        os.makedirs(self.root, exist_ok=True)
+        with open(path, "a") as handle:
+            # NOT sort_keys: the metrics dict must round-trip with its
+            # insertion order intact so cached and fresh campaigns
+            # aggregate identically.
+            handle.write(json.dumps(record) + "\n")
+        index[record["key"]] = record
+        return record
+
+    def __len__(self) -> int:
+        return sum(len(index) for index in self._index.values())
+
+
+def resolve_cache(cache) -> Optional[ResultCache]:
+    """Normalise the user-facing ``cache=`` argument.
+
+    Accepts ``None``/``False`` (off), ``True`` (default root), a path
+    string, or a ready :class:`ResultCache` instance.
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ResultCache()
+    if isinstance(cache, ResultCache):
+        return cache
+    if isinstance(cache, (str, os.PathLike)):
+        return ResultCache(str(cache))
+    raise TypeError(
+        f"cache must be None, bool, a path or a ResultCache, "
+        f"got {type(cache).__name__}"
+    )

@@ -1,0 +1,38 @@
+"""Canonical, picklable campaign experiments.
+
+The CLI ``pyrtos-sc campaign`` subcommand and the campaign-scaling
+benchmark both need an experiment that (a) exercises the full RTOS
+model and (b) crosses process boundaries.  The paper's §5 MPEG-2 SoC
+case study is the natural choice: 18 tasks on six processors, three of
+them RTOS-scheduled.  Parameterize with ``functools.partial``::
+
+    experiment = functools.partial(mpeg2_experiment, frames=8)
+    campaign = monte_carlo(experiment, runs=32, workers=4)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..kernel.time import US
+
+
+def mpeg2_experiment(seed: int, *, frames: int = 8,
+                     engine: str = "procedural",
+                     policy: str = "priority_preemptive") -> Dict:
+    """One seeded MPEG-2 SoC simulation, summarised as plain metrics.
+
+    All values are JSON-native (ints/floats in microseconds or fps), so
+    campaigns over this experiment are fully cacheable.
+    """
+    from ..workloads.mpeg2 import Mpeg2Soc
+
+    soc = Mpeg2Soc(frames=frames, engine=engine, policy=policy, seed=seed)
+    soc.run()
+    e2e = soc.latencies("end_to_end")
+    return {
+        "frames_completed": soc.completed_frames(),
+        "mean_e2e_us": (sum(e2e) // len(e2e)) // US if e2e else 0,
+        "max_e2e_us": max(e2e) // US if e2e else 0,
+        "throughput_fps": round(soc.throughput_fps(), 4),
+    }

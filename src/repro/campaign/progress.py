@@ -1,0 +1,118 @@
+"""Campaign progress and throughput reporting.
+
+A :class:`ProgressReporter` prints a throttled one-line status to
+stderr while runs complete -- count, percentage, ok/fail/cached split
+and a wall-clock ETA extrapolated from the observed per-run rate -- and
+a final throughput summary when the campaign finishes.  On a TTY the
+line redraws in place; in logs it emits at most one line per
+``min_interval`` seconds so CI output stays readable.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional
+
+
+def _fmt_eta(seconds: float) -> str:
+    if seconds < 0 or seconds != seconds:  # negative or NaN
+        return "?"
+    if seconds < 100:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(seconds), 60)
+    return f"{minutes}m{secs:02d}s"
+
+
+class ProgressReporter:
+    """Streams ``[done/total] ... eta`` lines; summarises at the end."""
+
+    def __init__(self, total: int, *, label: str = "campaign",
+                 stream=None, min_interval: float = 0.5,
+                 clock=time.perf_counter) -> None:
+        self.total = total
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self._clock = clock
+        self.ok = 0
+        self.failed = 0
+        self.cached = 0
+        self._started: Optional[float] = None
+        self._last_emit = float("-inf")
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def done(self) -> int:
+        return self.ok + self.failed + self.cached
+
+    def start(self) -> None:
+        self._started = self._clock()
+
+    def update(self, *, ok: int = 0, failed: int = 0,
+               cached: int = 0) -> None:
+        """Record finished runs; emits a status line when due."""
+        if self._started is None:
+            self.start()
+        self.ok += ok
+        self.failed += failed
+        self.cached += cached
+        now = self._clock()
+        if (now - self._last_emit >= self.min_interval
+                or self.done >= self.total):
+            self._last_emit = now
+            self._emit(now)
+
+    def finish(self, *, wall_s: Optional[float] = None) -> str:
+        """Print and return the final throughput summary line."""
+        if self._started is None:
+            self.start()
+        if wall_s is None:
+            wall_s = self._clock() - self._started
+        rate = self.done / wall_s if wall_s > 0 else float("inf")
+        summary = (
+            f"{self.label}: {self.done}/{self.total} runs in "
+            f"{wall_s:.2f}s ({rate:.1f} runs/s; ok={self.ok} "
+            f"fail={self.failed} cached={self.cached})"
+        )
+        self._write(summary + "\n", final=True)
+        return summary
+
+    # -- rendering -----------------------------------------------------
+    def _emit(self, now: float) -> None:
+        elapsed = now - self._started
+        fresh = self.ok + self.failed  # cached runs are ~free
+        remaining = self.total - self.done
+        eta = (elapsed / fresh) * remaining if fresh else 0.0
+        pct = 100.0 * self.done / self.total if self.total else 100.0
+        line = (
+            f"[{self.done}/{self.total}] {pct:3.0f}% ok={self.ok} "
+            f"fail={self.failed} cached={self.cached} "
+            f"eta {_fmt_eta(eta)}"
+        )
+        self._write(line)
+
+    def _write(self, text: str, *, final: bool = False) -> None:
+        is_tty = getattr(self.stream, "isatty", lambda: False)()
+        if is_tty and not final:
+            self.stream.write("\r" + text.ljust(78))
+        elif is_tty:
+            self.stream.write("\r" + text)
+        else:
+            self.stream.write(text.rstrip("\n") + "\n")
+        self.stream.flush()
+
+
+def resolve_progress(progress, total: int, *,
+                     label: str) -> Optional[ProgressReporter]:
+    """Normalise the user-facing ``progress=`` argument."""
+    if progress is None or progress is False:
+        return None
+    if progress is True:
+        return ProgressReporter(total, label=label)
+    if isinstance(progress, ProgressReporter):
+        return progress
+    raise TypeError(
+        f"progress must be a bool or ProgressReporter, "
+        f"got {type(progress).__name__}"
+    )

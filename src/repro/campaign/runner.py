@@ -1,0 +1,331 @@
+"""The campaign runner: parallel, cached, fault-tolerant execution.
+
+:class:`Runner` takes an :class:`~repro.campaign.spec.ExperimentSpec`
+plus a list of :class:`~repro.campaign.spec.RunRequest` points and
+executes them
+
+* **in parallel** -- ``workers=N`` shards fresh runs over a process
+  pool with chunked dispatch (``imap_unordered``), because one Python
+  process cannot use more than one core;
+* **cached** -- with ``cache=`` enabled, runs whose content key is
+  already on disk are served without simulating, and fresh results are
+  appended for the next invocation;
+* **fault-tolerant** -- a run that raises (or exceeds ``timeout``
+  seconds of wall clock) is retried up to ``retries`` times and then
+  recorded as a structured :class:`RunFailure` instead of aborting the
+  campaign.
+
+Determinism guarantee: results are re-ordered by run index before
+aggregation, so the *content* of a :class:`CampaignResult` depends only
+on the spec and the requests -- never on worker count, chunking or
+completion order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import signal
+import threading
+import time
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import CampaignError, RunTimeout
+from .cache import ResultCache, resolve_cache, run_key
+from .progress import ProgressReporter, resolve_progress
+from .spec import ExperimentSpec, RunRequest
+
+
+@dataclass
+class RunResult:
+    """One successful run: its parameters, metrics and provenance."""
+
+    index: int
+    params: Dict
+    metrics: Dict
+    wall_s: float = 0.0
+    attempts: int = 1
+    cached: bool = False
+
+
+@dataclass
+class RunFailure:
+    """One run that failed after every retry.
+
+    ``error_type`` is the exception class name (``"RunTimeout"`` for
+    deadline kills), ``traceback`` the formatted worker-side stack.
+    """
+
+    index: int
+    params: Dict
+    error_type: str
+    message: str
+    traceback: str = ""
+    attempts: int = 1
+    timed_out: bool = False
+
+    def describe(self) -> str:
+        return (f"run {self.index} {self.params!r}: {self.error_type}: "
+                f"{self.message} (after {self.attempts} attempt(s))")
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced, in deterministic index order."""
+
+    spec_name: str
+    results: List[RunResult] = field(default_factory=list)
+    failures: List[RunFailure] = field(default_factory=list)
+    wall_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    workers: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def runs(self) -> int:
+        return len(self.results) + len(self.failures)
+
+    def raise_on_failure(self) -> None:
+        """Raise :class:`CampaignError` summarising any failed runs."""
+        if self.failures:
+            preview = "; ".join(f.describe() for f in self.failures[:3])
+            more = len(self.failures) - 3
+            if more > 0:
+                preview += f"; ... and {more} more"
+            raise CampaignError(
+                f"campaign {self.spec_name!r}: "
+                f"{len(self.failures)}/{self.runs} runs failed ({preview})"
+            )
+
+    def summary(self) -> dict:
+        """A JSON-ready accounting of the campaign execution."""
+        return {
+            "spec": self.spec_name,
+            "runs": self.runs,
+            "ok": len(self.results),
+            "failed": len(self.failures),
+            "cached": sum(1 for r in self.results if r.cached),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "workers": self.workers,
+            "wall_s": round(self.wall_s, 6),
+            "runs_per_s": round(self.runs / self.wall_s, 3)
+            if self.wall_s > 0 else None,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Worker-side execution (must stay module-level: it crosses the pickle
+# boundary into pool processes)
+# ---------------------------------------------------------------------------
+@contextmanager
+def _deadline(seconds: Optional[float]):
+    """Raise :class:`RunTimeout` after ``seconds`` of wall clock.
+
+    Uses ``SIGALRM``/``setitimer``, which only works in a main thread on
+    a Unix platform -- exactly where pool workers (and the serial path)
+    execute.  Elsewhere the deadline is silently not enforced.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise RunTimeout(f"run exceeded {seconds}s wall-clock timeout")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _attempt_run(spec: ExperimentSpec, request: RunRequest,
+                 timeout: Optional[float], retries: int) -> tuple:
+    """Execute one request with bounded retry; never raises."""
+    outcome = None
+    for attempt in range(1, retries + 2):
+        start = time.perf_counter()
+        try:
+            with _deadline(timeout):
+                metrics = spec.execute(request)
+            wall = time.perf_counter() - start
+            return ("ok", request.index, metrics, wall, attempt)
+        except RunTimeout as exc:
+            outcome = ("fail", request.index, "RunTimeout", str(exc),
+                       "", attempt, True)
+        except Exception as exc:  # structured record, not an abort
+            outcome = ("fail", request.index, type(exc).__name__,
+                       str(exc), traceback.format_exc(), attempt, False)
+    return outcome
+
+
+def _pool_entry(payload) -> tuple:
+    spec, request, timeout, retries = payload
+    return _attempt_run(spec, request, timeout, retries)
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+class Runner:
+    """Executes campaigns; see the module docstring for semantics.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``1`` (default) runs in-process -- no pickling
+        requirement, useful for closures and debugging.
+    cache:
+        ``True`` / path / :class:`ResultCache` to enable the on-disk
+        result cache; ``None`` disables it.
+    timeout:
+        Per-run wall-clock limit in seconds (per attempt).
+    retries:
+        Extra attempts after a failed run (0 = fail fast per run).
+    chunk_size:
+        Runs per pool dispatch; default balances scheduling overhead
+        against tail latency (``~4`` chunks per worker).
+    progress:
+        ``True`` or a :class:`ProgressReporter` for live status lines.
+    """
+
+    def __init__(self, *, workers: int = 1, cache=None,
+                 timeout: Optional[float] = None, retries: int = 0,
+                 chunk_size: Optional[int] = None, progress=False,
+                 mp_context: Optional[str] = None) -> None:
+        if workers < 1:
+            raise CampaignError(f"workers must be >= 1, got {workers}")
+        if retries < 0:
+            raise CampaignError(f"retries must be >= 0, got {retries}")
+        self.workers = workers
+        self.cache = resolve_cache(cache)
+        self.timeout = timeout
+        self.retries = retries
+        self.chunk_size = chunk_size
+        self.progress = progress
+        self.mp_context = mp_context
+
+    # -- public API ----------------------------------------------------
+    def execute(self, spec: ExperimentSpec,
+                requests: Sequence[RunRequest]) -> CampaignResult:
+        """Run every request; returns results in index order."""
+        started = time.perf_counter()
+        reporter = resolve_progress(self.progress, len(requests),
+                                    label=spec.name)
+        if reporter is not None:
+            reporter.start()
+
+        outcome = CampaignResult(spec_name=spec.name, workers=self.workers)
+        fingerprint = spec.fingerprint() if self.cache is not None else None
+        hits0 = self.cache.hits if self.cache is not None else 0
+        miss0 = self.cache.misses if self.cache is not None else 0
+
+        pending: List[RunRequest] = []
+        for request in requests:
+            record = None
+            if self.cache is not None:
+                record = self.cache.lookup(spec, request.params,
+                                           fingerprint=fingerprint)
+            if record is not None:
+                outcome.results.append(RunResult(
+                    index=request.index, params=dict(request.params),
+                    metrics=record["metrics"],
+                    wall_s=record.get("wall_s", 0.0), cached=True,
+                ))
+                if reporter is not None:
+                    reporter.update(cached=1)
+            else:
+                pending.append(request)
+
+        by_index = {request.index: request for request in pending}
+        for raw in self._execute_pending(spec, pending):
+            self._absorb(spec, fingerprint, by_index, raw, outcome,
+                         reporter)
+
+        outcome.results.sort(key=lambda r: r.index)
+        outcome.failures.sort(key=lambda f: f.index)
+        outcome.wall_s = time.perf_counter() - started
+        if self.cache is not None:
+            outcome.cache_hits = self.cache.hits - hits0
+            outcome.cache_misses = self.cache.misses - miss0
+        if reporter is not None:
+            reporter.finish(wall_s=outcome.wall_s)
+        return outcome
+
+    # -- internals -----------------------------------------------------
+    def _execute_pending(self, spec: ExperimentSpec,
+                         pending: Sequence[RunRequest]):
+        if not pending:
+            return
+        if self.workers == 1:
+            for request in pending:
+                yield _attempt_run(spec, request, self.timeout,
+                                   self.retries)
+            return
+
+        self._check_picklable(spec, pending[0])
+        payloads = [(spec, request, self.timeout, self.retries)
+                    for request in pending]
+        chunk = self.chunk_size or max(
+            1, min(32, len(pending) // (self.workers * 4) or 1)
+        )
+        context = multiprocessing.get_context(self.mp_context)
+        workers = min(self.workers, len(pending))
+        with context.Pool(processes=workers) as pool:
+            for raw in pool.imap_unordered(_pool_entry, payloads,
+                                           chunksize=chunk):
+                yield raw
+
+    def _absorb(self, spec, fingerprint, by_index, raw, outcome,
+                reporter) -> None:
+        if raw[0] == "ok":
+            _, index, metrics, wall, attempts = raw
+            request = by_index[index]
+            outcome.results.append(RunResult(
+                index=index, params=dict(request.params),
+                metrics=metrics, wall_s=wall, attempts=attempts,
+            ))
+            if self.cache is not None:
+                self.cache.store(spec, request.params, metrics,
+                                 wall_s=wall, fingerprint=fingerprint)
+            if reporter is not None:
+                reporter.update(ok=1)
+        else:
+            _, index, error_type, message, tb, attempts, timed_out = raw
+            request = by_index[index]
+            outcome.failures.append(RunFailure(
+                index=index, params=dict(request.params),
+                error_type=error_type, message=message, traceback=tb,
+                attempts=attempts, timed_out=timed_out,
+            ))
+            if reporter is not None:
+                reporter.update(failed=1)
+
+    def _check_picklable(self, spec: ExperimentSpec,
+                         sample: RunRequest) -> None:
+        try:
+            pickle.dumps((spec, sample))
+        except Exception as exc:
+            raise CampaignError(
+                f"experiment {spec.name!r} cannot be shipped to worker "
+                f"processes: {exc}. Campaign callables must be "
+                "module-level functions (or functools.partial over "
+                "them); use workers=1 for closures/lambdas."
+            ) from None

@@ -163,6 +163,51 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_campaign(args) -> int:
+    """Run a Monte-Carlo campaign over the MPEG-2 SoC in parallel."""
+    import functools
+
+    from .analysis.montecarlo import format_campaign, monte_carlo
+    from .campaign import mpeg2_experiment
+
+    experiment = functools.partial(
+        mpeg2_experiment, frames=args.frames, engine=args.engine
+    )
+    campaign = monte_carlo(
+        experiment,
+        runs=args.runs,
+        base_seed=args.base_seed,
+        workers=args.workers,
+        cache=args.cache,
+        timeout=args.timeout,
+        retries=args.retries,
+        progress=args.progress,
+        strict=not args.keep_going,
+    )
+    print(format_campaign(campaign))
+    stats = campaign.stats
+    print(
+        f"campaign: {stats['runs']} runs in {stats['wall_s']:.2f}s "
+        f"(workers={stats['workers']}, cache hits={stats['cache_hits']} "
+        f"misses={stats['cache_misses']}, failed={stats['failed']})"
+    )
+    if args.json:
+        payload = {
+            "runs": campaign.runs,
+            "stats": stats,
+            "metrics": {
+                name: sample.summary()
+                for name, sample in campaign.items()
+            },
+            "failures": [f.describe() for f in campaign.failures],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if not campaign.failures else 1
+
+
 def cmd_codegen(args) -> int:
     from .codegen import generate_c
 
@@ -215,6 +260,33 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--svg", metavar="PATH")
     report_parser.add_argument("--vcd", metavar="PATH")
     report_parser.set_defaults(func=cmd_report)
+
+    campaign_parser = sub.add_parser(
+        "campaign",
+        help="run a parallel Monte-Carlo campaign (MPEG-2 SoC grid)",
+    )
+    campaign_parser.add_argument("--runs", type=int, default=16,
+                                 help="number of seeded runs")
+    campaign_parser.add_argument("--frames", type=int, default=8)
+    campaign_parser.add_argument("--base-seed", type=int, default=0)
+    campaign_parser.add_argument("--engine", default="procedural",
+                                 choices=("procedural", "threaded"))
+    campaign_parser.add_argument("--workers", type=int, default=1,
+                                 help="worker processes (1 = in-process)")
+    campaign_parser.add_argument("--cache", metavar="DIR", default=None,
+                                 help="result-cache directory "
+                                      "(e.g. .campaign-cache)")
+    campaign_parser.add_argument("--timeout", type=float, default=None,
+                                 help="per-run wall-clock limit in seconds")
+    campaign_parser.add_argument("--retries", type=int, default=0,
+                                 help="extra attempts per failed run")
+    campaign_parser.add_argument("--progress", action="store_true",
+                                 help="live progress/ETA on stderr")
+    campaign_parser.add_argument("--keep-going", action="store_true",
+                                 help="record failures instead of aborting")
+    campaign_parser.add_argument("--json", metavar="PATH",
+                                 help="write the campaign summary as JSON")
+    campaign_parser.set_defaults(func=cmd_campaign)
 
     codegen_parser = sub.add_parser(
         "codegen", help="generate a C application from a JSON spec"

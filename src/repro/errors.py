@@ -75,3 +75,22 @@ class ConstraintViolation(ReproError):
 
 class TraceError(ReproError):
     """Trace recording or rendering failed."""
+
+
+class CampaignError(ReproError):
+    """A batch campaign could not be dispatched or completed.
+
+    Raised by :mod:`repro.campaign` when an experiment cannot be shipped
+    to worker processes (not picklable), when cache keying fails, or --
+    in strict mode -- when individual runs failed after all retries.
+    """
+
+
+class RunTimeout(BaseException):
+    """A campaign run exceeded its per-run wall-clock timeout.
+
+    Like :class:`ProcessKilled`, deliberately derived from
+    :class:`BaseException` so that ``except Exception`` blocks inside
+    model code cannot swallow the deadline signal; the campaign runner
+    converts it into a structured ``RunFailure`` record.
+    """

@@ -85,6 +85,21 @@ class TestExplore:
         assert result["a"] == 1
         assert result["m"] == 2
 
+    def test_parallel_results_deterministically_ordered(self):
+        """workers=2 must return the exact serial order and values."""
+        space = [
+            Parameter("overhead", [0, 2 * US, 5 * US]),
+            Parameter("work", [10 * US, 20 * US]),
+        ]
+        serial = explore(space, simple_build, simple_metrics)
+        parallel = explore(space, simple_build, simple_metrics, workers=2)
+        flatten = [(r.config, r.metrics, r.simulated_time)
+                   for r in serial]
+        assert repr(flatten) == repr(
+            [(r.config, r.metrics, r.simulated_time) for r in parallel]
+        )
+        assert [r.config for r in parallel] == configurations(space)
+
 
 class TestPareto:
     def make(self, latency, misses):
@@ -105,6 +120,34 @@ class TestPareto:
         b = self.make(1, 1)
         front = pareto_front([a, b], minimize=("latency", "misses"))
         assert len(front) == 2
+
+    def test_tie_on_one_metric_still_dominates(self):
+        a = self.make(1, 5)
+        b = self.make(1, 7)  # same latency, strictly worse misses
+        front = pareto_front([a, b], minimize=("latency", "misses"))
+        assert front == [a]
+
+    def test_tie_on_every_metric_is_not_domination(self):
+        # equal everywhere => no strict improvement => both survive,
+        # in input order
+        points = [self.make(3, 3), self.make(3, 3), self.make(3, 3)]
+        front = pareto_front(points, minimize=("latency", "misses"))
+        assert front == points
+
+    def test_duplicates_of_a_dominated_point_all_removed(self):
+        best = self.make(1, 1)
+        dup1 = self.make(2, 2)
+        dup2 = self.make(2, 2)
+        front = pareto_front([dup1, best, dup2],
+                             minimize=("latency", "misses"))
+        assert front == [best]
+
+    def test_single_metric_ties(self):
+        a = self.make(1, 9)
+        b = self.make(1, 0)
+        c = self.make(2, 0)  # dominated on the single metric
+        front = pareto_front([a, b, c], minimize=("latency",))
+        assert front == [a, b]
 
     def test_empty_metric_list_rejected(self):
         with pytest.raises(ReproError):

@@ -58,6 +58,23 @@ class TestMetricSample:
         assert "3 runs" in text
         assert "value" in text
 
+    def test_empty_sample_mean_raises_repro_error(self):
+        from repro.analysis import MetricSample
+
+        sample = MetricSample("empty")
+        with pytest.raises(ReproError, match="'empty' has no samples"):
+            sample.mean()
+
+    def test_empty_sample_mean_is_not_zero_division(self):
+        from repro.analysis import MetricSample
+
+        try:
+            MetricSample("e").mean()
+        except ZeroDivisionError:  # the old failure mode
+            pytest.fail("empty mean leaked a ZeroDivisionError")
+        except ReproError:
+            pass
+
 
 class TestSimulationCampaign:
     def test_stochastic_response_distribution(self):
@@ -103,3 +120,24 @@ class TestSimulationCampaign:
         tight = sample.probability(lambda v: v > 3 * MS)
         assert loose <= tight
         assert campaign.runs == 25
+
+
+def module_level_experiment(seed):
+    return {"value": seed * 10, "constant": 7}
+
+
+class TestParallelDelegation:
+    """monte_carlo(workers=N) must be invisible in the results."""
+
+    def test_workers_identical_aggregation(self):
+        serial = monte_carlo(module_level_experiment, runs=8, base_seed=5)
+        parallel = monte_carlo(module_level_experiment, runs=8,
+                               base_seed=5, workers=2)
+        assert repr(dict(serial)) == repr(dict(parallel))
+        assert parallel.stats["workers"] == 2
+
+    def test_serial_path_populates_stats(self):
+        campaign = monte_carlo(module_level_experiment, runs=2)
+        assert campaign.stats["runs"] == 2
+        assert campaign.stats["workers"] == 1
+        assert campaign.failures == []

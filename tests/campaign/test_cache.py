@@ -1,0 +1,112 @@
+"""Tests for the content-addressed on-disk result cache."""
+
+import json
+import os
+
+from repro.campaign import ResultCache, Runner, run_key, spec_from_experiment
+
+#: Executions per seed, to prove cache hits skip the experiment.
+CALLS = {}
+
+
+def counting_experiment(seed):
+    CALLS[seed] = CALLS.get(seed, 0) + 1
+    return {"value": seed * 10}
+
+
+def edited_experiment(seed):
+    return {"value": seed * 10 + 1}
+
+
+def _run(spec, runs, cache, **kwargs):
+    runner = Runner(cache=cache, **kwargs)
+    requests = [spec.request(i, seeded=True) for i in range(runs)]
+    return runner.execute(spec, requests)
+
+
+class TestCacheHits:
+    def test_second_run_is_all_hits(self, tmp_path):
+        CALLS.clear()
+        spec = spec_from_experiment(counting_experiment)
+        cache = ResultCache(str(tmp_path))
+        first = _run(spec, 4, cache)
+        assert first.cache_hits == 0 and first.cache_misses == 4
+        assert CALLS == {0: 1, 1: 1, 2: 1, 3: 1}
+
+        second = _run(spec, 4, cache)
+        assert second.cache_hits == 4 and second.cache_misses == 0
+        assert CALLS == {0: 1, 1: 1, 2: 1, 3: 1}  # nothing re-ran
+        assert [r.metrics for r in second.results] == \
+            [r.metrics for r in first.results]
+        assert all(r.cached for r in second.results)
+
+    def test_persists_across_cache_instances(self, tmp_path):
+        CALLS.clear()
+        spec = spec_from_experiment(counting_experiment)
+        _run(spec, 3, ResultCache(str(tmp_path)))
+        outcome = _run(spec, 3, ResultCache(str(tmp_path)))
+        assert outcome.cache_hits == 3
+        assert sum(CALLS.values()) == 3
+
+    def test_grid_extension_only_runs_new_cells(self, tmp_path):
+        CALLS.clear()
+        spec = spec_from_experiment(counting_experiment)
+        cache = ResultCache(str(tmp_path))
+        _run(spec, 3, cache)
+        outcome = _run(spec, 5, cache)
+        assert outcome.cache_hits == 3 and outcome.cache_misses == 2
+        assert CALLS == {0: 1, 1: 1, 2: 1, 3: 1, 4: 1}
+
+
+class TestInvalidation:
+    def test_code_change_starts_fresh_file(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        a = spec_from_experiment(counting_experiment, name="same")
+        b = spec_from_experiment(edited_experiment, name="same")
+        _run(a, 2, cache)
+        outcome = _run(b, 2, cache)
+        assert outcome.cache_misses == 2  # no stale metrics served
+        assert cache.path_for(a) != cache.path_for(b)
+
+    def test_key_depends_on_params_not_dict_order(self):
+        assert run_key("fp", {"a": 1, "b": 2}) == \
+            run_key("fp", {"b": 2, "a": 1})
+        assert run_key("fp", {"a": 1}) != run_key("fp", {"a": 2})
+        assert run_key("fp", {"a": 1}) != run_key("fp2", {"a": 1})
+
+
+class TestRobustness:
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        spec = spec_from_experiment(counting_experiment)
+        cache = ResultCache(str(tmp_path))
+        _run(spec, 2, cache)
+        path = cache.path_for(spec)
+        with open(path, "a") as handle:
+            handle.write('{"key": "partial-rec')  # simulated crash
+        fresh = ResultCache(str(tmp_path))
+        outcome = _run(spec, 2, fresh)
+        assert outcome.cache_hits == 2
+
+    def test_failures_are_never_cached(self, tmp_path):
+        spec = spec_from_experiment(_always_fails)
+        cache = ResultCache(str(tmp_path))
+        outcome = _run(spec, 2, cache)
+        assert len(outcome.failures) == 2
+        path = cache.path_for(spec)
+        assert not os.path.exists(path) or not open(path).read().strip()
+
+    def test_records_preserve_metric_order(self, tmp_path):
+        spec = spec_from_experiment(_multi_metric)
+        cache = ResultCache(str(tmp_path))
+        _run(spec, 1, cache)
+        line = open(cache.path_for(spec)).readline()
+        metrics = json.loads(line)["metrics"]
+        assert list(metrics) == ["zebra", "alpha", "mid"]
+
+
+def _always_fails(seed):
+    raise RuntimeError("nope")
+
+
+def _multi_metric(seed):
+    return {"zebra": 1, "alpha": 2, "mid": 3}

@@ -75,6 +75,35 @@ class TestMpeg2Command:
         assert "4/4 frames" in out
 
 
+class TestCampaignCommand:
+    def test_runs_and_summarises(self, capsys):
+        assert main(["campaign", "--runs", "2", "--frames", "2",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 runs" in out
+        assert "mean_e2e_us" in out
+        assert "workers=2" in out
+
+    def test_cache_hit_on_second_invocation(self, tmp_path, capsys):
+        argv = ["campaign", "--runs", "2", "--frames", "2",
+                "--cache", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "cache hits=0 misses=2" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "cache hits=2 misses=0" in second
+
+    def test_json_export(self, tmp_path, capsys):
+        out = tmp_path / "campaign.json"
+        assert main(["campaign", "--runs", "2", "--frames", "2",
+                     "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["runs"] == 2
+        assert payload["stats"]["failed"] == 0
+        assert "mean_e2e_us" in payload["metrics"]
+
+
 class TestCodegenCommand:
     def test_generates_files(self, spec_file, tmp_path, capsys):
         out = tmp_path / "gen"
