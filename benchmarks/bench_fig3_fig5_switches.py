@@ -10,8 +10,6 @@ hardware-interrupt scenario, and benchmark the wall-clock cost of each
 engine.
 """
 
-import pytest
-
 from _scenarios import build_interrupt_scenario, write_result
 
 INTERRUPTS = 50

@@ -1,0 +1,42 @@
+"""Pre-simulation static analysis and runtime nondeterminism sanitizing.
+
+The paper's whole point is catching RTOS-level design mistakes *before*
+target code exists; this package catches them before the *simulation*
+runs, in milliseconds:
+
+* :func:`analyze_system` -- the **model linter**: walks the
+  processor/task/shared-variable graph of a built system and reports
+  duplicate priorities, utilization and response-time schedulability
+  violations (Liu & Layland bound + overhead-aware RTA), deadlock
+  cycles and priority-inversion hazards in the lock acquisition graph,
+  broken overhead formulas, never-ready tasks, and time-partition
+  windows that cannot fit their tasks (rules ``RTS...``).
+* :func:`analyze_source` -- the **source linter**: an AST pass over
+  experiment/model files for unseeded global randomness, wall-clock
+  reads and unpicklable campaign callables (rules ``SRC...``).
+* :class:`Sanitizer` -- the **runtime sanitizer** behind
+  ``Simulator(sanitize=True)``: same-delta conflicting channel writes
+  and ambiguous same-timestamp wake orders (rules ``SAN...``).
+
+All three report through one :class:`Diagnostic` pipeline; the
+``pyrtos-sc lint`` CLI command renders it as text or JSON.  The full
+rule catalogue lives in ``docs/analysis.md``.
+"""
+
+from .code import analyze_source
+from .diagnostics import RULES, Diagnostic, Report, Severity
+from .model import analyze_processors, analyze_system
+from .sanitize import Sanitizer
+from .schedulability import periodic_profile
+
+__all__ = [
+    "RULES",
+    "Diagnostic",
+    "Report",
+    "Sanitizer",
+    "Severity",
+    "analyze_processors",
+    "analyze_source",
+    "analyze_system",
+    "periodic_profile",
+]

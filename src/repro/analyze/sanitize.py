@@ -1,0 +1,106 @@
+"""Runtime nondeterminism sanitizer (opt-in kernel hook).
+
+``Simulator(sanitize=True)`` attaches a :class:`Sanitizer` that the
+kernel consults at the two spots where a model can silently depend on
+scheduling order:
+
+* **SAN301 -- same-delta conflicting writes**: two processes write
+  different values to one :class:`~repro.kernel.channels.Signal` in the
+  same evaluate phase.  Only one value is committed at the update phase;
+  *which* one depends on process execution order -- the canonical
+  SystemC nondeterminism bug.
+* **SAN302 -- ambiguous same-timestamp wake order**: one event trigger
+  resumes two or more waiting processes at the same instant.  The
+  kernel wakes them in deterministic insertion order, but that order is
+  an implementation detail the model implicitly depends on (reported
+  once per event).
+
+The hooks cost nothing when the sanitizer is off: the kernel checks a
+single attribute that is ``None`` by default, and the multi-waiter check
+sits on an already-rare branch.  Golden-trace tests assert byte-identical
+traces with ``sanitize=False``.
+
+Findings flow through the same :class:`~repro.analyze.diagnostics.
+Diagnostic` pipeline as the static linters::
+
+    sim = Simulator("demo", sanitize=True)
+    ... run ...
+    print(sim.sanitizer.report.format_text())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from ..kernel.time import format_time
+from .diagnostics import Report, rule
+
+SAN301 = rule("SAN301", "conflicting same-delta writes to one signal")
+SAN302 = rule("SAN302", "ambiguous same-timestamp multi-process wake")
+
+
+class Sanitizer:
+    """Collects runtime nondeterminism findings for one simulator."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.report = Report()
+        #: Last uncommitted write per signal name: (writer, value).
+        self._writes: Dict[str, Tuple[str, object]] = {}
+        self._wake_reported: Set[str] = set()
+
+    @property
+    def diagnostics(self):
+        return self.report.diagnostics
+
+    def _writer_name(self) -> str:
+        process = self.sim.current_process
+        return process.name if process is not None else "<kernel>"
+
+    # ------------------------------------------------------------------
+    # Kernel hooks
+    # ------------------------------------------------------------------
+    def observe_signal_write(self, signal, value) -> None:
+        """Called by :meth:`Signal.write` before the value is staged."""
+        writer = self._writer_name()
+        if signal._update_requested:
+            previous_writer, previous = self._writes.get(
+                signal.name, ("<unknown>", signal._new_value)
+            )
+            if value != previous:
+                self.report.add(
+                    SAN301,
+                    Report.ERROR,
+                    f"signal {signal.name}",
+                    f"conflicting writes in one delta cycle at "
+                    f"t={format_time(self.sim.now)}: {previous_writer} "
+                    f"wrote {previous!r}, then {writer} wrote {value!r}; "
+                    "the committed value depends on process order",
+                    hint="funnel writers through one process, or replace "
+                         "the signal with a queue/shared variable",
+                )
+        self._writes[signal.name] = (writer, value)
+
+    def observe_signal_update(self, signal) -> None:
+        """Called at the update phase: the staged write was committed."""
+        self._writes.pop(signal.name, None)
+
+    def observe_multi_wake(self, event, count: int) -> None:
+        """Called when one event trigger resumes ``count`` >= 2 waiters."""
+        if event.name in self._wake_reported:
+            return
+        self._wake_reported.add(event.name)
+        self.report.add(
+            SAN302,
+            Report.WARNING,
+            f"event {event.name}",
+            f"one trigger at t={format_time(self.sim.now)} wakes {count} "
+            "processes at the same instant; their relative execution "
+            "order is a kernel implementation detail",
+            hint="if the model's result depends on who runs first, "
+                 "serialize the waiters explicitly (priorities, a queue, "
+                 "or separate events)",
+        )
+
+
+__all__ = ["SAN301", "SAN302", "Sanitizer"]

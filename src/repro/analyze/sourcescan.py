@@ -1,0 +1,88 @@
+"""Static visibility of relation *signals* across a system.
+
+Support module for the RTS130 never-ready rule: which event relations
+does each function signal, and is the whole system statically visible?
+A function is *visible* when it has declarative script ops or a
+behavior whose source parses and whose ``.signal(x)`` arguments all
+resolve to concrete relations.  One opaque function (or one
+unresolvable signal target) makes the system invisible, and the rule
+stays silent -- the linter only claims what it can prove.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Optional, Set
+
+from ..mcse.events import EventRelation
+from .lockgraph import _preorder, _resolve_names
+
+
+def _script_signals(ops, out: Set[str]) -> None:
+    for name, args in ops:
+        if name == "signal":
+            out.add(args[0])
+        elif name == "loop":
+            _script_signals(args[1], out)
+
+
+def _behavior_signals(behavior, out: Set[str]) -> bool:
+    """Collect signaled relation names; False when anything is opaque."""
+    try:
+        source = textwrap.dedent(inspect.getsource(behavior))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError, IndentationError):
+        return False
+    names = _resolve_names(behavior)
+    for node in _preorder(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr != "signal":
+            continue
+        if not node.args:
+            continue
+        arg = node.args[0]
+        target = None
+        if isinstance(arg, ast.Name):
+            target = names.get(arg.id)
+        elif isinstance(arg, ast.Attribute) and isinstance(arg.value, ast.Name):
+            owner = names.get(arg.value.id)
+            if owner is not None:
+                target = getattr(owner, arg.attr, None)
+        if isinstance(target, EventRelation):
+            out.add(target.name)
+        else:
+            return False  # signal to an unresolvable target: opaque
+    return True
+
+
+def signaled_relations(fn) -> Optional[Set[str]]:
+    """Relation names ``fn`` signals, or ``None`` when ``fn`` is opaque."""
+    out: Set[str] = set()
+    ops = getattr(fn, "script_ops", None)
+    if ops:
+        _script_signals(ops, out)
+        return out
+    behavior = getattr(fn, "_behavior", None)
+    if behavior is None:
+        behavior = getattr(type(fn), "behavior", None)
+    if behavior is None:
+        return None
+    if not _behavior_signals(behavior, out):
+        return None
+    return out
+
+
+def visible_signals(system) -> Optional[Set[str]]:
+    """Every relation name signaled anywhere, or ``None`` if any
+    function in the system is opaque to static analysis."""
+    signaled: Set[str] = set()
+    for fn in system.functions.values():
+        out = signaled_relations(fn)
+        if out is None:
+            return None
+        signaled.update(out)
+    return signaled

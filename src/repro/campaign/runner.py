@@ -24,7 +24,6 @@ completion order.
 from __future__ import annotations
 
 import multiprocessing
-import os
 import pickle
 import signal
 import threading
@@ -35,8 +34,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import CampaignError, RunTimeout
-from .cache import ResultCache, resolve_cache, run_key
-from .progress import ProgressReporter, resolve_progress
+from .cache import resolve_cache
+from .progress import resolve_progress
 from .spec import ExperimentSpec, RunRequest
 
 

@@ -6,6 +6,8 @@ Examples::
     pyrtos-sc run system.json --svg out.svg --vcd out.vcd
     pyrtos-sc fig6                      # the paper's §5 demo
     pyrtos-sc mpeg2 --frames 24         # the MPEG-2 SoC case study
+    pyrtos-sc lint system.json          # static model lint, no simulation
+    pyrtos-sc lint fig6 examples/*.py --strict --json
 """
 
 from __future__ import annotations
@@ -89,35 +91,9 @@ def cmd_run(args) -> int:
 def cmd_fig6(args) -> int:
     """Run the paper's §5 example and reproduce its measurements."""
     from .analysis.measurements import reaction_latencies
+    from .workloads.fig6 import fig6_spec
 
-    spec = {
-        "name": "fig6",
-        "relations": [
-            {"kind": "event", "name": "Clk", "policy": "fugitive"},
-            {"kind": "event", "name": "Event_1", "policy": "boolean"},
-        ],
-        "processors": [
-            {
-                "name": "Processor",
-                "engine": args.engine,
-                "scheduling_duration": "5us",
-                "context_load_duration": "5us",
-                "context_save_duration": "5us",
-            }
-        ],
-        "functions": [
-            {"name": "Function_1", "priority": 5, "processor": "Processor",
-             "script": [["wait", "Clk"], ["execute", "20us"],
-                        ["signal", "Event_1"], ["execute", "10us"]]},
-            {"name": "Function_2", "priority": 3, "processor": "Processor",
-             "script": [["wait", "Event_1"], ["execute", "30us"]]},
-            {"name": "Function_3", "priority": 2, "processor": "Processor",
-             "script": [["execute", "200us"]]},
-            {"name": "Clock",
-             "script": [["delay", "100us"], ["signal", "Clk"]]},
-        ],
-    }
-    system = build_system(spec)
+    system = build_system(fig6_spec(engine=args.engine))
     recorder = TraceRecorder(system.sim)
     system.run()
     latencies = reaction_latencies(recorder, "Clk", "Function_1")
@@ -208,6 +184,70 @@ def cmd_campaign(args) -> int:
     return 0 if not campaign.failures else 1
 
 
+def _lint_target(target: str, suppress):
+    """Return a (location, Report) pair for one lint target."""
+    from .analyze import analyze_source, analyze_system
+
+    if target == "fig6":
+        from .workloads.fig6 import fig6_spec
+
+        return target, analyze_system(build_system(fig6_spec()),
+                                      suppress=suppress)
+    if target == "mpeg2":
+        from .workloads.mpeg2 import Mpeg2Soc
+
+        soc = Mpeg2Soc(frames=1)
+        return target, analyze_system(soc.system, suppress=suppress)
+    if target.endswith(".json"):
+        with open(target) as handle:
+            spec = json.load(handle)
+        return target, analyze_system(build_system(spec), suppress=suppress)
+    if target.endswith(".py"):
+        report = analyze_source(target)
+        report.suppress.update(suppress)
+        if suppress:
+            kept = []
+            for diagnostic in report.diagnostics:
+                if diagnostic.rule in report.suppress:
+                    report.suppressed.append(diagnostic)
+                else:
+                    kept.append(diagnostic)
+            report.diagnostics = kept
+        return target, report
+    raise SystemExit(
+        f"pyrtos-sc lint: unknown target {target!r} "
+        "(expected fig6, mpeg2, a .json spec, or a .py file)"
+    )
+
+
+def cmd_lint(args) -> int:
+    """Statically analyze models and sources without simulating them."""
+    suppress = set()
+    for chunk in args.suppress or ():
+        suppress.update(part.strip() for part in chunk.split(",")
+                        if part.strip())
+    results = [_lint_target(target, suppress) for target in args.targets]
+    failed = False
+    if args.json:
+        payload = []
+        for location, report in results:
+            entry = report.to_dict()
+            entry["target"] = location
+            payload.append(entry)
+            if not report.ok(strict=args.strict):
+                failed = True
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        for location, report in results:
+            if len(results) > 1:
+                print(f"== {location} ==")
+            print(report.format_text())
+            if not report.ok(strict=args.strict):
+                failed = True
+    return 1 if failed else 0
+
+
 def cmd_codegen(args) -> int:
     from .codegen import generate_c
 
@@ -287,6 +327,23 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--json", metavar="PATH",
                                  help="write the campaign summary as JSON")
     campaign_parser.set_defaults(func=cmd_campaign)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="statically analyze models/sources without simulating",
+    )
+    lint_parser.add_argument(
+        "targets", nargs="+",
+        help="fig6 | mpeg2 | spec.json | experiment.py (any mix)",
+    )
+    lint_parser.add_argument("--json", action="store_true",
+                             help="machine-readable JSON on stdout")
+    lint_parser.add_argument("--strict", action="store_true",
+                             help="exit nonzero on warnings, not just errors")
+    lint_parser.add_argument("--suppress", action="append", metavar="RULES",
+                             help="comma-separated rule ids to suppress "
+                                  "(repeatable)")
+    lint_parser.set_defaults(func=cmd_lint)
 
     codegen_parser = sub.add_parser(
         "codegen", help="generate a C application from a JSON spec"

@@ -186,7 +186,13 @@ class Event:
                 break
             sensitivity.on_event(self)
             return
-        for sensitivity in list(waiters):
+        snapshot = list(waiters)
+        # Sanitizer hook on the rare multi-waiter branch only: the wake
+        # order below is deterministic but implementation-defined.
+        sanitizer = getattr(self.sim, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.observe_multi_wake(self, len(snapshot))
+        for sensitivity in snapshot:
             sensitivity.on_event(self)
 
     def _attach(self, sensitivity: "_Sensitivity") -> None:

@@ -37,9 +37,15 @@ from .time import Time, format_time
 class Simulator(KernelCore):
     """A named simulation context with object factories."""
 
-    __slots__ = ("name", "_names", "recorder", "_observers")
+    __slots__ = ("name", "_names", "recorder", "_observers", "sanitizer")
 
-    def __init__(self, name: str = "sim", max_delta_cycles: int = 1_000_000) -> None:
+    def __init__(
+        self,
+        name: str = "sim",
+        max_delta_cycles: int = 1_000_000,
+        *,
+        sanitize: bool = False,
+    ) -> None:
         super().__init__(max_delta_cycles=max_delta_cycles)
         self.name = name
         self._names: Dict[str, int] = {}
@@ -49,6 +55,13 @@ class Simulator(KernelCore):
         #: Online observers called with every emitted record (used by
         #: runtime monitors such as the deadline watchdog).
         self._observers: list = []
+        #: Opt-in nondeterminism sanitizer (``sanitize=True``); ``None``
+        #: by default so the kernel hooks cost one attribute check.
+        self.sanitizer = None
+        if sanitize:
+            from ..analyze.sanitize import Sanitizer
+
+            self.sanitizer = Sanitizer(self)
 
     # ------------------------------------------------------------------
     # Naming

@@ -118,6 +118,16 @@ def _build_processor(system: System, spec: Dict) -> None:
     system.processor(name, **spec)
 
 
+#: Optional per-function metadata keys: parsed (as times where noted)
+#: and attached as plain attributes for the analyzers and policies.
+_FUNCTION_META_KEYS = {
+    "wcet": True,       # periodic profile (repro.analyze) -- a time
+    "period": True,     # periodic profile -- a time
+    "deadline": True,   # relative deadline -- a time
+    "partition": False,  # TimePartitionPolicy label -- a string
+}
+
+
 def _build_function(system: System, spec: Dict) -> None:
     name = spec.pop("name", None)
     if not name:
@@ -133,7 +143,20 @@ def _build_function(system: System, spec: Dict) -> None:
         behavior = compile_script(system, script)
     if "start_time" in spec:
         spec["start_time"] = parse_time(spec["start_time"])
+    meta = {}
+    for key, is_time in _FUNCTION_META_KEYS.items():
+        if key in spec:
+            value = spec.pop(key)
+            meta[key] = parse_time(value) if is_time else value
     fn = system.function(name, behavior, **spec)
+    for key, value in meta.items():
+        setattr(fn, key, value)
+    ops = getattr(behavior, "script_ops", None)
+    if ops is not None:
+        #: The validated op list, kept for static analysis
+        #: (:mod:`repro.analyze` reads periodic profiles and lock
+        #: nesting straight from it).
+        fn.script_ops = ops
     if processor is not None:
         try:
             cpu = system.processors[processor]
@@ -154,6 +177,7 @@ def compile_script(system: System, script: List) -> Callable[[Function], Generat
     def behavior(fn: Function) -> Generator:
         yield from _run_block(system, fn, ops)
 
+    behavior.script_ops = ops
     return behavior
 
 

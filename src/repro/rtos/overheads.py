@@ -24,6 +24,7 @@ Example -- an O(n) scheduler on a 100 MHz core::
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Union
 
 from ..errors import RTOSError
@@ -49,6 +50,19 @@ class Overheads:
     @staticmethod
     def _validate(name: str, spec: OverheadSpec) -> OverheadSpec:
         if callable(spec):
+            # Fail at construction, not mid-simulation: the formula must
+            # accept the processor as its single positional argument.
+            try:
+                signature = inspect.signature(spec)
+            except (TypeError, ValueError):
+                return spec  # C callable without introspectable signature
+            try:
+                signature.bind("processor")
+            except TypeError:
+                raise RTOSError(
+                    f"{name} overhead formula {spec!r} must accept one "
+                    "positional argument (the processor)"
+                ) from None
             return spec
         if isinstance(spec, bool) or not isinstance(spec, int):
             raise RTOSError(

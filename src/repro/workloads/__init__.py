@@ -11,6 +11,7 @@ from .distributions import (
     Normal,
     Uniform,
 )
+from .fig6 import fig6_spec
 from .mpeg2 import FRAME_PERIOD, FrameStats, GOP_PATTERN, Mpeg2Soc
 from .synthetic import (
     PeriodicRunResult,
@@ -39,6 +40,7 @@ __all__ = [
     "build_control_system",
     "build_periodic_system",
     "default_loops",
+    "fig6_spec",
     "generate_periodic_taskset",
     "random_pipeline_spec",
     "uunifast",

@@ -52,13 +52,13 @@ def default_loops(n: int, seed: int = 0) -> List[ControlLoop]:
                 priority=0,
             )
         )
-    ordered = sorted(loops, key=lambda l: (l.deadline, l.name))
+    ordered = sorted(loops, key=lambda loop: (loop.deadline, loop.name))
     return [
         ControlLoop(
-            name=l.name, period=l.period, compute=l.compute,
-            deadline=l.deadline, priority=len(ordered) - i,
+            name=loop.name, period=loop.period, compute=loop.compute,
+            deadline=loop.deadline, priority=len(ordered) - i,
         )
-        for i, l in enumerate(ordered)
+        for i, loop in enumerate(ordered)
     ]
 
 

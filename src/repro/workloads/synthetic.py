@@ -167,6 +167,12 @@ def build_periodic_system(
     for spec in tasks:
         fn = system.function(spec.name, make_behavior(spec),
                              priority=spec.priority)
+        # Periodic profile annotations for the static analyzers
+        # (repro.analyze reads these instead of guessing from the body).
+        fn.wcet = spec.wcet
+        fn.period = spec.period
+        if spec.deadline is not None:
+            fn.deadline = spec.deadline
         cpu.map(fn)
     result.sim = system.sim
     return system, result

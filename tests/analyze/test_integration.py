@@ -1,0 +1,167 @@
+"""Integration: linting real systems and the ``pyrtos-sc lint`` CLI."""
+
+import json
+import time
+
+import pytest
+
+from repro.analyze import analyze_system
+from repro.cli import main
+from repro.mcse.builder import build_system
+from repro.workloads.fig6 import fig6_spec
+from repro.workloads.mpeg2 import Mpeg2Soc
+
+BROKEN_SPEC = {
+    "name": "broken",
+    "relations": [
+        {"kind": "shared", "name": "A"},
+        {"kind": "shared", "name": "B"},
+        {"kind": "event", "name": "Never"},
+    ],
+    "processors": [{"name": "CPU", "policy": "priority_preemptive"}],
+    "functions": [
+        {"name": "Hi", "priority": 10, "processor": "CPU",
+         "script": [["loop", None,
+                     [["lock", "A"], ["lock", "B"], ["unlock", "B"],
+                      ["unlock", "A"], ["execute", "80us"],
+                      ["delay", "20us"]]]]},
+        {"name": "Lo", "priority": 10, "processor": "CPU",
+         "script": [["loop", None,
+                     [["lock", "B"], ["lock", "A"], ["unlock", "A"],
+                      ["unlock", "B"], ["execute", "50us"],
+                      ["delay", "50us"]]]]},
+        {"name": "Stuck", "priority": 1, "processor": "CPU",
+         "script": [["wait", "Never"], ["execute", "1us"]]},
+    ],
+}
+
+
+class TestRealModels:
+    def test_fig6_lints_clean(self):
+        report = analyze_system(build_system(fig6_spec()))
+        assert report.ok(strict=True), report.format_text()
+
+    def test_mpeg2_lints_clean(self):
+        soc = Mpeg2Soc(frames=1)
+        report = analyze_system(soc.system)
+        assert report.ok(strict=True), report.format_text()
+
+    def test_fig6_lint_is_fast_and_does_not_simulate(self):
+        start = time.perf_counter()
+        system = build_system(fig6_spec())
+        report = analyze_system(system)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 1.0, f"lint took {elapsed:.2f}s"
+        assert system.now == 0  # nothing ran
+        assert report.ok(strict=True)
+
+    def test_broken_system_trips_documented_rules(self):
+        report = analyze_system(build_system(BROKEN_SPEC))
+        assert not report.ok()
+        # lock-order deadlock, duplicate priorities, dead wait.
+        assert "RTS110" in report.rule_ids
+        assert "RTS101" in report.rule_ids
+        assert "RTS130" in report.rule_ids
+
+
+class TestExamples:
+    def test_mutual_exclusion_variants(self):
+        import importlib.util
+        import os
+
+        path = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "examples", "mutual_exclusion.py")
+        spec = importlib.util.spec_from_file_location("mutual_exclusion",
+                                                      path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+
+        # The deliberate-inversion variants declare the suppression...
+        system, _, _ = module.build("plain")
+        report = analyze_system(system)
+        assert report.ok(strict=True)
+        assert report.summary()["suppressed"] == 1
+        assert report.suppressed[0].rule == "RTS111"
+
+        # ...and the protocol variants are genuinely clean.
+        for variant in ("inheritance", "ceiling"):
+            system, _, _ = module.build(variant)
+            report = analyze_system(system)
+            assert report.ok(strict=True)
+            assert not report.suppressed
+
+
+class TestLintCli:
+    @pytest.fixture()
+    def broken_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps(BROKEN_SPEC))
+        return str(path)
+
+    def test_builtin_targets_pass(self, capsys):
+        assert main(["lint", "fig6", "mpeg2", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_broken_spec_fails(self, broken_file, capsys):
+        assert main(["lint", broken_file]) == 1
+        out = capsys.readouterr().out
+        assert "[RTS110]" in out
+        assert "hint:" in out
+
+    def test_strict_promotes_warnings(self, tmp_path, capsys):
+        spec = {
+            "name": "dups",
+            "relations": [],
+            "processors": [{"name": "cpu",
+                            "policy": "priority_preemptive"}],
+            "functions": [
+                {"name": "a", "priority": 5, "processor": "cpu",
+                 "script": [["execute", "1us"]]},
+                {"name": "b", "priority": 5, "processor": "cpu",
+                 "script": [["execute", "1us"]]},
+            ],
+        }
+        path = tmp_path / "dups.json"
+        path.write_text(json.dumps(spec))
+        assert main(["lint", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(path), "--strict"]) == 1
+
+    def test_json_output_schema(self, broken_file, capsys):
+        assert main(["lint", "fig6", broken_file, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["target"] for entry in payload] == \
+            ["fig6", broken_file]
+        for entry in payload:
+            assert {"target", "summary", "diagnostics",
+                    "suppressed"} <= set(entry)
+        broken = payload[1]
+        rules = {d["rule"] for d in broken["diagnostics"]}
+        assert "RTS110" in rules
+        for diagnostic in broken["diagnostics"]:
+            assert {"rule", "severity", "location",
+                    "message"} <= set(diagnostic)
+
+    def test_suppress_flag(self, broken_file, capsys):
+        code = main(["lint", broken_file,
+                     "--suppress", "RTS110,RTS130",
+                     "--suppress", "RTS101,RTS103,RTS104,RTS105"])
+        assert code == 0
+        assert "suppressed" in capsys.readouterr().out
+
+    def test_python_source_target(self, tmp_path, capsys):
+        path = tmp_path / "exp.py"
+        path.write_text(
+            "import time\n\n"
+            "def stamp():\n"
+            "    return time.time()\n"
+        )
+        assert main(["lint", str(path)]) == 0  # warning only
+        capsys.readouterr()
+        assert main(["lint", str(path), "--strict"]) == 1
+        assert "[SRC202]" in capsys.readouterr().out
+
+    def test_unknown_target_exits_with_message(self):
+        with pytest.raises(SystemExit, match="unknown target"):
+            main(["lint", "nonsense"])

@@ -1,0 +1,133 @@
+"""Tests for the runtime nondeterminism sanitizer (SAN3xx)."""
+
+from repro.kernel.channels import Signal
+from repro.kernel.simulator import Simulator
+from repro.kernel.time import US
+
+
+def two_writer_race(sim, values=(1, 2)):
+    sig = Signal(sim, "sig", initial=0)
+
+    def writer(value):
+        def body():
+            yield 1 * US
+            sig.write(value)
+
+        return body
+
+    sim.thread(writer(values[0]), name="w1")
+    sim.thread(writer(values[1]), name="w2")
+    return sig
+
+
+class TestOffByDefault:
+    def test_sanitizer_is_none_without_flag(self):
+        assert Simulator("plain").sanitizer is None
+
+    def test_race_runs_silently_without_flag(self):
+        sim = Simulator("plain")
+        sig = two_writer_race(sim)
+        sim.run()
+        assert sig.read() == 2  # last writer wins, deterministically
+        assert sim.sanitizer is None
+
+
+class TestSan301:
+    def test_conflicting_same_delta_writes_flagged(self):
+        sim = Simulator("san", sanitize=True)
+        two_writer_race(sim)
+        sim.run()
+        (diag,) = sim.sanitizer.report.by_rule("SAN301")
+        assert diag.severity.value == "error"
+        assert "w1" in diag.message and "w2" in diag.message
+        assert "t=1us" in diag.message
+        assert not sim.sanitizer.report.ok()
+
+    def test_equal_value_writes_not_flagged(self):
+        sim = Simulator("san", sanitize=True)
+        two_writer_race(sim, values=(7, 7))
+        sim.run()
+        assert not sim.sanitizer.report.by_rule("SAN301")
+
+    def test_writes_in_different_deltas_not_flagged(self):
+        sim = Simulator("san", sanitize=True)
+        sig = Signal(sim, "sig", initial=0)
+
+        def early():
+            yield 1 * US
+            sig.write(1)
+
+        def late():
+            yield 2 * US
+            sig.write(2)
+
+        sim.thread(early)
+        sim.thread(late)
+        sim.run()
+        assert not sim.sanitizer.report.by_rule("SAN301")
+        assert sig.read() == 2
+
+
+class TestSan302:
+    def test_multi_waiter_wake_flagged_once(self):
+        sim = Simulator("san", sanitize=True)
+        event = sim.event("go")
+
+        def waiter():
+            yield event
+            yield event  # woken twice: still one report per event
+
+        def kicker():
+            yield 1 * US
+            event.notify()
+            yield 1 * US
+            event.notify()
+
+        sim.thread(waiter, name="a")
+        sim.thread(waiter, name="b")
+        sim.thread(kicker)
+        sim.run()
+        (diag,) = sim.sanitizer.report.by_rule("SAN302")
+        assert diag.severity.value == "warning"
+        assert "2 processes" in diag.message
+
+    def test_single_waiter_not_flagged(self):
+        sim = Simulator("san", sanitize=True)
+        event = sim.event("go")
+
+        def waiter():
+            yield event
+
+        def kicker():
+            yield 1 * US
+            event.notify()
+
+        sim.thread(waiter)
+        sim.thread(kicker)
+        sim.run()
+        assert not sim.sanitizer.report.by_rule("SAN302")
+
+
+class TestDeterminismPreserved:
+    def test_sanitize_flag_does_not_change_the_schedule(self):
+        def run(sanitize):
+            sim = Simulator("d", sanitize=sanitize)
+            sig = Signal(sim, "sig", initial=0)
+            log = []
+
+            def producer():
+                for i in range(5):
+                    yield 1 * US
+                    sig.write(i)
+
+            def watcher():
+                while True:
+                    yield sig.value_changed
+                    log.append((sim.now, sig.read()))
+
+            sim.thread(producer)
+            sim.thread(watcher)
+            sim.run()
+            return log, sim.process_switch_count
+
+        assert run(False) == run(True)
