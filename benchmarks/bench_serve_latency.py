@@ -1,0 +1,234 @@
+"""Gateway request latency: serial vs concurrent, cold vs dedup-warm.
+
+Not a paper figure -- the serving-layer calibration point for the
+:mod:`repro.serve` subsystem.  Once simulations are served over HTTP,
+the binding constraint is end-to-end request latency under concurrency
+and how much the content-hash dedup cache buys.  This harness stands up
+an in-process :class:`~repro.serve.Gateway` on an ephemeral port, posts
+the paper's §5 fig6 spec through real HTTP clients, and emits
+``BENCH_serve_latency.json``:
+
+* ``cold``        -- first-ever request per unique spec (full simulate),
+* ``warm``        -- the identical spec re-posted (dedup cache hit),
+* ``serial``      -- one client, distinct specs back to back,
+* ``concurrent_4`` -- four clients posting distinct specs at once.
+
+Correctness is asserted, not assumed: every response body for the same
+spec must be byte-identical, and the warm path must be served without a
+fresh simulation (cache-hit accounting from ``/metrics``)::
+
+    PYTHONPATH=src python benchmarks/bench_serve_latency.py
+    PYTHONPATH=src python benchmarks/bench_serve_latency.py --smoke
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+
+from _report import (
+    check_envelope,
+    check_fields,
+    repo_root_path,
+    report_meta,
+    write_report,
+)
+from repro.serve import Gateway
+from repro.workloads.fig6 import fig6_spec
+
+SCHEMA_VERSION = 1
+
+
+def _spec(name: str) -> dict:
+    spec = fig6_spec()
+    spec["name"] = name
+    return spec
+
+
+def _post(base: str, payload: dict):
+    request = urllib.request.Request(
+        base + "/v1/simulate", data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    t0 = time.perf_counter()
+    with urllib.request.urlopen(request, timeout=120) as response:
+        body = response.read()
+        status = response.status
+    return time.perf_counter() - t0, status, body
+
+
+def _percentiles(samples):
+    ordered = sorted(samples)
+
+    def pick(q):
+        rank = max(0, min(len(ordered) - 1,
+                          int(round(q * (len(ordered) - 1)))))
+        return round(ordered[rank], 6)
+
+    return {
+        "n": len(ordered),
+        "p50_s": pick(0.5),
+        "p95_s": pick(0.95),
+        "mean_s": round(sum(ordered) / len(ordered), 6),
+    }
+
+
+def measure(smoke: bool = False, rounds: int = 3) -> dict:
+    requests_per_mode = 4 if smoke else 16
+    cache_dir = tempfile.mkdtemp(prefix="serve-bench-cache-")
+    gateway = Gateway(port=0, cache=cache_dir, workers=4, queue_size=64)
+    gateway.start()
+    thread = threading.Thread(target=gateway.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{gateway.port}"
+
+    try:
+        # -- cold vs dedup-warm: same spec, first vs second POST -------
+        cold_samples, warm_samples = [], []
+        for round_index in range(rounds):
+            for n in range(requests_per_mode):
+                spec = _spec(f"cold-{round_index}-{n}")
+                wall, status, first_body = _post(base, spec)
+                assert status == 200, status
+                cold_samples.append(wall)
+                wall, status, second_body = _post(base, spec)
+                assert status == 200, status
+                assert second_body == first_body, (
+                    "dedup-cache response diverged from the fresh run"
+                )
+                warm_samples.append(wall)
+        hits = gateway.metrics["cache_hits"].total()
+        misses = gateway.metrics["cache_misses"].total()
+        assert hits >= len(warm_samples), (hits, len(warm_samples))
+
+        # -- serial vs 4 concurrent clients over distinct specs --------
+        def run_serial(tag):
+            walls = []
+            for n in range(requests_per_mode):
+                wall, status, _ = _post(base, _spec(f"{tag}-{n}"))
+                assert status == 200
+                walls.append(wall)
+            return walls
+
+        serial_samples = []
+        for round_index in range(rounds):
+            serial_samples.extend(run_serial(f"serial-{round_index}"))
+
+        concurrent_samples = []
+        concurrent_walls = []
+        for round_index in range(rounds):
+            per_client = max(1, requests_per_mode // 4)
+            walls_lock = threading.Lock()
+
+            def client(tag):
+                walls = []
+                for n in range(per_client):
+                    wall, status, _ = _post(base, _spec(f"{tag}-{n}"))
+                    assert status == 200
+                    walls.append(wall)
+                with walls_lock:
+                    concurrent_samples.extend(walls)
+
+            t0 = time.perf_counter()
+            clients = [
+                threading.Thread(target=client,
+                                 args=(f"conc-{round_index}-{c}",))
+                for c in range(4)
+            ]
+            for c in clients:
+                c.start()
+            for c in clients:
+                c.join()
+            concurrent_walls.append(time.perf_counter() - t0)
+    finally:
+        gateway.stop()
+
+    cold = _percentiles(cold_samples)
+    warm = _percentiles(warm_samples)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "meta": report_meta(smoke, cpu_count=os.cpu_count() or 1,
+                            workers=4),
+        "grid": {"requests_per_mode": requests_per_mode, "rounds": rounds,
+                 "spec": "fig6"},
+        "modes": {
+            "cold": cold,
+            "warm": warm,
+            "serial": _percentiles(serial_samples),
+            "concurrent_4": _percentiles(concurrent_samples),
+        },
+        "dedup": {
+            "warm_fraction": round(warm["p50_s"] / cold["p50_s"], 4)
+            if cold["p50_s"] else None,
+            "cache_hits": int(hits),
+            "cache_misses": int(misses),
+        },
+        "concurrency": {
+            "clients": 4,
+            "batch_wall_s": [round(w, 6) for w in concurrent_walls],
+        },
+    }
+
+
+def validate_schema(payload: dict) -> None:
+    """Assert the JSON shape downstream tooling (and CI) relies on."""
+    check_envelope(payload, SCHEMA_VERSION)
+    assert isinstance(payload["meta"].get("cpu_count"), int)
+    check_fields(payload["grid"], (
+        ("requests_per_mode", int), ("rounds", int), ("spec", str),
+    ), context="grid")
+    modes = payload["modes"]
+    assert set(modes) == {"cold", "warm", "serial", "concurrent_4"}, modes
+    for label, entry in modes.items():
+        check_fields(entry, (
+            ("n", int),
+            ("p50_s", (int, float)),
+            ("p95_s", (int, float)),
+            ("mean_s", (int, float)),
+        ), context=label)
+        assert entry["n"] > 0 and entry["p50_s"] > 0, label
+    check_fields(payload["dedup"], (
+        ("cache_hits", int), ("cache_misses", int),
+    ), context="dedup")
+    assert payload["dedup"]["cache_hits"] >= payload["modes"]["warm"]["n"]
+    assert payload["concurrency"]["clients"] == 4
+    assert payload["concurrency"]["batch_wall_s"]
+
+
+def default_output_path() -> str:
+    return repo_root_path("BENCH_serve_latency.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny request counts (CI schema check)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="measurement rounds per mode")
+    parser.add_argument("--out", default=default_output_path(),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+    if args.rounds < 1:
+        parser.error(f"--rounds must be >= 1, got {args.rounds}")
+
+    payload = measure(smoke=args.smoke, rounds=args.rounds)
+    validate_schema(payload)
+    write_report(payload, args.out)
+
+    print(f"{'mode':>12} {'n':>4} {'p50 ms':>8} {'p95 ms':>8} {'mean ms':>8}")
+    for label, entry in payload["modes"].items():
+        print(f"{label:>12} {entry['n']:>4} {entry['p50_s'] * 1e3:>8.2f} "
+              f"{entry['p95_s'] * 1e3:>8.2f} {entry['mean_s'] * 1e3:>8.2f}")
+    dedup = payload["dedup"]
+    print(f"dedup: warm p50 = {dedup['warm_fraction']:.1%} of cold "
+          f"({dedup['cache_hits']} hits / {dedup['cache_misses']} misses)")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,12 +48,28 @@ class ResultCache:
 
     ``hits`` and ``misses`` account every lookup since construction, so
     callers can report cache effectiveness without extra bookkeeping.
+
+    ``max_entries`` bounds on-disk growth: after every store, whole
+    result files are evicted **least-recently-used first** (by file
+    mtime -- lookups touch the file they hit) until the total entry
+    count across the cache root fits the bound again.  The file just
+    written is never evicted, so a single oversized experiment still
+    caches its most recent results; ``pruned_files`` counts evictions.
+    ``max_entries=None`` (the default) keeps the historical
+    grow-without-bound behaviour.
     """
 
-    def __init__(self, root: str = DEFAULT_CACHE_ROOT) -> None:
+    def __init__(self, root: str = DEFAULT_CACHE_ROOT, *,
+                 max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1 or None, got {max_entries}"
+            )
         self.root = str(root)
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.pruned_files = 0
         self._index: Dict[str, Dict[str, dict]] = {}
 
     # -- file handling -------------------------------------------------
@@ -89,13 +105,13 @@ class ResultCache:
                fingerprint: Optional[str] = None) -> Optional[dict]:
         """The cached record for ``params``, or None (counted as miss)."""
         fingerprint = fingerprint or spec.fingerprint()
-        record = self._load(self.path_for(spec, fingerprint)).get(
-            run_key(fingerprint, params)
-        )
+        path = self.path_for(spec, fingerprint)
+        record = self._load(path).get(run_key(fingerprint, params))
         if record is None:
             self.misses += 1
         else:
             self.hits += 1
+            self._touch(path)
         return record
 
     def store(self, spec: ExperimentSpec, params: Dict, metrics: Dict,
@@ -118,10 +134,70 @@ class ResultCache:
             # aggregate identically.
             handle.write(json.dumps(record) + "\n")
         index[record["key"]] = record
+        self._prune(keep=path)
         return record
 
     def __len__(self) -> int:
         return sum(len(index) for index in self._index.values())
+
+    # -- bounded growth ------------------------------------------------
+    @staticmethod
+    def _touch(path: str) -> None:
+        """Refresh a file's mtime so LRU pruning sees it as recent."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # the file may have been pruned/removed concurrently
+
+    @staticmethod
+    def _count_entries(path: str) -> int:
+        try:
+            with open(path) as handle:
+                return sum(1 for line in handle if line.strip())
+        except OSError:
+            return 0
+
+    def _prune(self, keep: str) -> None:
+        """Evict least-recently-used result files beyond ``max_entries``.
+
+        ``keep`` (the file just appended to) is exempt, so pruning can
+        never discard the result that was just computed.
+        """
+        if self.max_entries is None:
+            return
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return
+        files = []
+        for name in names:
+            if not name.endswith(".jsonl"):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                mtime = os.path.getmtime(path)
+            except OSError:
+                continue
+            loaded = self._index.get(path)
+            count = (len(loaded) if loaded is not None
+                     else self._count_entries(path))
+            files.append((mtime, path, count))
+        total = sum(count for _, _, count in files)
+        if total <= self.max_entries:
+            return
+        keep = os.path.abspath(keep)
+        for _, path, count in sorted(files):
+            if total <= self.max_entries:
+                break
+            if os.path.abspath(path) == keep:
+                continue
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            self._index.pop(path, None)
+            self.pruned_files += 1
+            total -= count
 
 
 def resolve_cache(cache) -> Optional[ResultCache]:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -28,6 +29,26 @@ from .trace.statistics import (
 from .trace.svg import save_svg
 from .trace.timeline import TimelineChart
 from .trace.vcd import save_vcd
+
+
+def _emit_json(payload, destination=None) -> str:
+    """Canonical JSON emission for every subcommand *and* the gateway.
+
+    One encoding -- ``indent=2``, sorted keys, trailing newline -- so
+    CLI output, ``--json`` files and ``repro.serve`` HTTP bodies are
+    all byte-stable for identical payloads.  ``destination`` is
+    ``None`` (stdout), a path, or a file-like object; the rendered
+    text (without the trailing newline) is returned either way.
+    """
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if destination is None:
+        sys.stdout.write(text + "\n")
+    elif isinstance(destination, (str, os.PathLike)):
+        with open(destination, "w") as handle:
+            handle.write(text + "\n")
+    else:
+        destination.write(text + "\n")
+    return text
 
 
 def _add_output_flags(parser: argparse.ArgumentParser) -> None:
@@ -177,9 +198,7 @@ def cmd_campaign(args) -> int:
             },
             "failures": [f.describe() for f in campaign.failures],
         }
-        with open(args.json, "w") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        _emit_json(payload, args.json)
         print(f"wrote {args.json}")
     return 0 if not campaign.failures else 1
 
@@ -236,8 +255,7 @@ def cmd_lint(args) -> int:
             payload.append(entry)
             if not report.ok(strict=args.strict):
                 failed = True
-        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
-        sys.stdout.write("\n")
+        _emit_json(payload)
     else:
         for location, report in results:
             if len(results) > 1:
@@ -246,6 +264,44 @@ def cmd_lint(args) -> int:
             if not report.ok(strict=args.strict):
                 failed = True
     return 1 if failed else 0
+
+
+def cmd_serve(args) -> int:
+    """Run the simulation-as-a-service HTTP gateway."""
+    from .serve import Gateway
+
+    gateway = Gateway(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        rate=args.rate,
+        burst=args.burst,
+        cache=None if args.no_cache else args.cache,
+        cache_max_entries=args.cache_max_entries,
+        strict_lint=not args.lax_lint,
+        job_timeout=args.job_timeout,
+        job_retries=args.retries,
+        drain_timeout=args.drain_timeout,
+        verbose=args.verbose,
+    )
+    gateway.start()
+    print(
+        f"pyrtos-sc serve: listening on http://{gateway.host}:{gateway.port} "
+        f"(workers={args.workers}, queue={args.queue_size}, "
+        f"cache={'off' if args.no_cache else args.cache})",
+        flush=True,
+    )
+    gateway.install_signal_handlers()
+    try:
+        gateway.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    clean = gateway.drain()
+    served = int(gateway.metrics["requests"].total())
+    print(f"pyrtos-sc serve: {'drained cleanly' if clean else 'drain timed out'}"
+          f" after {served} request(s)", flush=True)
+    return 0 if clean else 1
 
 
 def cmd_codegen(args) -> int:
@@ -344,6 +400,43 @@ def build_parser() -> argparse.ArgumentParser:
                              help="comma-separated rule ids to suppress "
                                   "(repeatable)")
     lint_parser.set_defaults(func=cmd_lint)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the simulation-as-a-service HTTP gateway",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8080,
+                              help="listen port (0 = ephemeral)")
+    serve_parser.add_argument("--workers", type=int, default=2,
+                              help="worker threads executing jobs")
+    serve_parser.add_argument("--queue-size", type=int, default=16,
+                              help="bounded admission queue; overflow = 429")
+    serve_parser.add_argument("--rate", type=float, default=None,
+                              help="per-client requests/second "
+                                   "(default: unlimited)")
+    serve_parser.add_argument("--burst", type=int, default=10,
+                              help="per-client token-bucket burst")
+    serve_parser.add_argument("--cache", metavar="DIR",
+                              default=".serve-cache",
+                              help="job-dedup cache directory")
+    serve_parser.add_argument("--no-cache", action="store_true",
+                              help="disable the on-disk dedup cache")
+    serve_parser.add_argument("--cache-max-entries", type=int, default=1024,
+                              help="LRU bound on cached results")
+    serve_parser.add_argument("--lax-lint", action="store_true",
+                              help="admit specs with lint warnings "
+                                   "(errors still reject)")
+    serve_parser.add_argument("--job-timeout", type=float, default=None,
+                              help="per-job wall-clock limit in seconds")
+    serve_parser.add_argument("--retries", type=int, default=0,
+                              help="extra attempts per failed job")
+    serve_parser.add_argument("--drain-timeout", type=float, default=30.0,
+                              help="seconds to finish in-flight jobs on "
+                                   "SIGTERM")
+    serve_parser.add_argument("--verbose", action="store_true",
+                              help="per-request logging on stderr")
+    serve_parser.set_defaults(func=cmd_serve)
 
     codegen_parser = sub.add_parser(
         "codegen", help="generate a C application from a JSON spec"

@@ -1,0 +1,296 @@
+"""Service metrics: counters, gauges, latency summaries, Prometheus text.
+
+The gateway keeps every operational signal in one :class:`Registry` so
+``GET /metrics`` can render a self-consistent snapshot in the Prometheus
+`text exposition format`__ without any third-party client library:
+
+* :class:`Counter` -- monotonically increasing totals, optionally
+  labelled (``pyrtos_requests_total{endpoint="/v1/simulate"}``);
+* :class:`Gauge` -- point-in-time values, either set explicitly or
+  computed by a callback at scrape time (queue depth, cache size);
+* :class:`Summary` -- latency quantiles (p50/p95/p99) over a bounded
+  sliding window of observations, plus lifetime ``_count``/``_sum``.
+
+Everything is thread-safe: handler threads, worker threads and the
+scraper all touch the registry concurrently.
+
+__ https://prometheus.io/docs/instrumenting/exposition_formats/
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+#: Quantiles every summary exposes, matching the ISSUE's p50/p95/p99.
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+#: Observations kept per summary window; old samples age out so the
+#: quantiles track recent behaviour rather than the whole process life.
+SUMMARY_WINDOW = 2048
+
+
+def _format_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    rendered = ",".join(f'{key}="{_escape(value)}"' for key, value in labels)
+    return "{" + rendered + "}"
+
+
+def _escape(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+class Metric:
+    """Base class: a named family of labelled series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: Iterable[str] = ()) -> None:
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _label_key(self, labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple((name, str(labels[name])) for name in self.labelnames)
+
+    # Subclasses yield (suffix, labels, value) triples.
+    def samples(self) -> Iterable[Tuple[str, Tuple[Tuple[str, str], ...], float]]:
+        raise NotImplementedError
+
+    def render(self) -> str:
+        lines = [f"# HELP {self.name} {self.help}",
+                 f"# TYPE {self.name} {self.kind}"]
+        for suffix, labels, value in self.samples():
+            lines.append(
+                f"{self.name}{suffix}{_format_labels(labels)} "
+                f"{_format_value(value)}"
+            )
+        return "\n".join(lines)
+
+
+class Counter(Metric):
+    """A monotonically increasing total, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: Iterable[str] = ()) -> None:
+        super().__init__(name, help_text, labelnames)
+        self._values: Dict[Tuple[Tuple[str, str], ...], float] = {}
+
+    def inc(self, amount: float = 1, **labels: str) -> None:
+        key = self._label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: str) -> float:
+        key = self._label_key(labels)
+        with self._lock:
+            return self._values.get(key, 0)
+
+    def total(self) -> float:
+        """Sum over every label combination."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def samples(self):
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.labelnames:
+            items = [((), 0)]
+        for labels, value in items:
+            yield "", labels, value
+
+
+class Gauge(Metric):
+    """A point-in-time value, set directly or computed at scrape time."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str, *,
+                 callback: Optional[Callable[[], float]] = None) -> None:
+        super().__init__(name, help_text)
+        self._value = 0.0
+        self._callback = callback
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.inc(-amount)
+
+    def value(self) -> float:
+        if self._callback is not None:
+            return self._callback()
+        with self._lock:
+            return self._value
+
+    def samples(self):
+        yield "", (), self.value()
+
+
+class Summary(Metric):
+    """Latency quantiles over a sliding window plus lifetime count/sum.
+
+    Exposes ``name{<labels>,quantile="0.5|0.95|0.99"}`` computed over
+    the last :data:`SUMMARY_WINDOW` observations per label set, and the
+    conventional ``name_count`` / ``name_sum`` lifetime series.
+    """
+
+    kind = "summary"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: Iterable[str] = (),
+                 window: int = SUMMARY_WINDOW) -> None:
+        super().__init__(name, help_text, labelnames)
+        self.window = window
+        self._observations: Dict[Tuple[Tuple[str, str], ...], deque] = {}
+        self._counts: Dict[Tuple[Tuple[str, str], ...], int] = {}
+        self._sums: Dict[Tuple[Tuple[str, str], ...], float] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._label_key(labels)
+        with self._lock:
+            bucket = self._observations.get(key)
+            if bucket is None:
+                bucket = self._observations[key] = deque(maxlen=self.window)
+            bucket.append(float(value))
+            self._counts[key] = self._counts.get(key, 0) + 1
+            self._sums[key] = self._sums.get(key, 0.0) + float(value)
+
+    def quantile(self, q: float, **labels: str) -> Optional[float]:
+        key = self._label_key(labels)
+        with self._lock:
+            bucket = self._observations.get(key)
+            window = sorted(bucket) if bucket else []
+        return _quantile(window, q)
+
+    def samples(self):
+        with self._lock:
+            snapshot = {
+                key: (sorted(bucket), self._counts[key], self._sums[key])
+                for key, bucket in self._observations.items()
+            }
+        for key in sorted(snapshot):
+            window, count, total = snapshot[key]
+            for q in SUMMARY_QUANTILES:
+                value = _quantile(window, q)
+                if value is None:
+                    continue
+                yield "", key + (("quantile", str(q)),), value
+            yield "_count", key, count
+            yield "_sum", key, round(total, 9)
+
+
+def _quantile(window: List[float], q: float) -> Optional[float]:
+    """Nearest-rank quantile of an already-sorted sample (None if empty)."""
+    if not window:
+        return None
+    rank = max(0, min(len(window) - 1, int(round(q * (len(window) - 1)))))
+    return window[rank]
+
+
+class Registry:
+    """An ordered collection of metrics rendered as one scrape payload."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def register(self, metric: Metric) -> Metric:
+        with self._lock:
+            if metric.name in self._metrics:
+                raise ValueError(f"metric {metric.name!r} already registered")
+            self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str,
+                labelnames: Iterable[str] = ()) -> Counter:
+        return self.register(Counter(name, help_text, labelnames))
+
+    def gauge(self, name: str, help_text: str, *,
+              callback: Optional[Callable[[], float]] = None) -> Gauge:
+        return self.register(Gauge(name, help_text, callback=callback))
+
+    def summary(self, name: str, help_text: str,
+                labelnames: Iterable[str] = ()) -> Summary:
+        return self.register(Summary(name, help_text, labelnames))
+
+    def get(self, name: str) -> Metric:
+        with self._lock:
+            return self._metrics[name]
+
+    def render(self) -> str:
+        """The full scrape payload (Prometheus text exposition v0.0.4)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return "\n".join(metric.render() for metric in metrics) + "\n"
+
+
+def build_gateway_metrics(registry: Registry) -> Dict[str, Metric]:
+    """Register the gateway's standard metric families on ``registry``."""
+    return {
+        "requests": registry.counter(
+            "pyrtos_requests_total",
+            "HTTP requests received, by endpoint and status code.",
+            ("endpoint", "status"),
+        ),
+        "admissions": registry.counter(
+            "pyrtos_admissions_total",
+            "Jobs admitted to the execution queue, by kind.",
+            ("kind",),
+        ),
+        "rejections": registry.counter(
+            "pyrtos_rejections_total",
+            "Requests rejected before execution, by reason "
+            "(rate_limit, queue_full, lint, draining, invalid).",
+            ("reason",),
+        ),
+        "jobs_completed": registry.counter(
+            "pyrtos_jobs_completed_total",
+            "Jobs finished, by kind and outcome (done, failed).",
+            ("kind", "outcome"),
+        ),
+        "cache_hits": registry.counter(
+            "pyrtos_cache_hits_total",
+            "Job-dedup cache hits (request served without re-simulating).",
+        ),
+        "cache_misses": registry.counter(
+            "pyrtos_cache_misses_total",
+            "Job-dedup cache misses (request required a fresh simulation).",
+        ),
+        "latency": registry.summary(
+            "pyrtos_request_seconds",
+            "Wall-clock request latency by endpoint "
+            "(p50/p95/p99 over a sliding window).",
+            ("endpoint",),
+        ),
+        "job_latency": registry.summary(
+            "pyrtos_job_seconds",
+            "Job execution latency by kind (queue wait excluded).",
+            ("kind",),
+        ),
+    }

@@ -1,0 +1,161 @@
+"""Bounded admission queue with backpressure plus per-client rate limits.
+
+Load-shedding lives here, *before* any simulation work happens:
+
+* :class:`AdmissionQueue` -- a bounded FIFO between handler threads and
+  the worker pool.  When full, :meth:`AdmissionQueue.put` raises
+  :class:`QueueFull` carrying a ``retry_after`` estimate the HTTP layer
+  turns into ``429 Too Many Requests`` + ``Retry-After``.
+* :class:`TokenBucket` -- a classic token-bucket limiter keyed by
+  client id (``X-Client-Id`` header or peer address), refilled
+  continuously at ``rate`` tokens/second up to ``burst``.
+
+Both are plain-threading primitives with no external dependencies, and
+both expose the accounting the ``/metrics`` endpoint reports (depth,
+capacity, throttled clients).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Dict, Optional
+
+from ..errors import ReproError
+
+
+class QueueFull(ReproError):
+    """The admission queue rejected a job; retry after ``retry_after`` s."""
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class RateLimited(ReproError):
+    """A client exceeded its token budget; retry after ``retry_after`` s."""
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class AdmissionQueue:
+    """A bounded FIFO of jobs between admission and the worker pool.
+
+    ``maxsize`` bounds how much accepted-but-unstarted work the service
+    holds; everything beyond it is the client's problem (HTTP 429).  The
+    ``retry_after`` hint scales with backlog: a full queue of slow jobs
+    advertises a longer back-off than a full queue of quick ones.
+    """
+
+    def __init__(self, maxsize: int = 16, *,
+                 expected_job_s: float = 1.0) -> None:
+        if maxsize < 1:
+            raise ReproError(f"queue maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.expected_job_s = expected_job_s
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def put(self, item) -> None:
+        """Enqueue without blocking; raises :class:`QueueFull` when full."""
+        with self._lock:
+            if self._closed:
+                raise QueueFull("queue is closed (server draining)",
+                                retry_after=self.expected_job_s)
+            if len(self._items) >= self.maxsize:
+                raise QueueFull(
+                    f"admission queue full ({self.maxsize} pending jobs)",
+                    retry_after=max(
+                        1.0, round(len(self._items) * self.expected_job_s, 1)
+                    ),
+                )
+            self._items.append(item)
+            self._not_empty.notify()
+
+    def get(self, timeout: Optional[float] = None):
+        """Dequeue the next job, or ``None`` on timeout / closed-and-empty."""
+        with self._not_empty:
+            while not self._items:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout):
+                    return None
+            return self._items.popleft()
+
+    def close(self) -> None:
+        """Stop accepting work and wake every blocked consumer.
+
+        Items already queued remain consumable -- drain semantics are
+        "finish what was admitted", not "drop the backlog".
+        """
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+
+class TokenBucket:
+    """Per-client token buckets: ``rate`` tokens/s, capacity ``burst``.
+
+    ``rate=None`` disables limiting entirely (every check passes).  The
+    bucket table is pruned opportunistically: any client idle long
+    enough to have refilled to full burst carries no state worth
+    keeping.
+    """
+
+    def __init__(self, rate: Optional[float] = None, burst: int = 10, *,
+                 clock=time.monotonic) -> None:
+        if rate is not None and rate <= 0:
+            raise ReproError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ReproError(f"burst must be >= 1, got {burst}")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._buckets: Dict[str, tuple] = {}  # client -> (tokens, stamp)
+        self._lock = threading.Lock()
+        self.throttled = 0
+
+    def check(self, client: str) -> None:
+        """Spend one token for ``client``; raises :class:`RateLimited`."""
+        if self.rate is None:
+            return
+        now = self._clock()
+        with self._lock:
+            tokens, stamp = self._buckets.get(client, (float(self.burst), now))
+            tokens = min(float(self.burst), tokens + (now - stamp) * self.rate)
+            if tokens < 1.0:
+                self._buckets[client] = (tokens, now)
+                self.throttled += 1
+                raise RateLimited(
+                    f"client {client!r} exceeded {self.rate}/s "
+                    f"(burst {self.burst})",
+                    retry_after=max(0.1, round((1.0 - tokens) / self.rate, 1)),
+                )
+            self._buckets[client] = (tokens - 1.0, now)
+            if len(self._buckets) > 1024:
+                self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        full_after = self.burst / self.rate
+        for client, (tokens, stamp) in list(self._buckets.items()):
+            if now - stamp >= full_after:
+                del self._buckets[client]
+
+    def clients(self) -> int:
+        with self._lock:
+            return len(self._buckets)

@@ -130,12 +130,13 @@ class TraceRecorder:
                 handle.write(json.dumps(data, default=repr) + "\n")
 
     @classmethod
-    def load_jsonl(cls, path: str) -> "TraceRecorder":
-        """Rebuild a recorder from a save_jsonl file (offline analysis).
+    def from_dicts(cls, dicts: Iterable[dict]) -> "TraceRecorder":
+        """Rebuild a recorder from :meth:`to_dicts`-shaped payloads.
 
         Payload ``value`` fields that were repr-serialized come back as
         strings; everything the timeline/statistics pipelines use
-        (times, tasks, states, kinds) round-trips exactly.
+        (times, tasks, states, kinds) round-trips exactly.  Unknown or
+        future record kinds are skipped rather than failing the load.
         """
         from .records import (
             AccessKind,
@@ -157,18 +158,26 @@ class TraceRecorder:
             ("OverheadRecord", "kind"): OverheadKind,
         }
         recorder = cls()
-        with open(path) as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                data = json.loads(line)
-                type_name = data.pop("type")
-                record_cls = type_map.get(type_name)
-                if record_cls is None:
-                    continue  # unknown/future record kinds are skipped
-                for (owner, field), enum_cls in enum_fields.items():
-                    if owner == type_name and field in data:
-                        data[field] = enum_cls(data[field])
-                recorder.add(record_cls(**data))
+        for data in dicts:
+            data = dict(data)
+            type_name = data.pop("type", None)
+            record_cls = type_map.get(type_name)
+            if record_cls is None:
+                continue
+            for (owner, field), enum_cls in enum_fields.items():
+                if owner == type_name and field in data:
+                    data[field] = enum_cls(data[field])
+            recorder.add(record_cls(**data))
         return recorder
+
+    @classmethod
+    def load_jsonl(cls, path: str) -> "TraceRecorder":
+        """Rebuild a recorder from a save_jsonl file (offline analysis)."""
+        def lines():
+            with open(path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line)
+
+        return cls.from_dicts(lines())

@@ -110,3 +110,67 @@ def _always_fails(seed):
 
 def _multi_metric(seed):
     return {"zebra": 1, "alpha": 2, "mid": 3}
+
+
+class TestBoundedGrowth:
+    def _fill(self, cache, names, runs=2):
+        for stamp, name in enumerate(names):
+            spec = spec_from_experiment(counting_experiment, name=name)
+            _run(spec, runs, cache)
+            # Deterministic LRU order regardless of filesystem timestamp
+            # granularity: age each file explicitly.
+            os.utime(cache.path_for(spec), (stamp, stamp))
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        self._fill(cache, ["a", "b", "c"])
+        assert cache.pruned_files == 0
+        assert len(os.listdir(tmp_path)) == 3
+
+    def test_lru_files_pruned_beyond_max_entries(self, tmp_path):
+        cache = ResultCache(str(tmp_path), max_entries=4)
+        self._fill(cache, ["old", "mid"])  # 4 entries: at the bound
+        spec = spec_from_experiment(counting_experiment, name="new")
+        _run(spec, 2, cache)  # 6 entries: evict the oldest file
+        assert cache.pruned_files == 1
+        names = os.listdir(tmp_path)
+        assert not any(name.startswith("old-") for name in names)
+        assert any(name.startswith("mid-") for name in names)
+        assert any(name.startswith("new-") for name in names)
+
+    def test_lookup_touch_protects_hot_files(self, tmp_path):
+        cache = ResultCache(str(tmp_path), max_entries=4)
+        old = spec_from_experiment(counting_experiment, name="old")
+        mid = spec_from_experiment(counting_experiment, name="mid")
+        self._fill(cache, ["old", "mid"])
+        # A hit on "old" refreshes its mtime, making "mid" the LRU file.
+        assert cache.lookup(old, {"seed": 0}) is not None
+        _run(spec_from_experiment(counting_experiment, name="new"), 2, cache)
+        names = os.listdir(tmp_path)
+        assert any(name.startswith("old-") for name in names)
+        assert not any(name.startswith("mid-") for name in names)
+        assert cache.lookup(mid, {"seed": 0},
+                            fingerprint=mid.fingerprint()) is None
+
+    def test_just_written_file_is_never_evicted(self, tmp_path):
+        cache = ResultCache(str(tmp_path), max_entries=1)
+        spec = spec_from_experiment(counting_experiment, name="solo")
+        _run(spec, 5, cache)  # five entries in one file: over the bound
+        assert cache.pruned_files == 0
+        assert cache.lookup(spec, {"seed": 0}) is not None
+
+    def test_hit_miss_accounting_survives_pruning(self, tmp_path):
+        cache = ResultCache(str(tmp_path), max_entries=2)
+        self._fill(cache, ["a", "b", "c"])
+        hits0, misses0 = cache.hits, cache.misses
+        spec_a = spec_from_experiment(counting_experiment, name="a")
+        assert cache.lookup(spec_a, {"seed": 0}) is None  # pruned: a miss
+        spec_c = spec_from_experiment(counting_experiment, name="c")
+        assert cache.lookup(spec_c, {"seed": 0}) is not None
+        assert (cache.hits, cache.misses) == (hits0 + 1, misses0 + 1)
+
+    def test_bad_max_entries_rejected(self, tmp_path):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ResultCache(str(tmp_path), max_entries=0)

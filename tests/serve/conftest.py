@@ -1,0 +1,75 @@
+"""Shared fixtures for gateway tests: a live server + a tiny client."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import Gateway
+
+
+class Client:
+    """A minimal HTTP client over urllib (status, headers, body)."""
+
+    def __init__(self, gateway: Gateway) -> None:
+        self.base = f"http://127.0.0.1:{gateway.port}"
+
+    def _do(self, request):
+        try:
+            with urllib.request.urlopen(request, timeout=60) as response:
+                return response.status, dict(response.headers), response.read()
+        except urllib.error.HTTPError as error:
+            return error.code, dict(error.headers), error.read()
+
+    def get(self, path: str):
+        return self._do(urllib.request.Request(self.base + path))
+
+    def post(self, path: str, payload, *, client_id=None):
+        headers = {"Content-Type": "application/json"}
+        if client_id is not None:
+            headers["X-Client-Id"] = client_id
+        data = (payload if isinstance(payload, bytes)
+                else json.dumps(payload).encode())
+        return self._do(urllib.request.Request(
+            self.base + path, data=data, headers=headers
+        ))
+
+    def get_json(self, path: str):
+        status, _, body = self.get(path)
+        return status, json.loads(body)
+
+    def post_json(self, path: str, payload, **kwargs):
+        status, _, body = self.post(path, payload, **kwargs)
+        return status, json.loads(body)
+
+
+@pytest.fixture
+def make_gateway(tmp_path):
+    """Factory for live gateways on ephemeral ports; auto-stopped."""
+    created = []
+
+    def make(**kwargs) -> Gateway:
+        kwargs.setdefault("cache", str(tmp_path / "serve-cache"))
+        kwargs.setdefault("workers", 2)
+        gateway = Gateway(port=0, **kwargs)
+        gateway.start()
+        thread = threading.Thread(target=gateway.serve_forever, daemon=True)
+        thread.start()
+        created.append(gateway)
+        return gateway
+
+    yield make
+    for gateway in created:
+        gateway.stop()
+
+
+@pytest.fixture
+def gateway(make_gateway) -> Gateway:
+    return make_gateway()
+
+
+@pytest.fixture
+def client(gateway) -> Client:
+    return Client(gateway)

@@ -1,0 +1,177 @@
+"""Load shedding: queue-full 429s, Retry-After, per-client rate limits."""
+
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve.queue import (
+    AdmissionQueue,
+    QueueFull,
+    RateLimited,
+    TokenBucket,
+)
+from repro.workloads.fig6 import fig6_spec
+
+
+def _spec(name: str) -> dict:
+    spec = fig6_spec()
+    spec["name"] = name
+    return spec
+
+
+class TestQueueFullOverHttp:
+    def test_queue_full_is_429_with_retry_after(self, make_gateway):
+        gateway = make_gateway(workers=1, queue_size=1)
+        from .conftest import Client
+
+        client = Client(gateway)
+        # Block the single worker inside job execution so one job holds
+        # the worker and one occupies the only queue slot.
+        gate = threading.Event()
+        original = gateway.store.execute
+
+        def stalled(job):
+            gate.wait(30)
+            return original(job)
+
+        gateway.store.execute = stalled
+        try:
+            status, payload = client.post_json(
+                "/v1/simulate", {"spec": _spec("job-a"), "async": True})
+            assert status == 202
+            # Give the worker a moment to pick up job-a, then fill the
+            # single queue slot with job-b.
+            for _ in range(100):
+                if gateway.queue.depth == 0:
+                    break
+                threading.Event().wait(0.02)
+            status, _ = client.post_json(
+                "/v1/simulate", {"spec": _spec("job-b"), "async": True})
+            assert status == 202
+            status, headers, body = client.post(
+                "/v1/simulate", {"spec": _spec("job-c"), "async": True})
+            assert status == 429
+            assert int(headers["Retry-After"]) >= 1
+            assert b"queue full" in body
+            assert gateway.metrics["rejections"].value(
+                reason="queue_full") == 1
+        finally:
+            gate.set()
+        # The rejected job must not linger in the store (rollback).
+        for _ in range(200):
+            if gateway.store.pending() == 0:
+                break
+            threading.Event().wait(0.02)
+        assert gateway.store.pending() == 0
+
+    def test_rejected_spec_can_be_resubmitted(self, make_gateway):
+        gateway = make_gateway(workers=1, queue_size=1)
+        from .conftest import Client
+
+        client = Client(gateway)
+        gate = threading.Event()
+        original = gateway.store.execute
+
+        def stalled(job):
+            gate.wait(30)
+            return original(job)
+
+        gateway.store.execute = stalled
+        client.post_json("/v1/simulate",
+                         {"spec": _spec("x-a"), "async": True})
+        for _ in range(100):
+            if gateway.queue.depth == 0:
+                break
+            threading.Event().wait(0.02)
+        client.post_json("/v1/simulate", {"spec": _spec("x-b"), "async": True})
+        status, _ = client.post_json(
+            "/v1/simulate", {"spec": _spec("x-c"), "async": True})
+        assert status == 429
+        gate.set()
+        # After the backlog clears, the same request is admitted.
+        for _ in range(300):
+            if gateway.queue.depth == 0 and gateway.pool.inflight == 0:
+                break
+            threading.Event().wait(0.02)
+        status, payload = client.post_json("/v1/simulate", _spec("x-c"))
+        assert status == 200
+        assert payload["result"]["name"] == "x-c"
+
+
+class TestRateLimitOverHttp:
+    def test_client_over_budget_is_429(self, make_gateway):
+        gateway = make_gateway(rate=0.01, burst=2)
+        from .conftest import Client
+
+        client = Client(gateway)
+        for _ in range(2):
+            status, _ = client.post_json("/v1/lint", fig6_spec(),
+                                         client_id="hog")
+            assert status == 200
+        status, headers, _ = client.post("/v1/lint", fig6_spec(),
+                                         client_id="hog")
+        assert status == 429
+        assert "Retry-After" in headers
+        # A different client is unaffected.
+        status, _ = client.post_json("/v1/lint", fig6_spec(),
+                                     client_id="polite")
+        assert status == 200
+        assert gateway.metrics["rejections"].value(reason="rate_limit") == 1
+
+
+class TestAdmissionQueueUnit:
+    def test_put_get_fifo(self):
+        queue = AdmissionQueue(maxsize=2)
+        queue.put("a")
+        queue.put("b")
+        assert queue.depth == 2
+        assert queue.get(0.01) == "a"
+        assert queue.get(0.01) == "b"
+        assert queue.get(0.01) is None
+
+    def test_overflow_raises_with_retry_after(self):
+        queue = AdmissionQueue(maxsize=1, expected_job_s=2.0)
+        queue.put("a")
+        with pytest.raises(QueueFull) as caught:
+            queue.put("b")
+        assert caught.value.retry_after >= 1.0
+
+    def test_closed_queue_rejects_puts_but_drains(self):
+        queue = AdmissionQueue(maxsize=4)
+        queue.put("a")
+        queue.close()
+        with pytest.raises(QueueFull):
+            queue.put("b")
+        assert queue.get(0.01) == "a"
+        assert queue.get(0.01) is None  # closed + empty -> None, no block
+
+    def test_bad_maxsize(self):
+        with pytest.raises(ReproError):
+            AdmissionQueue(maxsize=0)
+
+
+class TestTokenBucketUnit:
+    def test_burst_then_throttle(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=1.0, burst=3, clock=lambda: clock[0])
+        for _ in range(3):
+            bucket.check("c")
+        with pytest.raises(RateLimited) as caught:
+            bucket.check("c")
+        assert caught.value.retry_after > 0
+        clock[0] += 1.5  # refill beyond one token
+        bucket.check("c")
+
+    def test_clients_are_independent(self):
+        bucket = TokenBucket(rate=1.0, burst=1, clock=lambda: 0.0)
+        bucket.check("a")
+        bucket.check("b")
+        with pytest.raises(RateLimited):
+            bucket.check("a")
+        assert bucket.throttled == 1
+
+    def test_disabled_when_rate_none(self):
+        bucket = TokenBucket(rate=None)
+        for _ in range(100):
+            bucket.check("anyone")

@@ -1,0 +1,81 @@
+"""Graceful drain: admitted work finishes, new work is refused."""
+
+import threading
+
+from repro.workloads.fig6 import fig6_spec
+
+
+def _spec(name: str) -> dict:
+    spec = fig6_spec()
+    spec["name"] = name
+    return spec
+
+
+class TestGracefulDrain:
+    def test_inflight_jobs_finish_and_admission_stops(self, make_gateway):
+        from .conftest import Client
+
+        gateway = make_gateway(workers=1, queue_size=8)
+        client = Client(gateway)
+
+        release = threading.Event()
+        started = threading.Event()
+        original = gateway.store.execute
+
+        def stalled(job):
+            started.set()
+            release.wait(30)
+            return original(job)
+
+        gateway.store.execute = stalled
+
+        # One job on the worker, one in the queue -- both admitted.
+        status, first = client.post_json(
+            "/v1/simulate", {"spec": _spec("drain-a"), "async": True})
+        assert status == 202
+        assert started.wait(10)
+        status, second = client.post_json(
+            "/v1/simulate", {"spec": _spec("drain-b"), "async": True})
+        assert status == 202
+
+        drained = []
+        drainer = threading.Thread(
+            target=lambda: drained.append(gateway.drain()))
+        drainer.start()
+        # Admission refuses while draining.
+        for _ in range(100):
+            if gateway.draining:
+                break
+            threading.Event().wait(0.02)
+        status, payload = client.post_json("/v1/simulate", _spec("drain-c"))
+        assert status == 503
+        assert "draining" in payload["error"]
+        status, health = client.get_json("/healthz")
+        assert status == 503
+        assert health["status"] == "draining"
+
+        release.set()
+        drainer.join(30)
+        assert drained == [True]
+
+        # Both admitted jobs completed despite the drain.
+        for job in (first["job"], second["job"]):
+            status, payload = client.get_json(f"/v1/jobs/{job['id']}")
+            assert status == 200
+            assert payload["state"] == "done"
+        assert gateway.metrics["rejections"].value(reason="draining") == 1
+
+    def test_drain_is_idempotent(self, make_gateway):
+        gateway = make_gateway()
+        assert gateway.drain() is True
+        assert gateway.drain() is True
+
+    def test_drain_flushes_metrics_to_stderr(self, make_gateway, capsys):
+        from .conftest import Client
+
+        gateway = make_gateway()
+        Client(gateway).get("/healthz")
+        gateway.drain()
+        err = capsys.readouterr().err
+        assert "pyrtos_requests_total" in err
+        assert 'endpoint="/healthz"' in err

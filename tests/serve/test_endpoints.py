@@ -1,0 +1,145 @@
+"""Endpoint schema tests: every route's status codes and payload shapes."""
+
+import json
+
+from repro.workloads.fig6 import fig6_spec
+
+
+class TestHealthz:
+    def test_ok(self, client):
+        status, payload = client.get_json("/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert {"queue_depth", "inflight", "jobs"} <= set(payload)
+
+
+class TestSimulate:
+    def test_bare_spec_body(self, client):
+        status, payload = client.post_json("/v1/simulate", fig6_spec())
+        assert status == 200
+        assert set(payload) == {"id", "kind", "state", "result"}
+        assert payload["kind"] == "simulate"
+        assert payload["state"] == "done"
+        result = payload["result"]
+        assert result["name"] == "fig6"
+        assert result["end"] == "345us"
+        assert result["record_count"] == len(result["trace"])
+        assert "Function_1" in result["tasks"]
+
+    def test_envelope_with_duration(self, client):
+        status, payload = client.post_json(
+            "/v1/simulate", {"spec": fig6_spec(), "duration": "150us"}
+        )
+        assert status == 200
+        assert payload["result"]["end"] == "150us"
+
+    def test_async_returns_202_and_polls(self, client):
+        status, payload = client.post_json(
+            "/v1/simulate", {"spec": fig6_spec(), "async": True}
+        )
+        assert status == 202
+        assert payload["href"].startswith("/v1/jobs/")
+        job_id = payload["job"]["id"]
+        for _ in range(200):
+            status, job = client.get_json(f"/v1/jobs/{job_id}")
+            assert status == 200
+            if job["state"] in ("done", "failed"):
+                break
+        assert job["state"] == "done"
+        assert job["result"]["name"] == "fig6"
+        assert {"cached", "wall_s", "attempts"} <= set(job)
+
+    def test_malformed_json_is_400(self, client):
+        status, _, body = client.post("/v1/simulate", b"{not json")
+        assert status == 400
+        assert b"not valid JSON" in body
+
+    def test_non_object_body_is_400(self, client):
+        status, _, _ = client.post("/v1/simulate", b"[1, 2, 3]")
+        assert status == 400
+
+
+class TestCampaign:
+    def test_small_campaign(self, client):
+        status, payload = client.post_json(
+            "/v1/campaign", {"runs": 2, "frames": 1}
+        )
+        assert status == 200
+        assert payload["kind"] == "campaign"
+        result = payload["result"]
+        assert result["runs"] == 2
+        assert result["failures"] == []
+        assert "frames_completed" in result["metrics"]
+
+    def test_unknown_key_is_400(self, client):
+        status, payload = client.post_json("/v1/campaign", {"bogus": 1})
+        assert status == 400
+        assert "bogus" in payload["error"]
+
+    def test_bad_runs_is_400(self, client):
+        status, _ = client.post_json("/v1/campaign", {"runs": 0})
+        assert status == 400
+        status, _ = client.post_json("/v1/campaign", {"runs": "four"})
+        assert status == 400
+
+
+class TestLint:
+    def test_clean_spec_passes(self, client):
+        status, payload = client.post_json("/v1/lint", fig6_spec())
+        assert status == 200
+        assert payload["ok"] is True
+        assert payload["report"]["summary"]["errors"] == 0
+
+
+class TestJobs:
+    def test_unknown_job_is_404(self, client):
+        status, payload = client.get_json("/v1/jobs/" + "0" * 64)
+        assert status == 404
+        assert "no such job" in payload["error"]
+
+    def test_trace_exports(self, client):
+        _, payload = client.post_json("/v1/simulate", fig6_spec())
+        job_id = payload["id"]
+        status, headers, body = client.get(f"/v1/jobs/{job_id}/trace.vcd")
+        assert status == 200
+        assert body.startswith(b"$date")
+        status, headers, body = client.get(f"/v1/jobs/{job_id}/trace.svg")
+        assert status == 200
+        assert headers["Content-Type"] == "image/svg+xml"
+        assert body.startswith(b"<svg")
+        status, headers, body = client.get(f"/v1/jobs/{job_id}/trace.html")
+        assert status == 200
+        assert body.startswith(b"<!DOCTYPE html>")
+        assert b"fig6" in body
+
+    def test_trace_of_campaign_job_is_400(self, client):
+        _, payload = client.post_json("/v1/campaign", {"runs": 1, "frames": 1})
+        status, _, body = client.get(f"/v1/jobs/{payload['id']}/trace.vcd")
+        assert status == 400
+        assert b"only simulate jobs" in body
+
+
+class TestMetricsEndpoint:
+    def test_scrape_shape_and_counters(self, client):
+        client.post_json("/v1/simulate", fig6_spec())
+        status, headers, body = client.get("/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = body.decode()
+        assert "# TYPE pyrtos_requests_total counter" in text
+        assert ('pyrtos_requests_total{endpoint="/v1/simulate",'
+                'status="200"} 1') in text
+        assert "pyrtos_queue_depth 0" in text
+        assert 'pyrtos_request_seconds{endpoint="/v1/simulate"' in text
+
+
+class TestRouting:
+    def test_unknown_path_is_404(self, client):
+        status, _ = client.get_json("/v2/anything")
+        assert status == 404
+
+    def test_responses_are_canonical_json(self, client):
+        _, _, body = client.get("/healthz")
+        text = body.decode()
+        payload = json.loads(text)
+        assert text == json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,92 @@
+"""Pre-admission analysis: bad specs are 422s, never simulations."""
+
+import pytest
+
+from repro.serve.workers import LintRejected, validate_spec
+from repro.workloads.fig6 import fig6_spec
+
+
+def duplicate_priority_spec() -> dict:
+    """Two tasks sharing a priority on one processor: an RTS1xx finding."""
+    return {
+        "name": "dup-prio",
+        "processors": [{"name": "cpu", "scheduling_duration": "1us"}],
+        "functions": [
+            {"name": "a", "priority": 1, "processor": "cpu",
+             "script": [["execute", "1us"]]},
+            {"name": "b", "priority": 1, "processor": "cpu",
+             "script": [["execute", "1us"]]},
+        ],
+    }
+
+
+class TestLintGateOverHttp:
+    def test_bad_spec_is_422_with_rts_codes(self, client, gateway):
+        status, payload = client.post_json(
+            "/v1/simulate", duplicate_priority_spec()
+        )
+        assert status == 422
+        rules = {d["rule"] for d in payload["report"]["diagnostics"]}
+        assert any(rule.startswith("RTS1") for rule in rules)
+        assert "error" in payload
+        assert gateway.metrics["rejections"].value(reason="lint") == 1
+        # Nothing was admitted, queued or simulated.
+        assert gateway.metrics["admissions"].total() == 0
+        assert len(gateway.store) == 0
+
+    def test_unbuildable_spec_is_422_with_rts000(self, client):
+        status, payload = client.post_json(
+            "/v1/simulate",
+            {"name": "broken", "functions": [{"priority": 1}]},
+        )
+        assert status == 422
+        rules = {d["rule"] for d in payload["report"]["diagnostics"]}
+        assert rules == {"RTS000"}
+
+    def test_lax_gateway_admits_warning_specs(self, make_gateway):
+        from .conftest import Client
+
+        gateway = make_gateway(strict_lint=False)
+        client = Client(gateway)
+        status, payload = client.post_json(
+            "/v1/simulate", duplicate_priority_spec()
+        )
+        assert status == 200
+        assert payload["state"] == "done"
+
+    def test_lint_endpoint_reports_failures_as_422(self, client):
+        status, payload = client.post_json(
+            "/v1/lint", duplicate_priority_spec()
+        )
+        assert status == 422
+        assert payload["report"]["summary"]["warnings"] >= 1
+
+    def test_lint_endpoint_suppression(self, client):
+        status, payload = client.post_json(
+            "/v1/lint",
+            {"spec": duplicate_priority_spec(),
+             "suppress": ["RTS101", "RTS102"]},
+        )
+        assert status == 200
+        assert payload["report"]["summary"]["suppressed"] >= 1
+
+
+class TestValidateSpecUnit:
+    def test_clean_spec_returns_report_dict(self):
+        report = validate_spec(fig6_spec())
+        assert report["summary"]["errors"] == 0
+
+    def test_strict_rejects_warnings(self):
+        spec = duplicate_priority_spec()
+        with pytest.raises(LintRejected) as caught:
+            validate_spec(spec, strict=True)
+        assert caught.value.report["summary"]["warnings"] >= 1
+        # Lax mode lets the same spec through.
+        validate_spec(spec, strict=False)
+
+    def test_build_error_becomes_rts000(self):
+        with pytest.raises(LintRejected) as caught:
+            validate_spec({"functions": [{"name": "x"}]})
+        diagnostics = caught.value.report["diagnostics"]
+        assert diagnostics[0]["rule"] == "RTS000"
+        assert diagnostics[0]["severity"] == "error"

@@ -121,3 +121,78 @@ class TestParser:
     def test_missing_spec_fails(self):
         with pytest.raises(SystemExit):
             main(["run"])
+
+
+class TestEmitJson:
+    """One canonical JSON encoding shared by every subcommand and serve."""
+
+    def test_stdout_default(self, capsys):
+        from repro.cli import _emit_json
+
+        _emit_json({"b": 1, "a": [2, 3]})
+        out = capsys.readouterr().out
+        assert out == '{\n  "a": [\n    2,\n    3\n  ],\n  "b": 1\n}\n'
+
+    def test_path_and_filelike_destinations(self, tmp_path):
+        import io
+
+        from repro.cli import _emit_json
+
+        path = tmp_path / "out.json"
+        returned = _emit_json({"z": 0, "a": 1}, str(path))
+        buffer = io.StringIO()
+        _emit_json({"z": 0, "a": 1}, buffer)
+        assert path.read_text() == buffer.getvalue() == returned + "\n"
+
+    def test_key_order_is_stable(self):
+        from repro.cli import _emit_json
+
+        import io
+
+        first, second = io.StringIO(), io.StringIO()
+        _emit_json({"b": 1, "a": 2}, first)
+        _emit_json({"a": 2, "b": 1}, second)
+        assert first.getvalue() == second.getvalue()
+
+    def test_serve_responses_use_the_same_encoding(self):
+        from repro.cli import _emit_json
+        from repro.serve.app import _encode_json
+
+        payload = {"nested": {"b": 1, "a": 2}, "list": [1, 2]}
+        import io
+
+        buffer = io.StringIO()
+        _emit_json(payload, buffer)
+        assert _encode_json(payload) == buffer.getvalue().encode()
+
+    def test_lint_json_goes_through_emit_json(self, capsys):
+        assert main(["lint", "fig6", "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert out == json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+class TestServeParser:
+    def test_defaults(self):
+        from repro.cli import build_parser, cmd_serve
+
+        args = build_parser().parse_args(["serve"])
+        assert args.func is cmd_serve
+        assert args.port == 8080
+        assert args.workers == 2
+        assert args.queue_size == 16
+        assert args.cache == ".serve-cache"
+        assert args.cache_max_entries == 1024
+        assert not args.lax_lint
+
+    def test_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "serve", "--port", "0", "--workers", "4", "--rate", "2.5",
+            "--no-cache", "--lax-lint", "--drain-timeout", "5",
+        ])
+        assert args.port == 0
+        assert args.rate == 2.5
+        assert args.no_cache and args.lax_lint
+        assert args.drain_timeout == 5.0
