@@ -35,9 +35,9 @@ def write_result(name: str, text: str) -> str:
 
 
 def build_fig6_system(engine: str = "procedural", clk_period=100 * US,
-                      overheads=None) -> Tuple[System, List]:
+                      overheads=None, sim=None) -> Tuple[System, List]:
     """The §5 example: HW Clock + three prioritized functions, one CPU."""
-    system = System("fig6")
+    system = System("fig6", sim=sim)
     clk = system.event("Clk", policy="fugitive")
     ev1 = system.event("Event_1", policy="boolean")
     cpu = system.processor(
@@ -77,7 +77,7 @@ def build_fig6_system(engine: str = "procedural", clk_period=100 * US,
     return system, log
 
 
-def build_fig7_system(variant: str = "plain"):
+def build_fig7_system(variant: str = "plain", sim=None):
     """The Figure-7 blocking scenario: Low/High/Mid sharing a variable.
 
     ``variant`` picks the mutual-exclusion remedy: ``plain`` (priority
@@ -89,7 +89,7 @@ def build_fig7_system(variant: str = "plain"):
     from repro.rtos import CeilingSharedVariable, InheritanceSharedVariable
     from repro.trace import TraceRecorder
 
-    system = System(f"fig7_{variant}")
+    system = System(f"fig7_{variant}", sim=sim)
     recorder = TraceRecorder(system.sim)
     cpu = system.processor(
         "Processor",

@@ -105,7 +105,7 @@ class _SourceVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
     # -- scope tracking -------------------------------------------------
-    def visit_FunctionDef(self, node) -> None:
+    def visit_FunctionDef(self, node: ast.AST) -> None:
         if self.depth >= 1:
             self.local_callables.add(node.name)
         self.depth += 1

@@ -204,7 +204,7 @@ def merge_suppressions(*sources: Iterable[str]) -> Set[str]:
     return merged
 
 
-def object_suppressions(obj) -> Set[str]:
+def object_suppressions(obj: object) -> Set[str]:
     """The ``lint_suppress`` rule-id set declared on a model object."""
     declared = getattr(obj, "lint_suppress", None)
     if not declared:

@@ -25,7 +25,7 @@ from __future__ import annotations
 import ast
 import inspect
 import textwrap
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..mcse.shared import SharedVariable
 
@@ -37,7 +37,7 @@ _RELEASE_METHODS = {"unlock"}
 class TaskLockUsage:
     """What one function does with shared variables."""
 
-    def __init__(self, fn) -> None:
+    def __init__(self, fn: Any) -> None:
         self.function = fn
         #: Names of shared variables the function ever acquires.
         self.acquires: Set[str] = set()
@@ -45,7 +45,7 @@ class TaskLockUsage:
         self.nested: List[Tuple[str, str]] = []
 
 
-def _resolve_names(behavior) -> Dict[str, object]:
+def _resolve_names(behavior: Any) -> Dict[str, object]:
     """Map of variable names visible to ``behavior`` -> bound objects."""
     resolved: Dict[str, object] = {}
     code = getattr(behavior, "__code__", None)
@@ -78,7 +78,7 @@ def _shared_name(node: ast.AST, names: Dict[str, object]) -> Optional[str]:
     return None
 
 
-def _preorder(tree: ast.AST):
+def _preorder(tree: ast.AST) -> Iterator[ast.AST]:
     """Depth-first pre-order walk: nodes come out in source order.
 
     (``ast.walk`` is breadth-first, which would interleave statements
@@ -91,7 +91,7 @@ def _preorder(tree: ast.AST):
         stack.extend(reversed(list(ast.iter_child_nodes(node))))
 
 
-def _walk_behavior_ast(usage: TaskLockUsage, behavior) -> None:
+def _walk_behavior_ast(usage: TaskLockUsage, behavior: Any) -> None:
     try:
         source = textwrap.dedent(inspect.getsource(behavior))
         tree = ast.parse(source)
@@ -123,7 +123,8 @@ def _walk_behavior_ast(usage: TaskLockUsage, behavior) -> None:
                 held.remove(shared)
 
 
-def _walk_script_ops(usage: TaskLockUsage, ops, held: List[str]) -> None:
+def _walk_script_ops(usage: TaskLockUsage, ops: Sequence[Any],
+                     held: List[str]) -> None:
     for name, args in ops:
         if name in _ACQUIRE_METHODS:
             shared = args[0]
@@ -140,7 +141,7 @@ def _walk_script_ops(usage: TaskLockUsage, ops, held: List[str]) -> None:
             _walk_script_ops(usage, args[1], held)
 
 
-def lock_usage(fn) -> TaskLockUsage:
+def lock_usage(fn: Any) -> TaskLockUsage:
     """Extract the shared-variable usage of one function."""
     usage = TaskLockUsage(fn)
     declared = getattr(fn, "lock_order", None)

@@ -32,9 +32,10 @@ report).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..mcse.shared import SharedVariable
+from ..rtos.overheads import formula_arity_error
 from ..rtos.partitions import TimePartitionPolicy
 from ..rtos.policies import PriorityPreemptivePolicy, PriorityRoundRobinPolicy
 from ..rtos.services import CeilingSharedVariable, InheritanceSharedVariable
@@ -61,7 +62,7 @@ RTS140 = rule("RTS140", "partition window cannot fit its tasks' demand")
 RTS141 = rule("RTS141", "partition label matches no window")
 
 
-def analyze_system(system, *, suppress: Iterable[str] = ()) -> Report:
+def analyze_system(system: Any, *, suppress: Iterable[str] = ()) -> Report:
     """Lint a built :class:`~repro.mcse.model.System`; returns a Report."""
     suppressions = merge_suppressions(
         suppress,
@@ -86,7 +87,8 @@ def analyze_system(system, *, suppress: Iterable[str] = ()) -> Report:
     return report
 
 
-def analyze_processors(processors, *, suppress: Iterable[str] = ()) -> Report:
+def analyze_processors(processors: Iterable[Any], *,
+                       suppress: Iterable[str] = ()) -> Report:
     """Lint bare processors (no :class:`System` facade around them)."""
     suppressions = merge_suppressions(
         suppress, *(object_suppressions(cpu) for cpu in processors)
@@ -100,14 +102,14 @@ def analyze_processors(processors, *, suppress: Iterable[str] = ()) -> Report:
     return report
 
 
-def _cpu_loc(processor) -> str:
+def _cpu_loc(processor: Any) -> str:
     return f"processor {processor.name}"
 
 
 # ---------------------------------------------------------------------------
 # Priorities (RTS101 / RTS102)
 # ---------------------------------------------------------------------------
-def _check_priorities(report: Report, processor) -> None:
+def _check_priorities(report: Report, processor: Any) -> None:
     policy = processor.policy
     strict_priority = (
         isinstance(policy, PriorityPreemptivePolicy)
@@ -150,9 +152,26 @@ def _check_priorities(report: Report, processor) -> None:
 # ---------------------------------------------------------------------------
 # Overheads (RTS120)
 # ---------------------------------------------------------------------------
-def _check_overheads(report: Report, processor) -> None:
+def _check_overheads(report: Report, processor: Any) -> None:
     overheads = processor.overheads
     for component in ("scheduling", "context_load", "context_save"):
+        spec = getattr(overheads, f"_{component}", None)
+        if callable(spec):
+            # Same arity contract the Overheads constructor and the
+            # verifier's invariants enforce -- one shared helper so the
+            # probe can never disagree with the runtime.
+            arity_error = formula_arity_error(spec, "processor")
+            if arity_error is not None:
+                report.add(
+                    RTS120,
+                    report.ERROR,
+                    f"{_cpu_loc(processor)}/overheads.{component}",
+                    f"overhead formula {arity_error}",
+                    hint="formulas must accept the processor and return a "
+                         "non-negative int duration for every reachable "
+                         "state",
+                )
+                continue
         try:
             getattr(overheads, component)(processor)
         except Exception as exc:
@@ -169,7 +188,8 @@ def _check_overheads(report: Report, processor) -> None:
 # ---------------------------------------------------------------------------
 # Lock graph (RTS110 / RTS111 / RTS112)
 # ---------------------------------------------------------------------------
-def _check_locks(report: Report, system, usages) -> None:
+def _check_locks(report: Report, system: Any,
+                 usages: Sequence[Any]) -> None:
     shared_vars = {
         name: relation
         for name, relation in system.relations.items()
@@ -226,7 +246,7 @@ def _check_locks(report: Report, system, usages) -> None:
         _check_inversion(report, relation, users.get(name, ()))
 
 
-def _mapped_priority(fn) -> Optional[int]:
+def _mapped_priority(fn: Any) -> Optional[int]:
     task = getattr(fn, "task", None)
     if task is None:
         return None
@@ -236,7 +256,8 @@ def _mapped_priority(fn) -> Optional[int]:
     return priority
 
 
-def _check_inversion(report: Report, relation, users) -> None:
+def _check_inversion(report: Report, relation: Any,
+                     users: Sequence[Any]) -> None:
     """RTS111: plain mutex shared across priorities with middle tasks."""
     by_cpu: Dict[object, List] = {}
     for fn in users:
@@ -274,7 +295,8 @@ def _check_inversion(report: Report, relation, users) -> None:
         )
 
 
-def _check_ceiling(report: Report, relation, users) -> None:
+def _check_ceiling(report: Report, relation: Any,
+                   users: Sequence[Any]) -> None:
     """RTS112: a declared ceiling below the priority of a user task."""
     ceiling = getattr(relation, "ceiling", None)
     if ceiling is None:
@@ -297,7 +319,8 @@ def _check_ceiling(report: Report, relation, users) -> None:
 # ---------------------------------------------------------------------------
 # Reachability (RTS130) and partitions (RTS140 / RTS141)
 # ---------------------------------------------------------------------------
-def _check_reachability(report: Report, system, usages) -> None:
+def _check_reachability(report: Report, system: Any,
+                        usages: Sequence[Any]) -> None:
     """RTS130: a task whose first action waits on a dead event.
 
     Only claimed when the whole system is statically visible: every
@@ -335,7 +358,7 @@ def _check_reachability(report: Report, system, usages) -> None:
             )
 
 
-def _first_op(ops):
+def _first_op(ops: Sequence[Any]) -> Optional[Tuple[str, List[Any]]]:
     for op_name, args in ops:
         if op_name == "loop":
             inner = _first_op(args[1])
@@ -346,7 +369,7 @@ def _first_op(ops):
     return None
 
 
-def _check_partitions(report: Report, processor) -> None:
+def _check_partitions(report: Report, processor: Any) -> None:
     policy = processor.policy
     if not isinstance(policy, TimePartitionPolicy):
         return

@@ -25,7 +25,7 @@ the live pre-simulation processor state.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from ..analysis.response_time import (
     PeriodicTask,
@@ -34,9 +34,10 @@ from ..analysis.response_time import (
     total_utilization,
 )
 from ..kernel.time import format_time
+from .diagnostics import Report
 
 
-def script_profile(fn) -> Optional[Tuple[int, int]]:
+def script_profile(fn: Any) -> Optional[Tuple[int, int]]:
     """(wcet, period) read from a declarative script, or ``None``.
 
     Recognizes the canonical periodic shape: the function body is a
@@ -54,8 +55,11 @@ def script_profile(fn) -> Optional[Tuple[int, int]]:
     period = 0
     for op_name, op_args in args[1]:
         if op_name == "execute":
-            wcet += op_args[0]
-            period += op_args[0]
+            cost = op_args[0]
+            if isinstance(cost, tuple):
+                cost = cost[1]  # interval: the upper bound is the WCET
+            wcet += cost
+            period += cost
         elif op_name == "delay":
             period += op_args[0]
         else:
@@ -65,7 +69,7 @@ def script_profile(fn) -> Optional[Tuple[int, int]]:
     return wcet, period
 
 
-def periodic_profile(task) -> Optional[PeriodicTask]:
+def periodic_profile(task: Any) -> Optional[PeriodicTask]:
     """The analytical profile of one mapped RTOS task, or ``None``."""
     fn = task.function
     wcet = getattr(fn, "wcet", None)
@@ -91,7 +95,7 @@ def periodic_profile(task) -> Optional[PeriodicTask]:
     )
 
 
-def resolve_overhead_costs(processor) -> Optional[Tuple[int, int]]:
+def resolve_overhead_costs(processor: Any) -> Optional[Tuple[int, int]]:
     """(context_switch, scheduling) costs probed pre-simulation.
 
     Formula overheads are evaluated against the live processor (ready
@@ -108,7 +112,8 @@ def resolve_overhead_costs(processor) -> Optional[Tuple[int, int]]:
     return load + save, scheduling
 
 
-def check_schedulability(report, processor, *, location: str) -> None:
+def check_schedulability(report: Report, processor: Any, *,
+                         location: str) -> None:
     """Run utilization and RTA rules for one processor's periodic tasks."""
     from .model import RTS103, RTS104, RTS105  # circular-import guard
 

@@ -14,13 +14,13 @@ from __future__ import annotations
 import ast
 import inspect
 import textwrap
-from typing import Optional, Set
+from typing import Any, Optional, Sequence, Set
 
 from ..mcse.events import EventRelation
 from .lockgraph import _preorder, _resolve_names
 
 
-def _script_signals(ops, out: Set[str]) -> None:
+def _script_signals(ops: Sequence[Any], out: Set[str]) -> None:
     for name, args in ops:
         if name == "signal":
             out.add(args[0])
@@ -28,7 +28,7 @@ def _script_signals(ops, out: Set[str]) -> None:
             _script_signals(args[1], out)
 
 
-def _behavior_signals(behavior, out: Set[str]) -> bool:
+def _behavior_signals(behavior: Any, out: Set[str]) -> bool:
     """Collect signaled relation names; False when anything is opaque."""
     try:
         source = textwrap.dedent(inspect.getsource(behavior))
@@ -59,7 +59,7 @@ def _behavior_signals(behavior, out: Set[str]) -> bool:
     return True
 
 
-def signaled_relations(fn) -> Optional[Set[str]]:
+def signaled_relations(fn: Any) -> Optional[Set[str]]:
     """Relation names ``fn`` signals, or ``None`` when ``fn`` is opaque."""
     out: Set[str] = set()
     ops = getattr(fn, "script_ops", None)
@@ -76,7 +76,7 @@ def signaled_relations(fn) -> Optional[Set[str]]:
     return out
 
 
-def visible_signals(system) -> Optional[Set[str]]:
+def visible_signals(system: Any) -> Optional[Set[str]]:
     """Every relation name signaled anywhere, or ``None`` if any
     function in the system is opaque to static analysis."""
     signaled: Set[str] = set()

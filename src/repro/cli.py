@@ -266,6 +266,82 @@ def cmd_lint(args) -> int:
     return 1 if failed else 0
 
 
+def _verify_target_spec(target: str) -> dict:
+    """Resolve a ``verify`` target name to a builder spec."""
+    if target == "fig6":
+        from .workloads.fig6 import fig6_spec
+
+        return fig6_spec()
+    if target == "fig6-deadlock":
+        from .workloads.fig6 import fig6_crossed_mutex_spec
+
+        return fig6_crossed_mutex_spec()
+    if target == "fig6-miss":
+        from .workloads.fig6 import fig6_deadline_miss_spec
+
+        return fig6_deadline_miss_spec()
+    if target.endswith(".json"):
+        with open(target) as handle:
+            return json.load(handle)
+    raise SystemExit(
+        f"pyrtos-sc verify: unknown target {target!r} "
+        "(expected fig6, fig6-deadlock, fig6-miss, or a .json spec)"
+    )
+
+
+def cmd_verify(args) -> int:
+    """Model-check a spec over every schedule within the bound."""
+    from .verify import build_report, replay_spec, spec_factory, verify_spec
+
+    spec = _verify_target_spec(args.target)
+    horizon = parse_time(args.horizon) if args.horizon else None
+    result = verify_spec(
+        spec,
+        strategy=args.strategy,
+        horizon=horizon,
+        max_depth=args.depth,
+        sanitize=args.sanitize,
+        max_runs=args.max_runs,
+        runs=args.runs,
+        seed=args.seed,
+    )
+    report = build_report(result, factory=spec_factory(spec))
+    if args.json:
+        payload = result.to_dict()
+        payload["report"] = report.to_dict()
+        payload["target"] = args.target
+        _emit_json(payload)
+    else:
+        stats = result.stats
+        print(
+            f"verdict: {result.verdict()} (strategy={result.strategy}, "
+            f"runs={stats.runs}, states={stats.states}, "
+            f"dedup={stats.dedup_hit_rate:.0%})"
+        )
+        if len(report):
+            print(report.format_text())
+        counterexample = result.counterexample
+        if counterexample is not None:
+            print(counterexample.describe())
+    if args.replay:
+        counterexample = result.counterexample
+        if counterexample is None:
+            print("nothing to replay: no counterexample found")
+        else:
+            system, recorder, outcome = replay_spec(
+                spec, counterexample.choices,
+                horizon=horizon, max_depth=args.depth,
+            )
+            exhibited = [v.property_id for v in outcome.violations]
+            print(
+                f"replayed {len(counterexample.choices)} choice(s) to "
+                f"t={format_time(outcome.end_time)}; violations: "
+                + (", ".join(exhibited) if exhibited else "none")
+            )
+            _emit_outputs(args, system, recorder)
+    return 0 if result.ok else 1
+
+
 def cmd_serve(args) -> int:
     """Run the simulation-as-a-service HTTP gateway."""
     from .serve import Gateway
@@ -400,6 +476,40 @@ def build_parser() -> argparse.ArgumentParser:
                              help="comma-separated rule ids to suppress "
                                   "(repeatable)")
     lint_parser.set_defaults(func=cmd_lint)
+
+    verify_parser = sub.add_parser(
+        "verify",
+        help="model-check a spec over all bounded schedules",
+    )
+    verify_parser.add_argument(
+        "target",
+        help="fig6 | fig6-deadlock | fig6-miss | spec.json",
+    )
+    verify_parser.add_argument("--strategy", default="dfs",
+                               choices=("dfs", "random"),
+                               help="exhaustive DFS or seeded sampling")
+    verify_parser.add_argument("--horizon", metavar="TIME",
+                               help='per-run time bound, e.g. "2ms" '
+                                    "(default: run to idle)")
+    verify_parser.add_argument("--depth", type=int, default=64,
+                               help="maximum explored choice depth")
+    verify_parser.add_argument("--max-runs", type=int, default=10_000,
+                               help="DFS run budget")
+    verify_parser.add_argument("--runs", type=int, default=100,
+                               help="samples for --strategy random")
+    verify_parser.add_argument("--seed", type=int, default=0,
+                               help="base seed for --strategy random")
+    verify_parser.add_argument("--sanitize", action="store_true",
+                               help="run the nondeterminism sanitizer "
+                                    "(SAN301/302/303) during exploration")
+    verify_parser.add_argument("--json", action="store_true",
+                               help="machine-readable JSON on stdout")
+    verify_parser.add_argument("--replay", action="store_true",
+                               help="re-execute the counterexample with a "
+                                    "trace recorder (combine with --svg, "
+                                    "--vcd, --timeline, ...)")
+    _add_output_flags(verify_parser)
+    verify_parser.set_defaults(func=cmd_verify)
 
     serve_parser = sub.add_parser(
         "serve",

@@ -149,7 +149,10 @@ class CWriter:
         lines: List[str] = []
         for op_name, args in ops:
             if op_name == "execute":
-                lines.append(f"{pad}rtos_busy_us({_us(args[0])});")
+                cost = args[0]
+                if isinstance(cost, tuple):
+                    cost = cost[0]  # interval: generate the nominal bound
+                lines.append(f"{pad}rtos_busy_us({_us(cost)});")
             elif op_name == "delay":
                 lines.append(f"{pad}rtos_delay_us({_us(args[0])});")
             elif op_name == "wait":

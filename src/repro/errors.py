@@ -77,6 +77,16 @@ class TraceError(ReproError):
     """Trace recording or rendering failed."""
 
 
+class VerifyError(ReproError):
+    """The model checker was misused or a replay diverged.
+
+    Raised by :mod:`repro.verify` when a scripted counterexample replay
+    encounters a choice point that does not match the recorded schedule
+    (the model changed under the trace), or when exploration options are
+    inconsistent.
+    """
+
+
 class CampaignError(ReproError):
     """A batch campaign could not be dispatched or completed.
 

@@ -313,6 +313,9 @@ class KernelCore:
         popleft = runnable.popleft
         RUNNABLE = ProcessState.RUNNABLE
         TERMINATED = ProcessState.TERMINATED
+        # The sanitizer is installed once at construction (or never), so
+        # it can be hoisted; ``None`` keeps the hot loop hook-free.
+        sanitizer = getattr(self, "sanitizer", None)
         delta_events = self._delta_events
         delta_resumes = self._delta_resumes
         delta_callbacks = self._delta_callbacks
@@ -328,7 +331,12 @@ class KernelCore:
                 ran_any = True
                 self._current = process
                 self.process_switch_count += 1
-                process._step()
+                if sanitizer is None:
+                    process._step()
+                else:
+                    sanitizer.before_step(process)
+                    process._step()
+                    sanitizer.after_step(process)
                 self._current = None
                 if self._pending_error is not None:
                     process_, exc = self._pending_error

@@ -37,7 +37,14 @@ from .time import Time, format_time
 class Simulator(KernelCore):
     """A named simulation context with object factories."""
 
-    __slots__ = ("name", "_names", "recorder", "_observers", "sanitizer")
+    __slots__ = (
+        "name",
+        "_names",
+        "recorder",
+        "_observers",
+        "sanitizer",
+        "choice_controller",
+    )
 
     def __init__(
         self,
@@ -58,6 +65,11 @@ class Simulator(KernelCore):
         #: Opt-in nondeterminism sanitizer (``sanitize=True``); ``None``
         #: by default so the kernel hooks cost one attribute check.
         self.sanitizer = None
+        #: Optional :class:`repro.verify.choices.ChoiceController` that
+        #: resolves scheduling nondeterminism (ready-queue ties, wake
+        #: order, execution-time ranges); ``None`` by default so the
+        #: hooks cost one attribute check per decision.
+        self.choice_controller = None
         if sanitize:
             from ..analyze.sanitize import Sanitizer
 

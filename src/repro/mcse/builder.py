@@ -40,7 +40,10 @@ Behaviors are either a Python callable (``"behavior": fn``) or a
 tool would emit).  Supported ops:
 
 =============================  =============================================
-``["execute", dur]``           consume CPU time
+``["execute", dur]``           consume CPU time; ``dur`` may be an
+                               interval ``"lo..hi"`` (or ``[lo, hi]``)
+                               whose lower bound is the nominal time and
+                               whose span the model checker explores
 ``["delay", dur]``             wall-clock delay (no CPU)
 ``["wait", event]``            wait on an event relation
 ``["signal", event]``          signal an event relation
@@ -62,7 +65,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Generator, List
 
 from ..errors import BuildError
-from ..kernel.time import parse_time
+from ..kernel.time import format_time, parse_time
 from .function import Function
 from .model import System
 
@@ -121,9 +124,11 @@ def _build_processor(system: System, spec: Dict) -> None:
 #: Optional per-function metadata keys: parsed (as times where noted)
 #: and attached as plain attributes for the analyzers and policies.
 _FUNCTION_META_KEYS = {
-    "wcet": True,       # periodic profile (repro.analyze) -- a time
+    "wcet": True,       # periodic profile (repro.analyze) -- a time,
+                        # or a "lo..hi" interval (sets bcet and wcet)
     "period": True,     # periodic profile -- a time
     "deadline": True,   # relative deadline -- a time
+    "jitter": True,     # release jitter bound (repro.verify) -- a time
     "partition": False,  # TimePartitionPolicy label -- a string
 }
 
@@ -147,7 +152,16 @@ def _build_function(system: System, spec: Dict) -> None:
     for key, is_time in _FUNCTION_META_KEYS.items():
         if key in spec:
             value = spec.pop(key)
-            meta[key] = parse_time(value) if is_time else value
+            if key == "wcet":
+                parsed = parse_duration_range(
+                    value, f"function {name!r}: wcet"
+                )
+                if type(parsed) is tuple:
+                    meta["bcet"], meta["wcet"] = parsed
+                else:
+                    meta["wcet"] = parsed
+            else:
+                meta[key] = parse_time(value) if is_time else value
     fn = system.function(name, behavior, **spec)
     for key, value in meta.items():
         setattr(fn, key, value)
@@ -190,7 +204,11 @@ def _validate_block(system: System, block: List, path: str) -> List:
         if not isinstance(op, (list, tuple)) or not op:
             raise BuildError(f"{where}: malformed op {op!r}")
         name, args = op[0], list(op[1:])
-        if name in ("execute", "delay"):
+        if name == "execute":
+            if len(args) != 1:
+                raise BuildError(f"{where}: {name} takes one duration")
+            args[0] = parse_duration_range(args[0], where)
+        elif name == "delay":
             if len(args) != 1:
                 raise BuildError(f"{where}: {name} takes one duration")
             args[0] = parse_time(args[0])
@@ -218,6 +236,51 @@ def _validate_block(system: System, block: List, path: str) -> List:
     return ops
 
 
+def parse_duration_range(value, where: str):
+    """Parse a duration, or a ``"lo..hi"`` / ``[lo, hi]`` interval.
+
+    A single duration parses to an ``int``; an interval with distinct
+    bounds parses to a ``(lo, hi)`` tuple.  The lower bound is the
+    *nominal* time -- what a plain simulation uses -- and the interval is
+    only exercised when a choice controller (:mod:`repro.verify`) drives
+    the run, so adding a range never changes existing traces.
+    """
+    if isinstance(value, str) and ".." in value:
+        lo_text, _, hi_text = value.partition("..")
+        lo, hi = parse_time(lo_text), parse_time(hi_text)
+    elif isinstance(value, (list, tuple)):
+        if len(value) != 2:
+            raise BuildError(
+                f"{where}: a duration interval takes two bounds, "
+                f"got {value!r}"
+            )
+        lo, hi = parse_time(value[0]), parse_time(value[1])
+    else:
+        return parse_time(value)
+    if lo > hi:
+        raise BuildError(f"{where}: empty duration range {value!r} (lo > hi)")
+    return lo if lo == hi else (lo, hi)
+
+
+def resolve_duration(fn: Function, duration):
+    """Collapse an execution-time interval to a concrete duration.
+
+    Plain runs take the nominal lower bound; a run driven by a choice
+    controller branches over both endpoints (interval-boundary
+    abstraction: extremal schedules expose the extremal behaviors).
+    """
+    if type(duration) is not tuple:
+        return duration
+    lo, hi = duration
+    controller = fn.sim.choice_controller
+    if controller is None:
+        return lo
+    index = controller.choose(
+        "exec", fn.name, 2, labels=(format_time(lo), format_time(hi))
+    )
+    return hi if index else lo
+
+
 def _relation(system: System, name: str, where: str):
     try:
         return system.relations[name]
@@ -228,7 +291,7 @@ def _relation(system: System, name: str, where: str):
 def _run_block(system: System, fn: Function, ops: List) -> Generator:
     for name, args in ops:
         if name == "execute":
-            yield from fn.execute(args[0])
+            yield from fn.execute(resolve_duration(fn, args[0]))
         elif name == "delay":
             yield from fn.delay(args[0])
         elif name == "wait":

@@ -100,6 +100,9 @@ class Function(Module):
         if self.process is not None:
             raise ModelError(f"function {self.name!r} already started")
         self.process = self.sim.thread(self._bootstrap, name=f"{self.name}.proc")
+        sanitizer = self.sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.register_function(self)
         return self.process
 
     def _bootstrap(self) -> Generator:

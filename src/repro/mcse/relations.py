@@ -110,6 +110,24 @@ class Relation:
                 if priority > best_priority:
                     best_priority = priority
                     best_index = index
+            controller = self.sim.choice_controller
+            if controller is not None:
+                # Equal-priority waiters tie-break FIFO here, but RTOS
+                # wait-queue APIs promise no order among equals: let the
+                # model checker (:mod:`repro.verify`) branch over them.
+                ties = [
+                    i for i, w in enumerate(self._waiters)
+                    if self._priority_of(w) == best_priority
+                ]
+                if len(ties) > 1:
+                    pick = controller.choose(
+                        "wake", self.name, len(ties),
+                        labels=tuple(
+                            w.function.name if w.function else "?"
+                            for w in (self._waiters[i] for i in ties)
+                        ),
+                    )
+                    best_index = ties[pick]
             return self._waiters.pop(best_index)
         return self._waiters.pop(0)
 

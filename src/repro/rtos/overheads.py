@@ -25,13 +25,38 @@ Example -- an O(n) scheduler on a 100 MHz core::
 from __future__ import annotations
 
 import inspect
-from typing import Callable, Union
+from typing import Callable, Optional, Union
 
 from ..errors import RTOSError
 from ..kernel.time import Time
 
 #: An overhead component: constant femtoseconds or formula(processor).
 OverheadSpec = Union[int, Callable[["object"], Time]]
+
+
+def formula_arity_error(fn: Callable, *argument_names: str) -> Optional[str]:
+    """Why ``fn`` cannot take ``argument_names`` positionally, or ``None``.
+
+    The single arity check shared by the :class:`Overheads` constructor,
+    the RTS120 pre-simulation probe (:mod:`repro.analyze.model`) and the
+    verifier's ``assert_always`` invariants (:mod:`repro.verify`), so all
+    three agree on what a well-formed user formula looks like.  Callables
+    without an introspectable signature (C builtins) pass vacuously.
+    """
+    try:
+        signature = inspect.signature(fn)
+    except (TypeError, ValueError):
+        return None
+    try:
+        signature.bind(*argument_names)
+    except TypeError:
+        count = len(argument_names)
+        plural = "argument" if count == 1 else "arguments"
+        return (
+            f"must accept {count} positional {plural} "
+            f"({', '.join(argument_names)})"
+        )
+    return None
 
 
 class Overheads:
@@ -52,17 +77,11 @@ class Overheads:
         if callable(spec):
             # Fail at construction, not mid-simulation: the formula must
             # accept the processor as its single positional argument.
-            try:
-                signature = inspect.signature(spec)
-            except (TypeError, ValueError):
-                return spec  # C callable without introspectable signature
-            try:
-                signature.bind("processor")
-            except TypeError:
+            error = formula_arity_error(spec, "processor")
+            if error is not None:
                 raise RTOSError(
-                    f"{name} overhead formula {spec!r} must accept one "
-                    "positional argument (the processor)"
-                ) from None
+                    f"{name} overhead formula {spec!r} {error}"
+                )
             return spec
         if isinstance(spec, bool) or not isinstance(spec, int):
             raise RTOSError(

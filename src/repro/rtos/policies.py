@@ -48,6 +48,22 @@ class SchedulingPolicy:
         """Whether ``candidate`` (just made ready) evicts ``running``."""
         return False
 
+    def tie_candidates(self, processor: "ProcessorBase",
+                       ready: Sequence["Task"],
+                       chosen: "Task") -> Sequence["Task"]:
+        """All ready tasks the policy considers interchangeable with
+        ``chosen`` (the task :meth:`select` just picked).
+
+        The verifier (:mod:`repro.verify`) branches the exploration over
+        this set: ``select`` deterministically breaks ties by ready-queue
+        (FIFO) order, but a real RTOS makes no such promise, so every
+        member of this set is an admissible dispatch.  Policies whose
+        tie-break *is* part of their contract (FIFO, round-robin
+        rotation, seeded lottery) keep the default single-candidate
+        answer.
+        """
+        return (chosen,)
+
     def on_attach(self, processor: "ProcessorBase") -> None:
         """Hook: the policy was installed on ``processor``."""
 
@@ -85,6 +101,10 @@ class PriorityPreemptivePolicy(SchedulingPolicy):
 
     def should_preempt(self, processor, running, candidate):
         return candidate.effective_priority > running.effective_priority
+
+    def tie_candidates(self, processor, ready, chosen):
+        top = chosen.effective_priority
+        return tuple(t for t in ready if t.effective_priority == top)
 
 
 class RoundRobinPolicy(SchedulingPolicy):
@@ -156,6 +176,10 @@ class EDFPolicy(SchedulingPolicy):
     def should_preempt(self, processor, running, candidate):
         return self._deadline(candidate) < self._deadline(running)
 
+    def tie_candidates(self, processor, ready, chosen):
+        best = self._deadline(chosen)
+        return tuple(t for t in ready if self._deadline(t) == best)
+
 
 class LeastLaxityPolicy(SchedulingPolicy):
     """Least-laxity-first: laxity = deadline - now - remaining work.
@@ -186,6 +210,12 @@ class LeastLaxityPolicy(SchedulingPolicy):
     def should_preempt(self, processor, running, candidate):
         return self._laxity(processor, candidate) < self._laxity(
             processor, running
+        )
+
+    def tie_candidates(self, processor, ready, chosen):
+        best = self._laxity(processor, chosen)
+        return tuple(
+            t for t in ready if self._laxity(processor, t) == best
         )
 
 

@@ -195,8 +195,23 @@ class ProcessorBase(Module):
         Default: delegate to the policy object.  Subclass the processor
         and override this method to implement an application-specific
         algorithm, as the paper suggests.
+
+        When a :attr:`Simulator.choice_controller` is installed (model
+        checking, :mod:`repro.verify`), equally eligible tasks -- as
+        reported by the policy's ``tie_candidates`` -- become an explored
+        branch point instead of the implicit FIFO tie-break.
         """
-        return self.policy.select(self, ready)
+        chosen = self.policy.select(self, ready)
+        controller = self.sim.choice_controller
+        if controller is not None and chosen is not None:
+            candidates = self.policy.tie_candidates(self, ready, chosen)
+            if len(candidates) > 1:
+                index = controller.choose(
+                    "tie", self.name, len(candidates),
+                    labels=tuple(t.name for t in candidates),
+                )
+                chosen = candidates[index]
+        return chosen
 
     # ------------------------------------------------------------------
     # Readiness and scheduling decisions

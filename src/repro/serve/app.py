@@ -7,6 +7,7 @@ HTTP (stdlib ``http.server`` only -- no frameworks):
 ``POST /v1/simulate``                 run a JSON system spec; dedup-cached
 ``POST /v1/campaign``                 run an MPEG-2 Monte-Carlo campaign
 ``POST /v1/lint``                     static analysis only (no simulation)
+``POST /v1/verify``                   bounded model checking of a spec
 ``GET /v1/jobs/<id>``                 job status + result
 ``GET /v1/jobs/<id>/trace.vcd``       trace exports reusing
 ``GET /v1/jobs/<id>/trace.svg``       :mod:`repro.trace` (VCD / SVG /
@@ -59,6 +60,11 @@ _JOB_ROUTE = re.compile(
 #: Campaign request keys the gateway accepts (anything else is a 400).
 _CAMPAIGN_KEYS = {"runs", "frames", "base_seed", "engine", "async"}
 _CAMPAIGN_MAX_RUNS = 1024
+
+#: Verify envelope options the gateway accepts (anything else is a 400).
+_VERIFY_KEYS = {"strategy", "horizon", "depth", "max_runs", "runs", "seed",
+                "sanitize", "async"}
+_VERIFY_MAX_RUNS = 100_000
 
 
 class BadRequest(ReproError):
@@ -242,7 +248,7 @@ class Gateway:
                 response = self._get_job(match.group("id"),
                                          match.group("export"))
             elif method == "POST" and path in ("/v1/simulate", "/v1/campaign",
-                                               "/v1/lint"):
+                                               "/v1/lint", "/v1/verify"):
                 response = self._post(path, body, client)
             else:
                 response = self._error(404, "no such endpoint", path=path)
@@ -344,6 +350,8 @@ class Gateway:
             return self._post_lint(payload)
         if path == "/v1/simulate":
             return self._post_simulate(payload)
+        if path == "/v1/verify":
+            return self._post_verify(payload)
         return self._post_campaign(payload)
 
     @staticmethod
@@ -385,6 +393,56 @@ class Gateway:
                                  'like "10ms"')
             params["duration"] = duration
         return self._admit("simulate", params,
+                           wait=not options.get("async", False))
+
+    def _post_verify(self, payload: Dict):
+        """Admit a bounded model-checking job.
+
+        Unlike ``/v1/simulate`` this deliberately skips the strict lint
+        gate: hazardous specs are the whole point of verification.  The
+        spec still has to *build* -- a spec that cannot elaborate gets a
+        422 with the builder's message instead of burning a worker.
+        """
+        spec, options = self._unwrap_spec(payload)
+        unknown = set(options) - _VERIFY_KEYS
+        if unknown:
+            raise BadRequest(
+                f"unknown verify key(s) {sorted(unknown)}; "
+                f"accepted: {sorted(_VERIFY_KEYS)}"
+            )
+        from ..errors import BuildError
+        from ..mcse.builder import build_system
+
+        try:
+            build_system(spec)
+        except BuildError as exc:
+            self.metrics["rejections"].inc(reason="build")
+            return self._json(422, {"error": f"spec does not build: {exc}"})
+        params: Dict = {"spec": spec}
+        strategy = options.get("strategy", "dfs")
+        if strategy not in ("dfs", "random"):
+            raise BadRequest('"strategy" must be "dfs" or "random"')
+        params["strategy"] = strategy
+        horizon = options.get("horizon")
+        if horizon is not None:
+            if not isinstance(horizon, str):
+                raise BadRequest('"horizon" must be a time string '
+                                 'like "2ms"')
+            params["horizon"] = horizon
+        for key, default in (("depth", 64), ("max_runs", 10_000),
+                             ("runs", 100), ("seed", 0)):
+            value = options.get(key, default)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise BadRequest(f'"{key}" must be an integer')
+            params[key] = value
+        for key in ("depth", "max_runs", "runs"):
+            if not 1 <= params[key] <= _VERIFY_MAX_RUNS:
+                raise BadRequest(
+                    f'"{key}" must be 1..{_VERIFY_MAX_RUNS}, '
+                    f'got {params[key]}'
+                )
+        params["sanitize"] = bool(options.get("sanitize", False))
+        return self._admit("verify", params,
                            wait=not options.get("async", False))
 
     def _post_campaign(self, payload: Dict):

@@ -131,10 +131,49 @@ CAMPAIGN_SPEC = ExperimentSpec(
     run=no_run,
 )
 
+
+# ---------------------------------------------------------------------------
+# The "verify" experiment: bounded model checking of one spec.  The
+# exploration is deterministic (DFS order / seeded sampling), so results
+# dedup exactly like simulations do.
+# ---------------------------------------------------------------------------
+def _verify_build(params: Dict):
+    from ..verify import verify_spec
+
+    horizon = params.get("horizon")
+    return verify_spec(
+        params["spec"],
+        strategy=params.get("strategy", "dfs"),
+        horizon=parse_time(horizon) if horizon else None,
+        max_depth=int(params.get("depth", 64)),
+        sanitize=bool(params.get("sanitize", False)),
+        max_runs=int(params.get("max_runs", 10_000)),
+        runs=int(params.get("runs", 100)),
+        seed=int(params.get("seed", 0)),
+    )
+
+
+def _verify_metrics(params: Dict, result) -> Dict:
+    payload = _json_safe(result.to_dict())
+    # wall-clock and rate are volatile; drop them so identical requests
+    # produce byte-identical (and therefore dedup-cacheable) results
+    payload["stats"].pop("wall_s", None)
+    payload["stats"].pop("states_per_second", None)
+    return payload
+
+
+VERIFY_SPEC = ExperimentSpec(
+    name="serve-verify",
+    build=_verify_build,
+    metrics=_verify_metrics,
+    run=no_run,
+)
+
 #: Request kind -> the ExperimentSpec executing it.
 JOB_SPECS: Dict[str, ExperimentSpec] = {
     "simulate": SIMULATE_SPEC,
     "campaign": CAMPAIGN_SPEC,
+    "verify": VERIFY_SPEC,
 }
 
 

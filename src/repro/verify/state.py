@@ -1,0 +1,156 @@
+"""Canonical simulation states for exploration dedup.
+
+:func:`canonical_state` flattens everything that determines a model's
+*future* behavior into one hashable tuple: simulated time, every kernel
+process's control position (the whole ``yield from`` frame chain plus its
+primitive locals), the RTOS state of every processor and task, each
+relation's memory and wait queue, and the pending timed activity.
+
+Two runs that reach equal canonical states and make equal future choices
+produce equal futures, so the explorer can prune the second visit --
+that is the entire soundness argument of the dedup, which is why the
+state is stored *in full* rather than hashed: a hash collision would
+silently prune a reachable behavior.
+
+The capture is deliberately conservative: anything it cannot see (e.g. a
+non-primitive local in a hand-written behavior) widens states into
+distinctness, which costs exploration time but never soundness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+#: Primitive local-variable types included in a frame's signature.
+_PRIMITIVES = (int, str, bool, float, bytes, type(None))
+
+
+def _frame_chain(gen: Any) -> Tuple[Any, ...]:
+    """Control-position signature of a generator's ``yield from`` chain."""
+    signature = []
+    seen = 0
+    while gen is not None and seen < 32:
+        seen += 1
+        frame = getattr(gen, "gi_frame", None)
+        if frame is None:
+            signature.append("done")
+            break
+        locals_sig = tuple(sorted(
+            (key, value)
+            for key, value in frame.f_locals.items()
+            if isinstance(value, _PRIMITIVES)
+        ))
+        signature.append((frame.f_code.co_name, frame.f_lasti, locals_sig))
+        gen = getattr(gen, "gi_yieldfrom", None)
+    return tuple(signature)
+
+
+def _process_state(process: Any) -> Tuple[Any, ...]:
+    gen = getattr(process, "_gen", None)
+    return (
+        process.name,
+        process.state.name,
+        _frame_chain(gen) if gen is not None else (),
+    )
+
+
+def _task_state(task: Any) -> Tuple[Any, ...]:
+    state = task.state
+    return (
+        task.name,
+        state.name if state is not None else "unstarted",
+        task.effective_priority,
+        task.remaining_budget,
+        task.absolute_deadline,
+        bool(task.preempt_pending),
+        bool(task.granted),
+    )
+
+
+def _processor_state(processor: Any) -> Tuple[Any, ...]:
+    running = processor.running
+    return (
+        processor.name,
+        bool(processor.preemptive),
+        running.name if running is not None else None,
+        tuple(t.name for t in processor.ready_tasks),
+        tuple(_task_state(t) for t in processor.tasks),
+    )
+
+
+def _relation_state(relation: Any) -> Tuple[Any, ...]:
+    waiters = tuple(
+        (w.function.name if w.function is not None else None, repr(w.payload))
+        for w in relation._waiters
+    )
+    extra = []
+    owner = getattr(relation, "owner", None)
+    if owner is not None:
+        extra.append(("owner", owner.name))
+    for attr in ("_flag", "_count"):
+        value = getattr(relation, attr, None)
+        if value is not None:
+            extra.append((attr, value))
+    items = getattr(relation, "_items", None)
+    if items is not None:
+        extra.append(("items", tuple(repr(item) for item in items)))
+    writers = getattr(relation, "_writer_waiters", None)
+    if writers:
+        extra.append((
+            "writers",
+            tuple(
+                (w.function.name if w.function is not None else None,
+                 repr(w.payload))
+                for w in writers
+            ),
+        ))
+    return (type(relation).__name__, relation.name, waiters, tuple(extra))
+
+
+def _timed_signature(sim: Any) -> Tuple[Any, ...]:
+    entries = []
+    for when, seq, entry in sim._timed:
+        if getattr(entry, "cancelled", False):
+            continue
+        kind = type(entry).__name__
+        target = getattr(entry, "event", None)
+        if target is not None:
+            label = target.name
+        else:
+            sensitivity = getattr(entry, "sensitivity", None)
+            if sensitivity is not None:
+                process = getattr(sensitivity, "process", None)
+                label = process.name if process is not None else "?"
+            else:
+                fn = getattr(entry, "fn", None)
+                label = getattr(fn, "__qualname__", "callback")
+        entries.append((when, seq, kind, label))
+    entries.sort()
+    # the raw heap sequence numbers differ between runs; only the
+    # *relative* order of same-instant entries matters for the future
+    return tuple((when, kind, label) for when, _, kind, label in entries)
+
+
+def canonical_state(system: Any) -> Tuple[Any, ...]:
+    """One hashable tuple capturing the model's future-relevant state."""
+    sim = system.sim
+    return (
+        sim.now,
+        # start_time distinguishes pre-run jitter branches, priority the
+        # (rare) dynamically re-prioritized task
+        tuple(
+            (name, fn.start_time, fn.priority)
+            for name, fn in system.functions.items()
+        ),
+        tuple(_process_state(p) for p in sim.processes),
+        tuple(
+            _processor_state(cpu) for cpu in system.processors.values()
+        ),
+        tuple(
+            _relation_state(rel) for rel in system.relations.values()
+        ),
+        _timed_signature(sim),
+    )
+
+
+__all__ = ["canonical_state"]

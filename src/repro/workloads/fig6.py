@@ -45,3 +45,66 @@ def fig6_spec(engine: str = "procedural") -> Dict:
              "script": [["delay", "100us"], ["signal", "Clk"]]},
         ],
     }
+
+
+def fig6_crossed_mutex_spec(engine: str = "procedural") -> Dict:
+    """Figure 6 variant seeded with a schedule-dependent deadlock.
+
+    ``Function_3`` takes shared variable ``B`` then -- after an
+    execution whose cost is the *interval* 5..150 us -- shared ``A``;
+    ``Function_1``, woken by the 100 us clock, takes them in the
+    opposite order.  At the nominal (lower-bound) cost ``Function_3``
+    is done before the clock fires, so a single simulation run looks
+    perfectly healthy.  When the verifier explores the upper bound,
+    ``Function_3`` still holds ``B`` at the clock tick, the two tasks
+    acquire crosswise, and the system deadlocks (RTS-V001).
+    """
+    return {
+        "name": "fig6_crossed_mutex",
+        "relations": [
+            {"kind": "event", "name": "Clk", "policy": "fugitive"},
+            {"kind": "shared", "name": "A"},
+            {"kind": "shared", "name": "B"},
+        ],
+        "processors": [
+            {
+                "name": "Processor",
+                "engine": engine,
+                "scheduling_duration": "5us",
+                "context_load_duration": "5us",
+                "context_save_duration": "5us",
+            }
+        ],
+        "functions": [
+            {"name": "Function_1", "priority": 5, "processor": "Processor",
+             "script": [["wait", "Clk"],
+                        ["lock", "A"], ["execute", "10us"],
+                        ["lock", "B"], ["execute", "10us"],
+                        ["unlock", "B"], ["unlock", "A"]]},
+            {"name": "Function_3", "priority": 2, "processor": "Processor",
+             "script": [["lock", "B"], ["execute", "5us..150us"],
+                        ["lock", "A"], ["execute", "10us"],
+                        ["unlock", "A"], ["unlock", "B"]]},
+            {"name": "Clock",
+             "script": [["delay", "100us"], ["signal", "Clk"]]},
+        ],
+    }
+
+
+def fig6_deadline_miss_spec(engine: str = "procedural") -> Dict:
+    """Figure 6 variant seeded with a schedule-dependent deadline miss.
+
+    ``Function_2`` declares a 70 us relative deadline, and
+    ``Function_1``'s post-signal computation becomes the interval
+    10..80 us.  At the nominal cost ``Function_2`` responds well inside
+    its deadline; only when the verifier explores the upper bound does
+    the higher-priority ``Function_1`` starve it past 70 us (RTS-V002).
+    """
+    spec = fig6_spec(engine)
+    spec["name"] = "fig6_deadline_miss"
+    for fn in spec["functions"]:
+        if fn["name"] == "Function_1":
+            fn["script"][-1] = ["execute", "10us..80us"]
+        elif fn["name"] == "Function_2":
+            fn["deadline"] = "70us"
+    return spec

@@ -116,6 +116,7 @@ def build_periodic_system(
     context_save_duration: Time = 0,
     policy_kwargs: Optional[dict] = None,
     set_deadlines: bool = False,
+    sim=None,
 ) -> "tuple[System, PeriodicRunResult]":
     """Instantiate a periodic task set on one RTOS processor.
 
@@ -125,7 +126,7 @@ def build_periodic_system(
     returned :class:`PeriodicRunResult`.  With ``set_deadlines`` the
     task's absolute deadline is refreshed every job (for EDF/LLF).
     """
-    system = System("periodic")
+    system = System("periodic", sim=sim)
     cpu = system.processor(
         "cpu",
         engine=engine,

@@ -1,0 +1,91 @@
+"""``POST /v1/verify``: verdicts over HTTP, with job-store dedup."""
+
+from repro.workloads.fig6 import (
+    fig6_crossed_mutex_spec,
+    fig6_deadline_miss_spec,
+    fig6_spec,
+)
+
+
+class TestVerifyEndpoint:
+    def test_clean_spec_verifies(self, client):
+        status, payload = client.post_json(
+            "/v1/verify", {"spec": fig6_spec(), "horizon": "1ms"}
+        )
+        assert status == 200
+        assert payload["kind"] == "verify"
+        assert payload["state"] == "done"
+        result = payload["result"]
+        assert result["verdict"] == "verified"
+        assert result["ok"] is True and result["complete"] is True
+        assert result["counterexamples"] == []
+
+    def test_seeded_deadlock_returns_counterexample(self, client):
+        status, payload = client.post_json(
+            "/v1/verify",
+            {"spec": fig6_crossed_mutex_spec(), "horizon": "1ms"},
+        )
+        assert status == 200
+        result = payload["result"]
+        assert result["verdict"] == "violated"
+        assert result["violations"][0]["property"] == "RTS-V001"
+        assert result["counterexamples"][0]["choices"] == [1]
+
+    def test_hazardous_spec_skips_the_lint_gate(self, client):
+        # /v1/simulate strict-lints; /v1/verify must accept the same
+        # hazardous spec, because finding its hazard is the request
+        status, payload = client.post_json(
+            "/v1/verify", {"spec": fig6_deadline_miss_spec(),
+                           "horizon": "1ms"}
+        )
+        assert status == 200
+        assert payload["result"]["verdict"] == "violated"
+
+    def test_identical_requests_dedup_byte_identically(self, client):
+        body = {"spec": fig6_crossed_mutex_spec(), "horizon": "1ms"}
+        _, _, first = client.post("/v1/verify", body)
+        _, _, second = client.post("/v1/verify", body)
+        assert first == second  # volatile stats are stripped server-side
+
+    def test_unbuildable_spec_is_422(self, client):
+        spec = {"name": "broken", "functions": [
+            {"name": "f", "script": [["wait", "NoSuchRelation"]]}
+        ]}
+        status, payload = client.post_json("/v1/verify", {"spec": spec})
+        assert status == 422
+        assert "does not build" in payload["error"]
+
+    def test_unknown_option_is_400(self, client):
+        status, payload = client.post_json(
+            "/v1/verify", {"spec": fig6_spec(), "bogus": 1}
+        )
+        assert status == 400
+        assert "bogus" in payload["error"]
+
+    def test_bad_strategy_and_bounds_are_400(self, client):
+        for options in ({"strategy": "bfs"}, {"depth": 0},
+                        {"runs": "ten"}, {"max_runs": True}):
+            status, _ = client.post_json(
+                "/v1/verify", {"spec": fig6_spec(), **options}
+            )
+            assert status == 400, options
+
+    def test_async_verify_polls_to_done(self, client):
+        status, payload = client.post_json(
+            "/v1/verify",
+            {"spec": fig6_spec(), "horizon": "1ms", "async": True},
+        )
+        assert status == 202
+        job_id = payload["job"]["id"]
+        for _ in range(200):
+            status, job = client.get_json(f"/v1/jobs/{job_id}")
+            if job["state"] in ("done", "failed"):
+                break
+        assert job["state"] == "done"
+        assert job["result"]["verdict"] == "verified"
+
+    def test_metrics_count_verify_admissions(self, client):
+        client.post_json("/v1/verify", {"spec": fig6_spec(),
+                                        "horizon": "1ms"})
+        _, _, body = client.get("/metrics")
+        assert 'pyrtos_admissions_total{kind="verify"} 1' in body.decode()

@@ -1,0 +1,95 @@
+"""Choice controllers: the replayable source of all nondeterminism."""
+
+import pytest
+
+from repro.errors import VerifyError
+from repro.verify import ChoiceController, RandomController, ScriptedController
+
+
+class TestChoiceController:
+    def test_default_decision_is_zero(self):
+        controller = ChoiceController()
+        assert controller.choose("tie", "cpu", 3) == 0
+        assert controller.choose("exec", "f", 2) == 0
+        assert controller.choices == (0, 0)
+
+    def test_trail_records_every_point(self):
+        controller = ChoiceController()
+        controller.choose("tie", "cpu", 2, labels=("a", "b"))
+        point = controller.trail[0]
+        assert (point.kind, point.key, point.arity) == ("tie", "cpu", 2)
+        assert point.taken == 0
+        assert not point.pruned
+        assert "tie(cpu):0/2=a" in point.describe()
+
+    def test_describe_without_labels(self):
+        controller = ChoiceController()
+        controller.choose("wake", "Ev", 4)
+        assert controller.trail[0].describe() == "wake(Ev):0/4"
+
+    def test_arity_must_be_positive(self):
+        with pytest.raises(VerifyError):
+            ChoiceController().choose("tie", "cpu", 0)
+
+    def test_probe_sees_point_before_decision_applies(self):
+        controller = ChoiceController()
+        seen = []
+        controller.probe = lambda point: seen.append(
+            (point.kind, point.taken, len(controller.trail))
+        )
+        controller.choose("tie", "cpu", 2)
+        # probed after the point joined the trail, with the taken branch
+        assert seen == [("tie", 0, 1)]
+
+
+class TestScriptedController:
+    def test_prefix_then_defaults(self):
+        controller = ScriptedController((1, 2))
+        taken = [controller.choose("tie", "cpu", 3) for _ in range(4)]
+        assert taken == [1, 2, 0, 0]
+
+    def test_forced_choice_beyond_arity_fails(self):
+        controller = ScriptedController((5,))
+        with pytest.raises(VerifyError):
+            controller.choose("tie", "cpu", 2)
+
+    def test_strict_replay_detects_divergence(self):
+        recording = ChoiceController()
+        recording.choose("tie", "cpu", 2)
+        controller = ScriptedController(
+            (0,), expected=tuple(recording.trail), strict=True
+        )
+        with pytest.raises(VerifyError, match="replay diverged"):
+            controller.choose("wake", "Ev", 2)
+
+    def test_strict_replay_accepts_matching_points(self):
+        recording = ChoiceController()
+        recording.choose("tie", "cpu", 2)
+        recording.choose("exec", "f", 2)
+        controller = ScriptedController(
+            recording.choices, expected=tuple(recording.trail), strict=True
+        )
+        assert controller.choose("tie", "cpu", 2) == 0
+        assert controller.choose("exec", "f", 2) == 0
+
+
+class TestRandomController:
+    def test_seed_determinism(self):
+        def draw(seed):
+            controller = RandomController(seed)
+            return tuple(
+                controller.choose("tie", "cpu", 4) for _ in range(16)
+            )
+
+        assert draw(7) == draw(7)
+        assert draw(7) != draw(8)
+
+    def test_arity_one_does_not_consume_entropy(self):
+        plain = RandomController(3)
+        interleaved = RandomController(3)
+        first = [plain.choose("tie", "cpu", 4) for _ in range(8)]
+        second = []
+        for _ in range(8):
+            interleaved.choose("noop", "x", 1)
+            second.append(interleaved.choose("tie", "cpu", 4))
+        assert first == second

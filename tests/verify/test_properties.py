@@ -1,0 +1,158 @@
+"""Property monitors: each RTS-V rule caught on a minimal model."""
+
+import pytest
+
+from repro.errors import VerifyError
+from repro.kernel.time import MS, US
+from repro.verify import (
+    RTSV001,
+    RTSV002,
+    RTSV003,
+    RTSV004,
+    RTSV005,
+    Invariant,
+    Violation,
+    assert_always,
+    verify_spec,
+)
+
+
+def properties_of(result):
+    return {violation.property_id for violation in result.violations}
+
+
+class TestViolation:
+    def test_describe(self):
+        violation = Violation(RTSV002, "missed", 150 * US, location="task f")
+        assert violation.describe() == "[RTS-V002] task f at 150us: missed"
+
+
+class TestInvariant:
+    def test_wraps_single_argument_predicate(self):
+        invariant = assert_always(lambda system: True, name="always")
+        assert isinstance(invariant, Invariant)
+        assert invariant.name == "always"
+
+    def test_name_defaults_to_function_name(self):
+        def queue_never_full(system):
+            return True
+
+        assert assert_always(queue_never_full).name == "queue_never_full"
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(VerifyError):
+            assert_always(lambda a, b: True)
+
+
+class TestDeadlockProperty:
+    def test_wait_with_no_signaler_is_a_deadlock(self):
+        spec = {
+            "name": "stuck",
+            "relations": [{"kind": "event", "name": "Never"}],
+            "processors": [{"name": "cpu"}],
+            "functions": [
+                {"name": "f", "priority": 1, "processor": "cpu",
+                 "script": [["wait", "Never"]]},
+            ],
+        }
+        result = verify_spec(spec)
+        assert not result.ok
+        assert properties_of(result) == {RTSV001}
+        assert "blocked tasks: f" in result.violations[0].message
+
+
+class TestMutexMisuseProperty:
+    def test_unlock_without_lock_is_rts_v003(self):
+        spec = {
+            "name": "misuse",
+            "relations": [{"kind": "shared", "name": "R"}],
+            "processors": [{"name": "cpu"}],
+            "functions": [
+                {"name": "f", "priority": 1, "processor": "cpu",
+                 "script": [["unlock", "R"]]},
+            ],
+        }
+        result = verify_spec(spec)
+        assert not result.ok
+        assert RTSV003 in properties_of(result)
+        assert "mutex safety violated" in result.violations[0].message
+
+
+class TestInversionProperty:
+    def spec(self):
+        # Low grabs R and computes 50us; High arrives at 10us and blocks
+        # on R for 40us -- a classic (unbounded-by-protocol) inversion.
+        return {
+            "name": "inversion",
+            "relations": [{"kind": "shared", "name": "R"}],
+            "processors": [{"name": "cpu"}],
+            "functions": [
+                {"name": "Low", "priority": 1, "processor": "cpu",
+                 "script": [["lock", "R"], ["execute", "50us"],
+                            ["unlock", "R"]]},
+                {"name": "High", "priority": 5, "processor": "cpu",
+                 "start_time": "10us",
+                 "script": [["lock", "R"], ["execute", "10us"],
+                            ["unlock", "R"]]},
+            ],
+        }
+
+    def test_wait_beyond_bound_is_rts_v004(self):
+        result = verify_spec(self.spec(), inversion_bound=20 * US)
+        assert not result.ok
+        assert properties_of(result) == {RTSV004}
+        violation = result.violations[0]
+        assert violation.location == "task High"
+        assert "lower-priority 'Low'" in violation.message
+
+    def test_wait_within_bound_is_clean(self):
+        result = verify_spec(self.spec(), inversion_bound=45 * US)
+        assert result.ok
+
+
+class TestInvariantProperty:
+    def spec(self):
+        return {
+            "name": "inv",
+            "relations": [{"kind": "queue", "name": "q", "capacity": 8}],
+            "processors": [{"name": "cpu"}],
+            "functions": [
+                {"name": "producer", "priority": 1, "processor": "cpu",
+                 "script": [["loop", 4, [["execute", "5us"],
+                                         ["write", "q", 1]]]]},
+            ],
+        }
+
+    def test_false_invariant_is_rts_v005(self):
+        invariant = assert_always(
+            lambda system: system.now < 12 * US, name="before_12us"
+        )
+        result = verify_spec(self.spec(), invariants=[invariant])
+        assert not result.ok
+        assert properties_of(result) == {RTSV005}
+        assert "before_12us" in result.violations[0].message
+
+    def test_true_invariant_stays_clean(self):
+        invariant = assert_always(lambda system: system.now <= 1 * MS)
+        result = verify_spec(self.spec(), invariants=[invariant])
+        assert result.ok and result.complete
+
+
+class TestDeadlineProperty:
+    def test_overrunning_deadline_is_rts_v002(self):
+        spec = {
+            "name": "late",
+            "relations": [],
+            "processors": [{"name": "cpu"}],
+            "functions": [
+                {"name": "f", "priority": 1, "processor": "cpu",
+                 "deadline": "20us",
+                 "script": [["execute", "30us"]]},
+            ],
+        }
+        result = verify_spec(spec)
+        assert not result.ok
+        assert properties_of(result) == {RTSV002}
+        violation = result.violations[0]
+        assert violation.location == "task f"
+        assert violation.time == 20 * US

@@ -1,0 +1,38 @@
+"""Canonical state hashing: equal models hash equal, progress changes it."""
+
+from repro.kernel.simulator import Simulator
+from repro.kernel.time import US
+from repro.mcse.builder import build_system
+from repro.verify.state import canonical_state
+from repro.workloads.fig6 import fig6_spec
+
+
+def build(spec):
+    return build_system(spec, sim=Simulator("state-test"))
+
+
+class TestCanonicalState:
+    def test_identical_builds_agree(self):
+        assert canonical_state(build(fig6_spec())) == \
+            canonical_state(build(fig6_spec()))
+
+    def test_state_is_hashable(self):
+        assert {canonical_state(build(fig6_spec()))}
+
+    def test_progress_changes_the_state(self):
+        before = build(fig6_spec())
+        after = build(fig6_spec())
+        after.run(until=50 * US)
+        assert canonical_state(before) != canonical_state(after)
+
+    def test_time_alone_changes_the_state(self):
+        # two idle systems at different instants must not be merged:
+        # deadline and horizon properties depend on absolute time
+        a, b = build(fig6_spec()), build(fig6_spec())
+        b.sim.run(until=1 * US)
+        assert canonical_state(a) != canonical_state(b)
+
+    def test_start_time_perturbation_changes_the_state(self):
+        a, b = build(fig6_spec()), build(fig6_spec())
+        b.functions["Function_1"].start_time += 5 * US
+        assert canonical_state(a) != canonical_state(b)
