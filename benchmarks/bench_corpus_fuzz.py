@@ -1,0 +1,163 @@
+"""Corpus fuzz throughput: scenarios/second, shrink cost, seed replay.
+
+The fuzz loop is only useful if it clears enough scenarios per second
+to cover interesting parameter space, and the checked-in regression
+corpus is only trustworthy if every seed replays to its recorded
+verdict.  This harness pins both down and emits
+``BENCH_corpus_fuzz.json``:
+
+* **fuzz** -- a fixed-seed, fixed-budget session over the deterministic
+  stream (``write=False``: benchmarking never mutates the corpus),
+  reporting scenarios/second, findings, shrink replays and the stream
+  hash (which doubles as a determinism check against CI);
+* **replay** -- every seed under ``tests/corpus/seeds/`` replayed
+  through the pipeline, asserting the recorded verdict digest
+  reproduces byte-identically::
+
+    PYTHONPATH=src python benchmarks/bench_corpus_fuzz.py
+    PYTHONPATH=src python benchmarks/bench_corpus_fuzz.py --smoke
+"""
+
+import argparse
+import os
+import sys
+import time
+
+from _report import (
+    check_envelope,
+    check_fields,
+    repo_root_path,
+    report_meta,
+    write_report,
+)
+from repro.corpus import check_seed, fuzz, iter_seed_paths, load_seed
+
+SCHEMA_VERSION = 1
+
+SEEDS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tests", "corpus", "seeds",
+)
+
+
+def _fuzz_entry(budget: int, rounds: int) -> dict:
+    best = None
+    for _ in range(rounds):
+        report = fuzz(seed=1, budget=budget, seeds_dir=SEEDS_DIR,
+                      write=False, shrink=True)
+        if best is None or report.wall_s < best.wall_s:
+            best = report
+    return {
+        "seed": best.seed,
+        "budget": best.budget,
+        "scenarios": best.scenarios,
+        "scenarios_per_second": round(best.scenarios_per_second, 2),
+        "findings": len(best.findings),
+        "new_seeds": best.new_seeds,
+        "known": best.known,
+        "shrink_runs": best.shrink_runs,
+        "stream_sha256": best.stream_sha256,
+        "wall_s": round(best.wall_s, 3),
+    }
+
+
+def _replay_entry() -> dict:
+    started = time.perf_counter()
+    results = []
+    for path in iter_seed_paths(SEEDS_DIR):
+        outcome = check_seed(load_seed(path), path=path)
+        assert outcome["ok"], (
+            f"seed {path} no longer replays: expected "
+            f"{outcome['expected'][:12]}..., got {outcome['actual'][:12]}..."
+        )
+        results.append(os.path.basename(str(path)))
+    wall = time.perf_counter() - started
+    assert results, f"no seeds found under {SEEDS_DIR}"
+    return {
+        "seeds": len(results),
+        "ok": len(results),
+        "files": results,
+        "wall_s": round(wall, 3),
+        "seeds_per_s": round(len(results) / wall, 2) if wall > 0 else 0.0,
+    }
+
+
+def measure(smoke: bool = False, rounds: int = 3) -> dict:
+    budget = 30 if smoke else 200
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "meta": report_meta(smoke, rounds=rounds),
+        "fuzz": _fuzz_entry(budget, rounds),
+        "replay": _replay_entry(),
+    }
+
+
+def validate_schema(payload: dict) -> None:
+    """Assert the JSON shape downstream tooling (and CI) relies on."""
+    check_envelope(payload, SCHEMA_VERSION)
+    fuzz_entry = payload["fuzz"]
+    check_fields(fuzz_entry, (
+        ("seed", int),
+        ("budget", int),
+        ("scenarios", int),
+        ("scenarios_per_second", (int, float)),
+        ("findings", int),
+        ("new_seeds", int),
+        ("known", int),
+        ("shrink_runs", int),
+        ("stream_sha256", str),
+        ("wall_s", (int, float)),
+    ), context="fuzz")
+    assert fuzz_entry["scenarios"] == fuzz_entry["budget"], fuzz_entry
+    assert fuzz_entry["scenarios_per_second"] > 0, fuzz_entry
+    assert len(fuzz_entry["stream_sha256"]) == 64, fuzz_entry
+    # on a clean tree every finding signature is already in the corpus
+    assert fuzz_entry["new_seeds"] == 0, fuzz_entry
+    replay = payload["replay"]
+    check_fields(replay, (
+        ("seeds", int),
+        ("ok", int),
+        ("files", list),
+        ("wall_s", (int, float)),
+        ("seeds_per_s", (int, float)),
+    ), context="replay")
+    assert replay["seeds"] == replay["ok"] >= 1, replay
+    assert len(replay["files"]) == replay["seeds"], replay
+
+
+def default_output_path() -> str:
+    return repo_root_path("BENCH_corpus_fuzz.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny fuzz budget (CI schema check)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="fuzz rounds (keep fastest)")
+    parser.add_argument("--out", default=default_output_path(),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+    if args.rounds < 1:
+        parser.error(f"--rounds must be >= 1, got {args.rounds}")
+
+    payload = measure(smoke=args.smoke, rounds=args.rounds)
+    validate_schema(payload)
+    write_report(payload, args.out)
+
+    fuzz_entry = payload["fuzz"]
+    print(f"fuzz: {fuzz_entry['scenarios']} scenarios in "
+          f"{fuzz_entry['wall_s']}s "
+          f"({fuzz_entry['scenarios_per_second']}/s), "
+          f"{fuzz_entry['findings']} findings "
+          f"({fuzz_entry['new_seeds']} new), "
+          f"{fuzz_entry['shrink_runs']} shrink replays")
+    replay = payload["replay"]
+    print(f"replay: {replay['ok']}/{replay['seeds']} seeds reproduce "
+          f"byte-identically in {replay['wall_s']}s")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -395,6 +395,135 @@ def cmd_codegen(args) -> int:
     return 0
 
 
+def cmd_corpus(args) -> int:
+    """Generate one corpus scenario spec (or list the catalogue)."""
+    from .corpus import GENERATORS, generate, spec_digest
+
+    if args.list or not args.kind:
+        width = max(len(name) for name in GENERATORS)
+        for name in sorted(GENERATORS):
+            print(f"{name:<{width}}  {GENERATORS[name].description}")
+        return 0
+    params = json.loads(args.params) if args.params else None
+    spec = generate(args.kind, args.seed, params)
+    if args.digest:
+        print(spec_digest(spec))
+        return 0
+    _emit_json(spec, args.out)
+    if args.out:
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_batch_run(args) -> int:
+    """Fan a batch matrix through the cached campaign runner."""
+    from .corpus import load_matrix, run_matrix
+
+    doc = load_matrix(args.matrix)
+    report = run_matrix(
+        doc,
+        workers=args.workers,
+        cache=args.cache,
+        timeout=args.timeout,
+        progress=args.progress,
+    )
+    _emit_json(report, args.out)
+    summary = report["summary"]
+    if args.out:
+        print(
+            f"{summary['completed']}/{summary['cells']} cells "
+            f"({summary['cache_hits']} cached, "
+            f"{summary['violating']} violating, "
+            f"{summary['failed']} failed) -> {args.out}"
+        )
+    return 1 if report["failures"] else 0
+
+
+def cmd_compare(args) -> int:
+    """Diff two batch-run reports: verdict flips and metric drift."""
+    import os.path
+
+    from .corpus import compare_reports, format_comparison, load_report
+
+    report_a = load_report(args.report_a)
+    report_b = load_report(args.report_b)
+    diff = compare_reports(
+        report_a, report_b,
+        label_a=os.path.basename(args.report_a),
+        label_b=os.path.basename(args.report_b),
+    )
+    if args.json:
+        _emit_json(diff)
+    else:
+        print(format_comparison(diff))
+    return 0 if diff["identical"] else 1
+
+
+def cmd_fuzz(args) -> int:
+    """Fuzz generated scenarios; freeze findings as regression seeds."""
+    from .corpus import (
+        DEFAULT_HORIZON,
+        PipelineOptions,
+        check_seed,
+        fuzz,
+        iter_seed_paths,
+        load_seed,
+    )
+
+    seeds_dir = args.seeds_dir
+    if args.replay:
+        paths = iter_seed_paths(seeds_dir)
+        if not paths:
+            print(f"no seeds under {seeds_dir}")
+            return 0
+        failed = 0
+        for path in paths:
+            result = check_seed(load_seed(path), path=path)
+            status = "ok" if result["ok"] else "MISMATCH"
+            print(f"{status}  {path}")
+            if not result["ok"]:
+                failed += 1
+                print(f"    expected {result['expected'][:16]}..., "
+                      f"got {result['actual'][:16]}...")
+        print(f"replayed {len(paths)} seed(s), {failed} mismatch(es)")
+        return 1 if failed else 0
+
+    horizon = parse_time(args.horizon) if args.horizon else DEFAULT_HORIZON
+    options = PipelineOptions(
+        horizon=horizon,
+        verify=not args.no_verify,
+        verify_max_runs=args.max_runs,
+        verify_max_depth=args.depth,
+    )
+    report = fuzz(
+        seed=args.seed,
+        budget=args.budget,
+        kinds=args.kind or None,
+        seeds_dir=seeds_dir,
+        options=options,
+        max_wall_s=args.max_wall,
+        write=not args.no_write,
+        progress=print if not args.json else None,
+    )
+    if args.json:
+        _emit_json(report.to_dict(), args.out)
+    else:
+        print(
+            f"fuzzed {report.scenarios}/{report.budget} scenario(s) in "
+            f"{report.wall_s:.1f}s ({report.scenarios_per_second:.1f}/s)"
+        )
+        print(f"stream sha256: {report.stream_sha256}")
+        print(
+            f"findings: {len(report.findings)} "
+            f"({report.new_seeds} new, {report.known} known, "
+            f"{report.shrink_runs} shrink runs)"
+        )
+    if args.check and report.new_seeds:
+        print(f"--check: {report.new_seeds} new seed(s) found", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="pyrtos-sc",
@@ -554,6 +683,95 @@ def build_parser() -> argparse.ArgumentParser:
     codegen_parser.add_argument("spec", help="path to the JSON specification")
     codegen_parser.add_argument("out", help="output directory")
     codegen_parser.set_defaults(func=cmd_codegen)
+
+    corpus_parser = sub.add_parser(
+        "corpus",
+        help="generate a scenario spec from the corpus generators",
+    )
+    corpus_parser.add_argument(
+        "kind", nargs="?",
+        help="generator kind (omit or use --list for the catalogue)",
+    )
+    corpus_parser.add_argument("--seed", type=int, default=0,
+                               help="scenario seed")
+    corpus_parser.add_argument("--params", metavar="JSON",
+                               help='generator parameters, e.g. '
+                                    '\'{"n": 5, "utilization": 0.9}\'')
+    corpus_parser.add_argument("--out", metavar="PATH",
+                               help="write the spec JSON here "
+                                    "(default: stdout)")
+    corpus_parser.add_argument("--digest", action="store_true",
+                               help="print only the canonical spec sha256")
+    corpus_parser.add_argument("--list", action="store_true",
+                               help="list the generator catalogue")
+    corpus_parser.set_defaults(func=cmd_corpus)
+
+    batch_parser = sub.add_parser(
+        "batch-run",
+        help="run a declarative batch matrix through the campaign runner",
+    )
+    batch_parser.add_argument("matrix", help="path to the matrix JSON")
+    batch_parser.add_argument("--workers", type=int, default=1,
+                              help="worker processes (1 = in-process)")
+    batch_parser.add_argument("--cache", metavar="DIR", default=None,
+                              help="campaign result-cache directory")
+    batch_parser.add_argument("--timeout", type=float, default=None,
+                              help="per-cell wall-clock limit in seconds")
+    batch_parser.add_argument("--progress", action="store_true",
+                              help="live progress/ETA on stderr")
+    batch_parser.add_argument("--out", metavar="PATH",
+                              help="write the report JSON here "
+                                   "(default: stdout)")
+    batch_parser.set_defaults(func=cmd_batch_run)
+
+    compare_parser = sub.add_parser(
+        "compare",
+        help="diff two batch-run reports (verdict flips, metric drift)",
+    )
+    compare_parser.add_argument("report_a", help="baseline report JSON")
+    compare_parser.add_argument("report_b", help="candidate report JSON")
+    compare_parser.add_argument("--json", action="store_true",
+                                help="machine-readable JSON on stdout")
+    compare_parser.set_defaults(func=cmd_compare)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="fuzz generated scenarios through lint+simulate+verify",
+    )
+    fuzz_parser.add_argument("--seed", type=int, default=0,
+                             help="fuzz stream seed")
+    fuzz_parser.add_argument("--budget", type=int, default=100,
+                             help="number of scenarios to generate")
+    fuzz_parser.add_argument("--kind", action="append", metavar="KIND",
+                             help="restrict to this generator (repeatable)")
+    fuzz_parser.add_argument("--seeds-dir", default="tests/corpus/seeds",
+                             help="regression-seed corpus directory")
+    fuzz_parser.add_argument("--horizon", metavar="TIME",
+                             help='per-scenario time bound (default 200ms)')
+    fuzz_parser.add_argument("--depth", type=int, default=12,
+                             help="verify-stage max choice depth")
+    fuzz_parser.add_argument("--max-runs", type=int, default=32,
+                             help="verify-stage DFS run budget")
+    fuzz_parser.add_argument("--max-wall", type=float, default=None,
+                             help="wall-clock bound in seconds (covers a "
+                                  "prefix of the deterministic stream)")
+    fuzz_parser.add_argument("--no-verify", action="store_true",
+                             help="skip the bounded model-checking stage")
+    fuzz_parser.add_argument("--no-write", action="store_true",
+                             help="report new findings without writing "
+                                  "seed files")
+    fuzz_parser.add_argument("--check", action="store_true",
+                             help="exit nonzero if any NEW seed was found "
+                                  "(CI gate: clean tree -> zero new seeds)")
+    fuzz_parser.add_argument("--replay", action="store_true",
+                             help="replay every checked-in seed instead "
+                                  "of fuzzing")
+    fuzz_parser.add_argument("--json", action="store_true",
+                             help="machine-readable JSON on stdout")
+    fuzz_parser.add_argument("--out", metavar="PATH",
+                             help="write the fuzz report JSON here "
+                                  "(with --json)")
+    fuzz_parser.set_defaults(func=cmd_fuzz)
 
     return parser
 

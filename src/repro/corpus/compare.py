@@ -1,0 +1,160 @@
+"""Audit reports: diff two batch-matrix runs cell by cell.
+
+``pyrtos-sc compare a.json b.json`` answers the regression question a
+matrix exists to ask: *did any scenario change its verdict between two
+runs (or two code revisions)?*  Cells are matched by their stable
+:func:`~repro.corpus.matrix.cell_key`; for each matched pair the diff
+classifies
+
+* **verdict flips** -- the violated-property set changed (the loudest
+  signal: a scenario started or stopped failing);
+* **digest drift** -- same properties but a different canonical verdict
+  hash (timing or counterexample details moved);
+* **metric deltas** -- distribution shift over the numeric metrics
+  (currently ``end_time`` and the lint counters).
+
+The report is plain JSON; ``identical`` is True only when every cell
+matched with an unchanged verdict digest.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from ..errors import CorpusError
+
+#: Numeric per-cell metrics summarized as distributions in the diff.
+NUMERIC_METRICS = ("end_time", "lint_errors", "lint_warnings")
+
+
+def load_report(path: Path) -> Dict:
+    """Load one ``batch-run`` report file."""
+    path = Path(path)
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise CorpusError(f"unreadable report file {path}: {exc}") from None
+    if not isinstance(report, dict) or "cells" not in report:
+        raise CorpusError(
+            f"{path} is not a batch-run report (no 'cells' key)"
+        )
+    return report
+
+
+def _cells_by_key(report: Dict) -> Dict[str, Dict]:
+    cells = {}
+    for cell in report.get("cells", ()):
+        key = cell.get("key")
+        if key is None:
+            raise CorpusError("report cell is missing its 'key'")
+        if key in cells:
+            raise CorpusError(f"report has duplicate cell key {key!r}")
+        cells[key] = cell
+    return cells
+
+
+def _distribution(values: List[float]) -> Dict:
+    return {
+        "n": len(values),
+        "min": min(values),
+        "max": max(values),
+        "mean": sum(values) / len(values),
+    }
+
+
+def compare_reports(report_a: Dict, report_b: Dict, *,
+                    label_a: str = "a", label_b: str = "b") -> Dict:
+    """Diff two batch-run reports; returns the audit dict."""
+    cells_a = _cells_by_key(report_a)
+    cells_b = _cells_by_key(report_b)
+    keys_a, keys_b = set(cells_a), set(cells_b)
+    matched = sorted(keys_a & keys_b)
+
+    flips = []
+    drifted = []
+    metrics: Dict[str, Dict] = {}
+    samples: Dict[str, Dict[str, List[float]]] = {
+        name: {"a": [], "b": []} for name in NUMERIC_METRICS
+    }
+    for key in matched:
+        ma = cells_a[key].get("metrics", {})
+        mb = cells_b[key].get("metrics", {})
+        props_a = list(ma.get("properties", ()))
+        props_b = list(mb.get("properties", ()))
+        if props_a != props_b:
+            flips.append({
+                "key": key,
+                label_a: props_a,
+                label_b: props_b,
+            })
+        elif ma.get("verdict_sha256") != mb.get("verdict_sha256"):
+            drifted.append(key)
+        for name in NUMERIC_METRICS:
+            for side, m in (("a", ma), ("b", mb)):
+                value = m.get(name)
+                if isinstance(value, (int, float)):
+                    samples[name][side].append(value)
+    for name, sides in samples.items():
+        if sides["a"] and sides["b"]:
+            dist_a = _distribution(sides["a"])
+            dist_b = _distribution(sides["b"])
+            metrics[name] = {
+                label_a: dist_a,
+                label_b: dist_b,
+                "mean_delta": dist_b["mean"] - dist_a["mean"],
+            }
+
+    identical = (
+        not flips and not drifted
+        and keys_a == keys_b
+    )
+    return {
+        "labels": {"a": label_a, "b": label_b},
+        "matched": len(matched),
+        "only_a": sorted(keys_a - keys_b),
+        "only_b": sorted(keys_b - keys_a),
+        "verdict_flips": flips,
+        "digest_drift": drifted,
+        "metrics": metrics,
+        "identical": identical,
+    }
+
+
+def format_comparison(diff: Dict) -> str:
+    """Render an audit dict as a short human-readable summary."""
+    lines = [
+        f"matched cells: {diff['matched']}  "
+        f"(only in a: {len(diff['only_a'])}, "
+        f"only in b: {len(diff['only_b'])})",
+    ]
+    if diff["verdict_flips"]:
+        lines.append(f"verdict flips: {len(diff['verdict_flips'])}")
+        label_a = diff["labels"]["a"]
+        label_b = diff["labels"]["b"]
+        for flip in diff["verdict_flips"]:
+            lines.append(
+                f"  {flip['key']}: {flip[label_a] or ['clean']} -> "
+                f"{flip[label_b] or ['clean']}"
+            )
+    if diff["digest_drift"]:
+        lines.append(
+            f"digest drift (same properties, different verdict hash): "
+            f"{len(diff['digest_drift'])}"
+        )
+    for name, stat in diff["metrics"].items():
+        lines.append(
+            f"{name}: mean delta {stat['mean_delta']:+g}"
+        )
+    lines.append("identical" if diff["identical"]
+                 else "reports DIFFER")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "NUMERIC_METRICS",
+    "compare_reports",
+    "format_comparison",
+    "load_report",
+]

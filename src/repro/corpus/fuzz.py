@@ -1,0 +1,246 @@
+"""The fuzz loop: generate -> lint -> simulate -> verify -> shrink -> seed.
+
+Each iteration draws a generator kind and a scenario seed from one
+stream RNG (``random.Random(f"fuzz:{seed}")``), samples that
+generator's fuzz parameters, builds the spec and pushes it through the
+:mod:`repro.corpus.pipeline`.  Scenarios whose verdict shows any
+violated property (or a pipeline crash) become *findings*; a finding
+whose :func:`~repro.corpus.seeds.seed_signature` is not already covered
+by the on-disk corpus is written to ``tests/corpus/seeds/`` as a
+permanent regression case.
+
+Determinism contract: with the same ``(seed, budget, kinds)`` and no
+wall-clock bound, two runs anywhere produce the same scenario stream --
+:attr:`FuzzReport.stream_sha256` is byte-identical -- and the same
+findings.  A wall-bounded run covers a prefix of that stream, which is
+why CI can run a 30-second fuzz and still assert "zero *new* seeds on a
+clean tree": every prefix finding is already in the checked-in corpus.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import time as _time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import CorpusError
+from ..kernel.time import MS
+from ..mcse.builder import build_system
+from ..verify.counterexample import minimize
+from ..verify.harness import VerifyOptions, run_once
+from .generators import GENERATORS, generate, spec_digest
+from .pipeline import PipelineOptions, run_pipeline, violated_properties
+from .seeds import load_corpus, make_seed_record, seed_signature, write_seed
+
+#: Default simulation/verification horizon for fuzzed scenarios: long
+#: enough for several activations of the slowest default periods, short
+#: enough to keep throughput in scenarios/second.
+DEFAULT_HORIZON = 200 * MS
+
+
+@dataclass
+class FuzzFinding:
+    """One interesting scenario surfaced by the fuzz loop."""
+
+    index: int
+    generator: str
+    scenario_seed: int
+    params: Dict
+    spec_sha256: str
+    properties: List[str]
+    new: bool
+    seed_path: Optional[str] = None
+    #: Number of forced choices in the minimized counterexample
+    #: (0: the default schedule already violates).
+    choices: int = 0
+    #: Replay runs the minimizer spent confirming the shrink.
+    shrink_runs: int = 0
+
+    def to_dict(self) -> Dict:
+        return {
+            "index": self.index,
+            "generator": self.generator,
+            "scenario_seed": self.scenario_seed,
+            "params": self.params,
+            "spec_sha256": self.spec_sha256,
+            "properties": self.properties,
+            "new": self.new,
+            "seed_path": self.seed_path,
+            "choices": self.choices,
+            "shrink_runs": self.shrink_runs,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """The outcome of one fuzz session."""
+
+    seed: int
+    budget: int
+    kinds: List[str]
+    scenarios: int = 0
+    findings: List[FuzzFinding] = field(default_factory=list)
+    new_seeds: int = 0
+    known: int = 0
+    shrink_runs: int = 0
+    wall_s: float = 0.0
+    stream_sha256: str = ""
+    stopped_early: bool = False
+
+    @property
+    def scenarios_per_second(self) -> float:
+        return self.scenarios / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "kinds": self.kinds,
+            "scenarios": self.scenarios,
+            "findings": [f.to_dict() for f in self.findings],
+            "new_seeds": self.new_seeds,
+            "known": self.known,
+            "shrink_runs": self.shrink_runs,
+            "wall_s": round(self.wall_s, 3),
+            "scenarios_per_second": round(self.scenarios_per_second, 3),
+            "stream_sha256": self.stream_sha256,
+            "stopped_early": self.stopped_early,
+        }
+
+
+def _shrink_metrics(spec: Dict, verdict: Dict,
+                    options: PipelineOptions) -> Tuple[int, int]:
+    """Confirm the verify-stage counterexample is minimal, counting runs.
+
+    The explorer already hands back minimized choices; re-running
+    :func:`repro.verify.counterexample.minimize` over them is idempotent
+    and gives the fuzz loop an honest shrink-cost figure (each replay
+    builds and runs the model once).
+    """
+    counterexample = verdict.get("verify", {}).get("counterexample")
+    if not counterexample:
+        return 0, 0
+    choices = list(counterexample["choices"])
+    runs = [0]
+
+    def factory(sim):
+        runs[0] += 1
+        return build_system(spec, sim=sim)
+
+    verify_options = VerifyOptions(
+        horizon=options.horizon, max_depth=options.verify_max_depth
+    )
+    outcome = run_once(factory, tuple(choices), verify_options)
+    witness = next(
+        (v for v in outcome.violations
+         if v.property_id == counterexample["property"]), None
+    )
+    if witness is None:  # pragma: no cover - replay divergence guard
+        return len(choices), runs[0]
+    minimized = minimize(factory, choices, witness, verify_options)
+    return len(minimized.choices), runs[0]
+
+
+def fuzz(
+    seed: int = 0,
+    budget: int = 100,
+    *,
+    kinds: Optional[Sequence[str]] = None,
+    seeds_dir: Optional[Path] = None,
+    options: Optional[PipelineOptions] = None,
+    max_wall_s: Optional[float] = None,
+    write: bool = True,
+    shrink: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Run the fuzz loop; returns a :class:`FuzzReport`.
+
+    ``seeds_dir`` holds the regression corpus: its existing signatures
+    pre-populate the dedup set, new findings are written there (unless
+    ``write=False``).  ``max_wall_s`` bounds wall-clock time -- the run
+    then covers a prefix of the deterministic stream.
+    """
+    if budget < 1:
+        raise CorpusError(f"fuzz budget must be >= 1, got {budget}")
+    kind_list = sorted(kinds) if kinds else sorted(GENERATORS)
+    unknown = set(kind_list) - set(GENERATORS)
+    if unknown:
+        raise CorpusError(
+            f"unknown generator kinds {sorted(unknown)}; "
+            f"pick from {sorted(GENERATORS)}"
+        )
+    options = options or PipelineOptions(horizon=DEFAULT_HORIZON)
+
+    seen: Set[Tuple[str, Tuple[str, ...]]] = set()
+    if seeds_dir is not None:
+        for record in load_corpus(seeds_dir):
+            seen.add(seed_signature(record))
+
+    report = FuzzReport(seed=seed, budget=budget, kinds=kind_list)
+    stream = hashlib.sha256()
+    rng = random.Random(f"fuzz:{seed}")
+    started = _time.monotonic()
+
+    for index in range(budget):
+        if max_wall_s is not None and \
+                _time.monotonic() - started > max_wall_s:
+            report.stopped_early = True
+            break
+        kind = kind_list[rng.randrange(len(kind_list))]
+        scenario_seed = rng.randrange(2 ** 31)
+        params = GENERATORS[kind].fuzz(
+            random.Random(f"{kind}:params:{scenario_seed}")
+        )
+        spec = generate(kind, scenario_seed, params)
+        digest = spec_digest(spec)
+        stream.update(digest.encode())
+        report.scenarios += 1
+
+        verdict = run_pipeline(spec, options)
+        properties = violated_properties(verdict)
+        if not properties:
+            continue
+
+        record = make_seed_record(
+            generator=kind, scenario_seed=scenario_seed, params=params,
+            spec=spec, verdict=verdict, options=options,
+        )
+        signature = seed_signature(record)
+        finding = FuzzFinding(
+            index=index, generator=kind, scenario_seed=scenario_seed,
+            params=params, spec_sha256=digest,
+            properties=properties, new=signature not in seen,
+        )
+        if shrink:
+            finding.choices, finding.shrink_runs = _shrink_metrics(
+                spec, verdict, options
+            )
+            report.shrink_runs += finding.shrink_runs
+        if finding.new:
+            seen.add(signature)
+            report.new_seeds += 1
+            if write and seeds_dir is not None:
+                finding.seed_path = str(write_seed(seeds_dir, record))
+            if progress is not None:
+                progress(
+                    f"[{index}] new: {kind} seed={scenario_seed} "
+                    f"-> {','.join(properties)}"
+                )
+        else:
+            report.known += 1
+        report.findings.append(finding)
+
+    report.wall_s = _time.monotonic() - started
+    report.stream_sha256 = stream.hexdigest()
+    return report
+
+
+__all__ = [
+    "DEFAULT_HORIZON",
+    "FuzzFinding",
+    "FuzzReport",
+    "fuzz",
+]

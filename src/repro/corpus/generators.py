@@ -1,0 +1,536 @@
+"""Scenario generators: seeded workload specs for every consumer.
+
+The paper evaluates the RTOS model on two hand-built workloads; this
+module turns that thin base into a *stream*.  Every generator is a pure
+function of ``(seed, params)`` producing a declarative builder spec
+(the exact JSON format :func:`repro.mcse.build_system`,
+``pyrtos-sc lint``, ``campaign``, ``serve`` and ``verify`` already
+consume), so one scenario source feeds every subsystem.
+
+Registry kinds:
+
+===============  ===========================================================
+``periodic``     UUniFast utilization sampling, log-uniform periods
+                 (Bini & Buttazzo), rate-monotonic priorities
+``harmonic``     periodic with power-of-two harmonic period sets
+``automotive``   periodic with the classical automotive period set
+                 (1/2/5/10/20/50/100/200/1000 ms)
+``dag``          random precedence DAGs over counter events (acyclic by
+                 construction: edges only go index-upward)
+``bursty``       bursty interrupt source driving a sporadic handler over
+                 background periodic load
+``partitioned``  ARINC-653-style time partitions with per-partition tasks
+``contention``   seeded mutex/shared-resource contention; unordered
+                 acquisition can (intentionally) deadlock
+===============  ===========================================================
+
+Determinism contract: ``generate(kind, seed, params)`` depends only on
+its arguments -- two calls anywhere, any process, produce byte-identical
+canonical JSON (and therefore the same :func:`spec_digest`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..campaign.spec import canonical_json
+from ..errors import CorpusError
+from ..workloads.synthetic import uunifast
+
+#: The classical automotive period set (in microseconds), after the
+#: engine-control benchmarks the real-time literature samples from.
+AUTOMOTIVE_PERIODS_US = (1_000, 2_000, 5_000, 10_000, 20_000,
+                         50_000, 100_000, 200_000, 1_000_000)
+
+
+def spec_digest(spec: Dict) -> str:
+    """SHA-256 over the canonical JSON of a generated spec."""
+    return hashlib.sha256(canonical_json(spec).encode()).hexdigest()
+
+
+def _us(value: int) -> str:
+    """Render an integer microsecond count as a builder duration."""
+    return f"{int(value)}us"
+
+
+# ---------------------------------------------------------------------------
+# Periodic task sets (UUniFast / harmonic / automotive)
+# ---------------------------------------------------------------------------
+def _draw_periods(rng: random.Random, n: int, mode: str,
+                  period_min_us: int, period_max_us: int) -> List[int]:
+    if mode == "loguniform":
+        lo, hi = math.log(period_min_us), math.log(period_max_us)
+        return [max(1, round(math.exp(rng.uniform(lo, hi))))
+                for _ in range(n)]
+    if mode == "harmonic":
+        base = rng.choice((1_000, 2_000, 5_000))
+        return [base * 2 ** rng.randint(0, 4) for _ in range(n)]
+    if mode == "automotive":
+        return [rng.choice(AUTOMOTIVE_PERIODS_US) for _ in range(n)]
+    raise CorpusError(
+        f"unknown period mode {mode!r} "
+        "(expected loguniform, harmonic or automotive)"
+    )
+
+
+def gen_periodic(rng: random.Random, *, n: int = 4,
+                 utilization: float = 0.65, periods: str = "loguniform",
+                 period_min_us: int = 1_000, period_max_us: int = 100_000,
+                 deadline_ratio: Optional[float] = 1.0,
+                 jitter_us: int = 0, overhead_us: int = 0,
+                 policy: str = "priority_preemptive",
+                 engine: str = "procedural") -> Dict:
+    """A periodic task set with UUniFast-sampled utilizations.
+
+    Tasks carry both an executable script (``loop [execute, delay]``)
+    and the ``wcet``/``period``/``deadline`` annotations the static
+    analyzers read, so the same spec exercises simulation, lint RTA and
+    the verifier's deadline watchdogs.  Priorities are rate-monotonic
+    (shorter period = higher priority number, the fig6 convention).
+    """
+    if n < 1:
+        raise CorpusError(f"periodic: need at least one task, got {n}")
+    if utilization <= 0:
+        raise CorpusError(
+            f"periodic: utilization must be positive, got {utilization}"
+        )
+    shares = uunifast(n, utilization, rng)
+    period_list = _draw_periods(rng, n, periods, period_min_us,
+                                period_max_us)
+    tasks: List[Tuple[str, int, int]] = []
+    for index, (share, period) in enumerate(zip(shares, period_list)):
+        wcet = min(period, max(1, round(period * share)))
+        tasks.append((f"T{index}", wcet, period))
+
+    by_rate = sorted(tasks, key=lambda t: (t[2], t[0]))
+    priority = {name: len(by_rate) - rank
+                for rank, (name, _, _) in enumerate(by_rate)}
+
+    functions = []
+    for name, wcet, period in tasks:
+        body: List[list] = [["execute", _us(wcet)]]
+        if period > wcet:
+            body.append(["delay", _us(period - wcet)])
+        fn: Dict[str, Any] = {
+            "name": name,
+            "priority": priority[name],
+            "processor": "cpu0",
+            "wcet": _us(wcet),
+            "period": _us(period),
+            "script": [["loop", None, body]],
+        }
+        if deadline_ratio is not None:
+            fn["deadline"] = _us(max(1, round(period * deadline_ratio)))
+        if jitter_us > 0:
+            fn["jitter"] = _us(jitter_us)
+        functions.append(fn)
+
+    return {
+        "name": f"periodic_{periods}_n{n}",
+        "relations": [],
+        "processors": [{
+            "name": "cpu0",
+            "engine": engine,
+            "policy": policy,
+            "scheduling_duration": _us(overhead_us),
+            "context_load_duration": _us(overhead_us),
+            "context_save_duration": _us(overhead_us),
+        }],
+        "functions": functions,
+    }
+
+
+def gen_harmonic(rng: random.Random, **params: Any) -> Dict:
+    """:func:`gen_periodic` restricted to harmonic period sets."""
+    params["periods"] = "harmonic"
+    return gen_periodic(rng, **params)
+
+
+def gen_automotive(rng: random.Random, **params: Any) -> Dict:
+    """:func:`gen_periodic` over the automotive period set."""
+    params["periods"] = "automotive"
+    return gen_periodic(rng, **params)
+
+
+# ---------------------------------------------------------------------------
+# Random precedence DAGs
+# ---------------------------------------------------------------------------
+def dag_edges(rng: random.Random, nodes: int,
+              edge_prob: float) -> List[Tuple[int, int]]:
+    """Seeded random DAG edges; acyclic because edges go index-upward."""
+    return [(i, j)
+            for i in range(nodes)
+            for j in range(i + 1, nodes)
+            if rng.random() < edge_prob]
+
+
+def gen_dag(rng: random.Random, *, nodes: int = 6, edge_prob: float = 0.35,
+            iterations: int = 3, processors: int = 1,
+            cost_min_us: int = 10, cost_max_us: int = 200,
+            source_period_us: int = 5_000,
+            engine: str = "procedural") -> Dict:
+    """A random precedence DAG wired through counter events.
+
+    Node ``i`` waits for every incoming edge event, executes a seeded
+    cost, then signals every outgoing edge; source nodes self-release
+    every ``source_period_us``.  Counter events memorize signals, so the
+    dataflow never loses a token regardless of schedule.  Nodes are
+    dealt round-robin onto ``processors`` RTOS processors.
+    """
+    if nodes < 2:
+        raise CorpusError(f"dag: need at least two nodes, got {nodes}")
+    if processors < 1:
+        raise CorpusError(f"dag: need at least one processor, got {processors}")
+    if iterations < 1:
+        raise CorpusError(f"dag: iterations must be >= 1, got {iterations}")
+    edges = dag_edges(rng, nodes, edge_prob)
+    incoming: Dict[int, List[int]] = {i: [] for i in range(nodes)}
+    outgoing: Dict[int, List[int]] = {i: [] for i in range(nodes)}
+    for src, dst in edges:
+        incoming[dst].append(src)
+        outgoing[src].append(dst)
+
+    relations = [{"kind": "event", "name": f"e{src}_{dst}",
+                  "policy": "counter"}
+                 for src, dst in edges]
+    costs = {i: rng.randint(cost_min_us, cost_max_us)
+             for i in range(nodes)}
+
+    # Priority follows reverse topological depth so successors do not
+    # starve their producers on a shared processor.
+    depth: Dict[int, int] = {}
+    for node in range(nodes):
+        depth[node] = 1 + max((depth[src] for src in incoming[node]),
+                              default=0)
+    functions = []
+    for node in range(nodes):
+        body: List[list] = []
+        for src in sorted(incoming[node]):
+            body.append(["wait", f"e{src}_{node}"])
+        if not incoming[node]:
+            body.append(["delay", _us(source_period_us)])
+        body.append(["execute", _us(costs[node])])
+        for dst in sorted(outgoing[node]):
+            body.append(["signal", f"e{node}_{dst}"])
+        functions.append({
+            "name": f"n{node}",
+            "priority": nodes - depth[node] + 1,
+            "processor": f"cpu{node % processors}",
+            "script": [["loop", iterations, body]],
+        })
+
+    return {
+        "name": f"dag_n{nodes}",
+        "relations": relations,
+        "processors": [{"name": f"cpu{index}", "engine": engine}
+                       for index in range(processors)],
+        "functions": functions,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Bursty interrupt load
+# ---------------------------------------------------------------------------
+def gen_bursty(rng: random.Random, *, bursts: int = 4,
+               burst_len_max: int = 5, gap_min_us: int = 500,
+               gap_max_us: int = 5_000, intra_gap_us: int = 20,
+               handler_cost_us: int = 50, background_tasks: int = 2,
+               background_utilization: float = 0.3,
+               engine: str = "procedural") -> Dict:
+    """A bursty interrupt source over background periodic load.
+
+    A low-priority source function emits seeded bursts of ``irq``
+    signals (counter event, so back-to-back signals are never lost); a
+    top-priority sporadic handler drains them.  Background periodic
+    tasks supply preemptable load underneath -- the paper's "reactive
+    system under interrupt pressure" shape.
+    """
+    if bursts < 1 or burst_len_max < 1:
+        raise CorpusError("bursty: bursts and burst_len_max must be >= 1")
+    source_body: List[list] = []
+    for _ in range(bursts):
+        gap = rng.randint(gap_min_us, gap_max_us)
+        length = rng.randint(1, burst_len_max)
+        source_body.append(["delay", _us(gap)])
+        source_body.append(["loop", length, [
+            ["signal", "irq"], ["delay", _us(intra_gap_us)],
+        ]])
+
+    functions: List[Dict] = [
+        {"name": "irq_handler", "priority": 100, "processor": "cpu0",
+         "script": [["loop", None, [["wait", "irq"],
+                                    ["execute", _us(handler_cost_us)]]]]},
+        {"name": "irq_source", "script": source_body},
+    ]
+    if background_tasks > 0:
+        background = gen_periodic(
+            rng, n=background_tasks,
+            utilization=background_utilization,
+            periods="loguniform", engine=engine,
+        )
+        for fn in background["functions"]:
+            fn["name"] = f"bg_{fn['name']}"
+            functions.append(fn)
+
+    return {
+        "name": f"bursty_b{bursts}",
+        "relations": [{"kind": "event", "name": "irq",
+                       "policy": "counter"}],
+        "processors": [{"name": "cpu0", "engine": engine}],
+        "functions": functions,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Time-partitioned avionics profile
+# ---------------------------------------------------------------------------
+def gen_partitioned(rng: random.Random, *, partitions: int = 2,
+                    tasks_per_partition: int = 2,
+                    window_min_us: int = 1_000, window_max_us: int = 5_000,
+                    utilization: float = 0.5,
+                    engine: str = "procedural") -> Dict:
+    """An ARINC-653-style time-partitioned processor.
+
+    One processor runs the ``time_partition`` policy over seeded
+    windows; each partition owns periodic tasks whose period is a
+    multiple of the major frame, so demand is stationary per frame.
+    """
+    if partitions < 1:
+        raise CorpusError(
+            f"partitioned: need at least one partition, got {partitions}"
+        )
+    if tasks_per_partition < 1:
+        raise CorpusError("partitioned: tasks_per_partition must be >= 1")
+    windows = [[f"P{index}",
+                _us(rng.randint(window_min_us, window_max_us))]
+               for index in range(partitions)]
+    major_frame = sum(int(d[:-2]) for _, d in windows)
+
+    functions = []
+    for p_index in range(partitions):
+        window_us = int(windows[p_index][1][:-2])
+        shares = uunifast(tasks_per_partition, utilization, rng)
+        for t_index, share in enumerate(shares):
+            period = major_frame * rng.choice((1, 2, 4))
+            budget = window_us * (period // major_frame)
+            wcet = min(budget, max(1, round(budget * share)))
+            body: List[list] = [["execute", _us(wcet)]]
+            if period > wcet:
+                body.append(["delay", _us(period - wcet)])
+            functions.append({
+                "name": f"P{p_index}_T{t_index}",
+                "priority": tasks_per_partition - t_index,
+                "processor": "cpu0",
+                "partition": f"P{p_index}",
+                "wcet": _us(wcet),
+                "period": _us(period),
+                "script": [["loop", None, body]],
+            })
+
+    return {
+        "name": f"partitioned_p{partitions}",
+        "relations": [],
+        "processors": [{"name": "cpu0", "engine": engine,
+                        "policy": "time_partition",
+                        "windows": windows}],
+        "functions": functions,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Mutex / shared-resource contention
+# ---------------------------------------------------------------------------
+def gen_contention(rng: random.Random, *, tasks: int = 3, resources: int = 2,
+                   locks_per_task: int = 2, iterations: int = 2,
+                   hold_min_us: int = 10, hold_max_us: int = 100,
+                   ordered: bool = True, intervals: bool = False,
+                   stagger_us: int = 50, think_us: int = 0,
+                   processors: int = 1,
+                   engine: str = "procedural") -> Dict:
+    """Seeded nested locking over shared variables.
+
+    With ``ordered=True`` every task acquires its resource subset in
+    global index order -- provably deadlock-free.  With
+    ``ordered=False`` each task uses its own seeded order, so crossed
+    acquisitions (and schedule-dependent deadlocks) become reachable;
+    ``intervals=True`` additionally turns the critical-section costs
+    into ``lo..hi`` execution intervals for the verifier to explore.
+
+    ``think_us > 0`` inserts a wall-clock *think delay* after each
+    acquisition (modelling I/O inside the critical section).  A delay
+    yields the CPU, so lower-priority tasks interleave into the lock
+    sequence even on one processor -- without it, fixed-priority
+    scheduling lets the top task monopolize the CPU through its whole
+    sequence and crossed acquisitions are unreachable.
+    ``processors > 1`` deals tasks round-robin over truly concurrent
+    CPUs for the same effect.
+    """
+    if tasks < 2:
+        raise CorpusError(f"contention: need at least two tasks, got {tasks}")
+    if resources < 1:
+        raise CorpusError("contention: need at least one resource")
+    if processors < 1:
+        raise CorpusError("contention: need at least one processor")
+    locks_per_task = min(locks_per_task, resources)
+    relations = [{"kind": "shared", "name": f"R{index}"}
+                 for index in range(resources)]
+
+    functions = []
+    for t_index in range(tasks):
+        subset = sorted(rng.sample(range(resources), locks_per_task))
+        if not ordered:
+            rng.shuffle(subset)
+        body: List[list] = []
+        for r_index in subset:
+            body.append(["lock", f"R{r_index}"])
+            hold = rng.randint(hold_min_us, hold_max_us)
+            if intervals:
+                body.append(["execute",
+                             f"{hold}us..{hold + hold_max_us}us"])
+            else:
+                body.append(["execute", _us(hold)])
+            if think_us > 0:
+                body.append(["delay", _us(think_us)])
+        for r_index in reversed(subset):
+            body.append(["unlock", f"R{r_index}"])
+        script: List[list] = [["loop", iterations, body]]
+        functions.append({
+            "name": f"T{t_index}",
+            "priority": tasks - t_index,
+            "processor": f"cpu{t_index % processors}",
+            "start_time": _us(t_index * stagger_us),
+            "script": script,
+        })
+
+    return {
+        "name": f"contention_t{tasks}r{resources}",
+        "relations": relations,
+        "processors": [{"name": f"cpu{index}", "engine": engine}
+                       for index in range(processors)],
+        "functions": functions,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+#: Fuzz parameter samplers: seeded draws over each generator's
+#: interesting ranges (including overload and unordered locking, so the
+#: fuzz loop reaches violations, not just healthy systems).
+def _fuzz_periodic(rng: random.Random) -> Dict:
+    return {
+        "n": rng.randint(2, 7),
+        "utilization": round(rng.uniform(0.3, 1.25), 3),
+        "deadline_ratio": round(rng.uniform(0.7, 1.0), 2),
+    }
+
+
+def _fuzz_harmonic(rng: random.Random) -> Dict:
+    params = _fuzz_periodic(rng)
+    params.pop("periods", None)
+    return params
+
+
+def _fuzz_dag(rng: random.Random) -> Dict:
+    return {
+        "nodes": rng.randint(3, 8),
+        "edge_prob": round(rng.uniform(0.15, 0.6), 3),
+        "iterations": rng.randint(1, 3),
+        "processors": rng.randint(1, 2),
+    }
+
+
+def _fuzz_bursty(rng: random.Random) -> Dict:
+    return {
+        "bursts": rng.randint(2, 5),
+        "burst_len_max": rng.randint(1, 6),
+        "background_tasks": rng.randint(0, 3),
+        "background_utilization": round(rng.uniform(0.1, 0.6), 3),
+    }
+
+
+def _fuzz_partitioned(rng: random.Random) -> Dict:
+    return {
+        "partitions": rng.randint(2, 4),
+        "tasks_per_partition": rng.randint(1, 3),
+        "utilization": round(rng.uniform(0.3, 1.1), 3),
+    }
+
+
+def _fuzz_contention(rng: random.Random) -> Dict:
+    return {
+        "tasks": rng.randint(2, 4),
+        "resources": rng.randint(2, 4),
+        "locks_per_task": rng.randint(2, 3),
+        "ordered": rng.random() < 0.5,
+        "intervals": rng.random() < 0.5,
+        "think_us": rng.choice((0, 0, 20, 50)),
+        "processors": rng.randint(1, 2),
+    }
+
+
+@dataclass(frozen=True)
+class Generator:
+    """One registered scenario generator."""
+
+    name: str
+    build: Callable[..., Dict]
+    fuzz: Callable[[random.Random], Dict]
+    description: str
+
+
+GENERATORS: Dict[str, Generator] = {
+    gen.name: gen
+    for gen in (
+        Generator("periodic", gen_periodic, _fuzz_periodic,
+                  "UUniFast periodic task sets, log-uniform periods"),
+        Generator("harmonic", gen_harmonic, _fuzz_harmonic,
+                  "periodic task sets over harmonic period families"),
+        Generator("automotive", gen_automotive, _fuzz_harmonic,
+                  "periodic task sets over the automotive period set"),
+        Generator("dag", gen_dag, _fuzz_dag,
+                  "random precedence DAGs wired through counter events"),
+        Generator("bursty", gen_bursty, _fuzz_bursty,
+                  "bursty interrupt source over background periodic load"),
+        Generator("partitioned", gen_partitioned, _fuzz_partitioned,
+                  "ARINC-653-style time-partitioned processors"),
+        Generator("contention", gen_contention, _fuzz_contention,
+                  "seeded nested locking over shared variables"),
+    )
+}
+
+
+def generate(kind: str, seed: int = 0,
+             params: Optional[Dict] = None) -> Dict:
+    """Build one scenario spec: deterministic in ``(kind, seed, params)``."""
+    try:
+        generator = GENERATORS[kind]
+    except KeyError:
+        raise CorpusError(
+            f"unknown generator {kind!r}; pick one of {sorted(GENERATORS)}"
+        ) from None
+    rng = random.Random(f"{kind}:{seed}")
+    try:
+        return generator.build(rng, **(params or {}))
+    except TypeError as exc:
+        raise CorpusError(f"generator {kind!r}: {exc}") from None
+
+
+__all__ = [
+    "AUTOMOTIVE_PERIODS_US",
+    "GENERATORS",
+    "Generator",
+    "dag_edges",
+    "gen_bursty",
+    "gen_contention",
+    "gen_dag",
+    "gen_partitioned",
+    "gen_periodic",
+    "generate",
+    "spec_digest",
+    "uunifast",
+]

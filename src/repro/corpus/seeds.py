@@ -1,0 +1,170 @@
+"""Regression seeds: fuzz findings frozen as replayable JSON files.
+
+A *seed* is a self-contained record of one interesting scenario the
+fuzz loop found: the generated spec itself (embedded, so the seed stays
+replayable even after the generator that produced it evolves), the
+pipeline options it ran under, and the canonical verdict with its
+SHA-256.  ``tests/corpus/test_seeds.py`` replays every checked-in seed
+and asserts the stored digest reproduces byte-identically, which turns
+each past finding into a permanent regression case.
+
+File format (one JSON object, sorted keys, two-space indent)::
+
+    {
+      "format": 1,
+      "generator": "contention",
+      "scenario_seed": 1234,
+      "params": {...},            # fuzz-sampled generator parameters
+      "options": {...},           # PipelineOptions.to_dict()
+      "spec": {...},              # the embedded scenario spec
+      "spec_sha256": "...",
+      "verdict": {...},           # canonical pipeline verdict
+      "verdict_sha256": "..."
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CorpusError
+from .generators import spec_digest
+from .pipeline import (
+    PipelineOptions,
+    run_pipeline,
+    verdict_digest,
+    violated_properties,
+)
+
+SEED_FORMAT = 1
+
+_REQUIRED_KEYS = frozenset((
+    "format", "generator", "scenario_seed", "params", "options",
+    "spec", "spec_sha256", "verdict", "verdict_sha256",
+))
+
+
+def make_seed_record(*, generator: str, scenario_seed: int, params: Dict,
+                     spec: Dict, verdict: Dict,
+                     options: PipelineOptions) -> Dict:
+    """Assemble a seed record from one pipeline finding."""
+    return {
+        "format": SEED_FORMAT,
+        "generator": generator,
+        "scenario_seed": scenario_seed,
+        "params": params,
+        "options": options.to_dict(),
+        "spec": spec,
+        "spec_sha256": spec_digest(spec),
+        "verdict": verdict,
+        "verdict_sha256": verdict_digest(verdict),
+    }
+
+
+def seed_signature(record: Dict) -> Tuple[str, Tuple[str, ...]]:
+    """The dedup key: generator kind + the sorted violated properties.
+
+    Two findings with the same signature witness the same failure class;
+    the fuzz loop keeps only the first so the corpus stays small while
+    still covering every (generator, failure-mode) pair discovered.
+    """
+    return (record["generator"],
+            tuple(violated_properties(record["verdict"])))
+
+
+def seed_filename(record: Dict) -> str:
+    properties = "_".join(
+        p.lower().replace("-", "") for p in
+        violated_properties(record["verdict"])
+    ) or "clean"
+    return (f"{record['generator']}-{properties}-"
+            f"{record['spec_sha256'][:10]}.json")
+
+
+def write_seed(directory: Path, record: Dict) -> Path:
+    """Write a seed record to ``directory``; returns the file path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / seed_filename(record)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def iter_seed_paths(directory: Path) -> List[Path]:
+    """All seed files under ``directory``, sorted by name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("*.json"))
+
+
+def load_seed(path: Path) -> Dict:
+    """Load and structurally validate one seed file."""
+    path = Path(path)
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise CorpusError(f"unreadable seed file {path}: {exc}") from None
+    if not isinstance(record, dict):
+        raise CorpusError(f"seed file {path} is not a JSON object")
+    missing = _REQUIRED_KEYS - set(record)
+    if missing:
+        raise CorpusError(
+            f"seed file {path} is missing keys {sorted(missing)}"
+        )
+    if record["format"] != SEED_FORMAT:
+        raise CorpusError(
+            f"seed file {path} has format {record['format']!r}, "
+            f"this build reads format {SEED_FORMAT}"
+        )
+    actual = spec_digest(record["spec"])
+    if actual != record["spec_sha256"]:
+        raise CorpusError(
+            f"seed file {path} is corrupt: embedded spec hashes to "
+            f"{actual[:12]}..., recorded {record['spec_sha256'][:12]}..."
+        )
+    return record
+
+
+def load_corpus(directory: Path) -> List[Dict]:
+    """Load every seed under ``directory`` (each validated)."""
+    return [load_seed(path) for path in iter_seed_paths(directory)]
+
+
+def replay_seed(record: Dict) -> Dict:
+    """Re-run the pipeline on the embedded spec; returns the verdict."""
+    options = PipelineOptions.from_dict(record["options"])
+    return run_pipeline(record["spec"], options)
+
+
+def check_seed(record: Dict, *, path: Optional[Path] = None) -> Dict:
+    """Replay one seed and compare digests.
+
+    Returns ``{"ok", "expected", "actual", "verdict"}`` -- the test
+    suite and ``pyrtos-sc fuzz --replay`` both key off ``ok``.
+    """
+    verdict = replay_seed(record)
+    actual = verdict_digest(verdict)
+    return {
+        "ok": actual == record["verdict_sha256"],
+        "path": str(path) if path is not None else None,
+        "expected": record["verdict_sha256"],
+        "actual": actual,
+        "verdict": verdict,
+    }
+
+
+__all__ = [
+    "SEED_FORMAT",
+    "check_seed",
+    "iter_seed_paths",
+    "load_corpus",
+    "load_seed",
+    "make_seed_record",
+    "replay_seed",
+    "seed_filename",
+    "seed_signature",
+    "write_seed",
+]

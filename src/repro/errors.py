@@ -96,6 +96,14 @@ class CampaignError(ReproError):
     """
 
 
+class CorpusError(ReproError):
+    """A scenario generator, batch matrix or fuzz loop was misused.
+
+    Raised by :mod:`repro.corpus` for unknown generator kinds, malformed
+    batch-matrix documents, and corrupt or unreproducible seed files.
+    """
+
+
 class RunTimeout(BaseException):
     """A campaign run exceeded its per-run wall-clock timeout.
 

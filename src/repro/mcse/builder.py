@@ -70,10 +70,23 @@ from .function import Function
 from .model import System
 
 
+#: The only keys a top-level spec may carry.  Unknown keys are a hard
+#: error: a silently dropped key means the built model is *not* the
+#: model the spec author described (a typo'd ``"functoins"`` list would
+#: simulate an empty system and "pass").
+_TOP_LEVEL_KEYS = frozenset(("name", "relations", "processors", "functions"))
+
+
 def build_system(spec: Dict, sim=None) -> System:
     """Elaborate ``spec`` into a ready-to-run :class:`System`."""
     if not isinstance(spec, dict):
         raise BuildError(f"spec must be a dict, got {type(spec).__name__}")
+    unknown = set(spec) - _TOP_LEVEL_KEYS
+    if unknown:
+        raise BuildError(
+            f"unknown spec keys {sorted(unknown)}; "
+            f"expected a subset of {sorted(_TOP_LEVEL_KEYS)}"
+        )
     system = System(spec.get("name", "system"), sim=sim)
 
     for rel_spec in spec.get("relations", ()):
@@ -88,17 +101,34 @@ def build_system(spec: Dict, sim=None) -> System:
     return system
 
 
+def _elaborate(where: str, call, *args, **kwargs):
+    """Invoke a model factory, turning bad kwargs into a BuildError.
+
+    Specs are plain data, so an unexpected key surfaces as the factory's
+    ``TypeError``; re-raise it as a :class:`BuildError` naming the spec
+    entry instead of leaking a Python signature mismatch.
+    """
+    try:
+        return call(*args, **kwargs)
+    except TypeError as exc:
+        raise BuildError(f"{where}: {exc}") from None
+
+
 def _build_relation(system: System, spec: Dict) -> None:
     kind = spec.pop("kind", None)
     name = spec.pop("name", None)
     if not name:
         raise BuildError(f"relation spec missing a name: {spec!r}")
+    where = f"relation {name!r}"
     if kind == "event":
-        system.event(name, policy=spec.pop("policy", "fugitive"), **spec)
+        _elaborate(where, system.event, name,
+                   policy=spec.pop("policy", "fugitive"), **spec)
     elif kind == "queue":
-        system.queue(name, capacity=spec.pop("capacity", 8), **spec)
+        _elaborate(where, system.queue, name,
+                   capacity=spec.pop("capacity", 8), **spec)
     elif kind == "shared":
-        system.shared(name, initial=spec.pop("initial", None), **spec)
+        _elaborate(where, system.shared, name,
+                   initial=spec.pop("initial", None), **spec)
     else:
         raise BuildError(f"unknown relation kind {kind!r} for {name!r}")
 
@@ -118,7 +148,28 @@ def _build_processor(system: System, spec: Dict) -> None:
     for key in _DURATION_KEYS:
         if key in spec:
             spec[key] = parse_time(spec[key])
-    system.processor(name, **spec)
+    if "windows" in spec:
+        spec["windows"] = _parse_windows(name, spec["windows"])
+    _elaborate(f"processor {name!r}", system.processor, name, **spec)
+
+
+def _parse_windows(name: str, windows) -> List:
+    """Parse ``time_partition`` windows: ``[[partition, duration], ...]``."""
+    if not isinstance(windows, (list, tuple)):
+        raise BuildError(
+            f"processor {name!r}: windows must be a list of "
+            f"[partition, duration] pairs, got {windows!r}"
+        )
+    parsed = []
+    for entry in windows:
+        if (not isinstance(entry, (list, tuple)) or len(entry) != 2
+                or not isinstance(entry[0], str)):
+            raise BuildError(
+                f"processor {name!r}: each window is a "
+                f"[partition, duration] pair, got {entry!r}"
+            )
+        parsed.append((entry[0], parse_time(entry[1])))
+    return parsed
 
 
 #: Optional per-function metadata keys: parsed (as times where noted)
@@ -162,7 +213,8 @@ def _build_function(system: System, spec: Dict) -> None:
                     meta["wcet"] = parsed
             else:
                 meta[key] = parse_time(value) if is_time else value
-    fn = system.function(name, behavior, **spec)
+    fn = _elaborate(f"function {name!r}", system.function, name,
+                    behavior, **spec)
     for key, value in meta.items():
         setattr(fn, key, value)
     ops = getattr(behavior, "script_ops", None)

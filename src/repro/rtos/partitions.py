@@ -28,7 +28,7 @@ from typing import List, Sequence, Tuple
 
 from ..errors import RTOSError
 from ..kernel.time import Time, format_time
-from .policies import SchedulingPolicy
+from .policies import POLICIES, SchedulingPolicy
 
 
 class TimePartitionPolicy(SchedulingPolicy):
@@ -122,3 +122,9 @@ class TimePartitionPolicy(SchedulingPolicy):
             f"{p}:{format_time(d)}" for p, d in self.windows
         )
         return f"<TimePartitionPolicy [{parts}]>"
+
+
+# Registered here (not in the policies module) so the registry entry
+# appears exactly when this policy is importable; the builder accepts
+# {"policy": "time_partition", "windows": [["flight", "5ms"], ...]}.
+POLICIES[TimePartitionPolicy.name] = TimePartitionPolicy

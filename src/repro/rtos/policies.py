@@ -262,7 +262,9 @@ POLICIES: Dict[str, type] = {
 def make_policy(spec: Union[str, SchedulingPolicy, None], **kwargs) -> SchedulingPolicy:
     """Build a policy from a registry name, pass through an instance."""
     if spec is None:
-        return PriorityPreemptivePolicy()
+        # kwargs flow through so an unexpected key raises instead of
+        # being silently dropped with the implied default policy
+        return PriorityPreemptivePolicy(**kwargs)
     if isinstance(spec, SchedulingPolicy):
         if kwargs:
             raise RTOSError("policy kwargs only apply to registry names")

@@ -8,6 +8,7 @@ HTTP (stdlib ``http.server`` only -- no frameworks):
 ``POST /v1/campaign``                 run an MPEG-2 Monte-Carlo campaign
 ``POST /v1/lint``                     static analysis only (no simulation)
 ``POST /v1/verify``                   bounded model checking of a spec
+``POST /v1/corpus``                   generate a scenario spec (synchronous)
 ``GET /v1/jobs/<id>``                 job status + result
 ``GET /v1/jobs/<id>/trace.vcd``       trace exports reusing
 ``GET /v1/jobs/<id>/trace.svg``       :mod:`repro.trace` (VCD / SVG /
@@ -248,7 +249,8 @@ class Gateway:
                 response = self._get_job(match.group("id"),
                                          match.group("export"))
             elif method == "POST" and path in ("/v1/simulate", "/v1/campaign",
-                                               "/v1/lint", "/v1/verify"):
+                                               "/v1/lint", "/v1/verify",
+                                               "/v1/corpus"):
                 response = self._post(path, body, client)
             else:
                 response = self._error(404, "no such endpoint", path=path)
@@ -352,6 +354,8 @@ class Gateway:
             return self._post_simulate(payload)
         if path == "/v1/verify":
             return self._post_verify(payload)
+        if path == "/v1/corpus":
+            return self._post_corpus(payload)
         return self._post_campaign(payload)
 
     @staticmethod
@@ -444,6 +448,46 @@ class Gateway:
         params["sanitize"] = bool(options.get("sanitize", False))
         return self._admit("verify", params,
                            wait=not options.get("async", False))
+
+    def _post_corpus(self, payload: Dict):
+        """Generate a corpus scenario spec, synchronously.
+
+        Generation is pure computation in the milliseconds range, so the
+        response carries the spec directly instead of going through the
+        job queue.  The returned spec can be fed straight back into
+        ``/v1/simulate``, ``/v1/lint`` or ``/v1/verify``.
+        """
+        unknown = set(payload) - {"generator", "seed", "params"}
+        if unknown:
+            raise BadRequest(
+                f"unknown corpus key(s) {sorted(unknown)}; "
+                "accepted: ['generator', 'params', 'seed']"
+            )
+        from ..corpus import GENERATORS, generate, spec_digest
+        from ..errors import CorpusError
+
+        generator = payload.get("generator")
+        if not isinstance(generator, str):
+            raise BadRequest(
+                f'"generator" must be one of {sorted(GENERATORS)}'
+            )
+        seed = payload.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise BadRequest('"seed" must be an integer')
+        params = payload.get("params")
+        if params is not None and not isinstance(params, dict):
+            raise BadRequest('"params" must be an object')
+        try:
+            spec = generate(generator, seed, params)
+        except CorpusError as exc:
+            raise BadRequest(str(exc)) from None
+        return self._json(200, {
+            "generator": generator,
+            "seed": seed,
+            "params": params or {},
+            "spec": spec,
+            "spec_sha256": spec_digest(spec),
+        })
 
     def _post_campaign(self, payload: Dict):
         unknown = set(payload) - _CAMPAIGN_KEYS

@@ -112,6 +112,59 @@ def _multi_metric(seed):
     return {"zebra": 1, "alpha": 2, "mid": 3}
 
 
+def _store_batch(args):
+    """Worker: append a disjoint batch of entries to the shared cache."""
+    root, offset, count = args
+    spec = spec_from_experiment(counting_experiment, name="shared")
+    cache = ResultCache(root)
+    for seed in range(offset, offset + count):
+        cache.store(spec, {"seed": seed}, {"value": seed * 10})
+    return count
+
+
+class TestMultiprocessWriters:
+    """Concurrent writer processes append to the same JSONL file.
+
+    The cache opens files in append mode and writes one short line per
+    store; with several processes interleaving appends, a fresh cache
+    must still serve every entry (and, per the torn-line tests above,
+    skip anything a crash left half-written rather than poisoning the
+    file).
+    """
+
+    def test_concurrent_stores_all_survive(self, tmp_path):
+        import concurrent.futures
+
+        batches = [(str(tmp_path), offset, 25)
+                   for offset in range(0, 100, 25)]
+        with concurrent.futures.ProcessPoolExecutor(max_workers=4) as pool:
+            written = sum(pool.map(_store_batch, batches))
+        assert written == 100
+
+        spec = spec_from_experiment(counting_experiment, name="shared")
+        fresh = ResultCache(str(tmp_path))
+        for seed in range(100):
+            record = fresh.lookup(spec, {"seed": seed})
+            assert record is not None, f"entry for seed {seed} lost"
+            assert record["metrics"] == {"value": seed * 10}
+        assert fresh.hits == 100 and fresh.misses == 0
+
+    def test_interleaved_writers_then_torn_tail(self, tmp_path):
+        import concurrent.futures
+
+        batches = [(str(tmp_path), offset, 10)
+                   for offset in range(0, 20, 10)]
+        with concurrent.futures.ProcessPoolExecutor(max_workers=2) as pool:
+            list(pool.map(_store_batch, batches))
+        spec = spec_from_experiment(counting_experiment, name="shared")
+        cache = ResultCache(str(tmp_path))
+        with open(cache.path_for(spec), "a") as handle:
+            handle.write('{"key": "torn-by-a-crash')
+        fresh = ResultCache(str(tmp_path))
+        assert all(fresh.lookup(spec, {"seed": seed}) is not None
+                   for seed in range(20))
+
+
 class TestBoundedGrowth:
     def _fill(self, cache, names, runs=2):
         for stamp, name in enumerate(names):

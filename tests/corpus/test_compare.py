@@ -1,0 +1,88 @@
+"""The compare audit: verdict flips, digest drift and metric deltas."""
+
+import json
+
+import pytest
+
+from repro.corpus import compare_reports, format_comparison, load_report
+from repro.errors import CorpusError
+
+
+def _cell(key, properties=(), digest="d0", end_time=100):
+    return {"key": key, "metrics": {
+        "properties": list(properties),
+        "verdict_sha256": digest,
+        "end_time": end_time,
+        "lint_errors": 0,
+        "lint_warnings": 1,
+    }}
+
+
+def _report(*cells):
+    return {"cells": list(cells)}
+
+
+class TestCompare:
+    def test_identical_reports(self):
+        report = _report(_cell("k1"), _cell("k2", ["RTS-V002"], "d2"))
+        diff = compare_reports(report, json.loads(json.dumps(report)))
+        assert diff["identical"]
+        assert diff["matched"] == 2
+        assert not diff["verdict_flips"] and not diff["digest_drift"]
+        assert "identical" in format_comparison(diff)
+
+    def test_verdict_flip_is_loudest(self):
+        before = _report(_cell("k1"))
+        after = _report(_cell("k1", ["RTS-V002"], "d9"))
+        diff = compare_reports(before, after,
+                               label_a="before", label_b="after")
+        assert not diff["identical"]
+        assert diff["verdict_flips"] == [{
+            "key": "k1", "before": [], "after": ["RTS-V002"],
+        }]
+        assert diff["digest_drift"] == []  # a flip is not also drift
+        assert "RTS-V002" in format_comparison(diff)
+
+    def test_digest_drift_without_flip(self):
+        before = _report(_cell("k1", ["RTS-V001"], "d1"))
+        after = _report(_cell("k1", ["RTS-V001"], "d2"))
+        diff = compare_reports(before, after)
+        assert diff["verdict_flips"] == []
+        assert diff["digest_drift"] == ["k1"]
+        assert not diff["identical"]
+
+    def test_unmatched_cells_break_identity(self):
+        diff = compare_reports(_report(_cell("k1"), _cell("k2")),
+                               _report(_cell("k1")))
+        assert diff["only_a"] == ["k2"] and diff["only_b"] == []
+        assert not diff["identical"]
+
+    def test_metric_distributions(self):
+        before = _report(_cell("k1", end_time=100),
+                         _cell("k2", end_time=200))
+        after = _report(_cell("k1", end_time=110),
+                        _cell("k2", end_time=230))
+        diff = compare_reports(before, after)
+        stat = diff["metrics"]["end_time"]
+        assert stat["a"] == {"n": 2, "min": 100, "max": 200, "mean": 150}
+        assert stat["mean_delta"] == 20
+
+    def test_duplicate_keys_are_rejected(self):
+        with pytest.raises(CorpusError, match="duplicate"):
+            compare_reports(_report(_cell("k1"), _cell("k1")), _report())
+
+
+class TestLoadReport:
+    def test_loads_batch_run_output(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text(json.dumps(_report(_cell("k1"))))
+        assert load_report(path)["cells"]
+
+    def test_rejects_non_reports(self, tmp_path):
+        path = tmp_path / "not.json"
+        path.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(CorpusError, match="not a batch-run report"):
+            load_report(path)
+        missing = tmp_path / "missing.json"
+        with pytest.raises(CorpusError, match="unreadable"):
+            load_report(missing)

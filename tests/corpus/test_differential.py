@@ -1,0 +1,72 @@
+"""Differential tests: the static analyzers vs the simulator.
+
+The soundness direction the pipeline checks: for generated periodic
+sets inside the exact-RTA model class (one processor, fixed-priority
+preemptive, zero overheads, non-blocking scripts), a deadline miss
+*observed* by the nominal monitored run must have been *predicted* by
+the static schedulability rules (RTS103/RTS104/RTS105).  Sweeping a
+seeded band of utilizations straddling 1.0 exercises both schedulable
+and overloaded sets; any contradiction is a stack bug and fails here.
+"""
+
+import pytest
+
+from repro.corpus import PipelineOptions, generate, run_pipeline
+from repro.corpus.pipeline import STATIC_SCHED_RULES, _rta_exact
+from repro.kernel.time import MS
+
+OPTIONS = PipelineOptions(horizon=100 * MS, verify=False)
+
+SWEEP = [(seed, 0.35 + (seed % 10) * 0.1)  # 0.35 .. 1.25
+         for seed in range(40)]
+
+
+class TestStaticNeverContradictsObserved:
+    @pytest.mark.parametrize("seed,utilization", SWEEP)
+    def test_observed_miss_implies_static_flag(self, seed, utilization):
+        spec = generate("periodic", seed, {
+            "n": 3 + seed % 3,
+            "utilization": round(utilization, 3),
+            "deadline_ratio": 1.0,
+        })
+        assert _rta_exact(spec), "generated periodic sets must be RTA-exact"
+        verdict = run_pipeline(spec, OPTIONS)
+        assert "crash" not in verdict, verdict
+        assert verdict["differential"] == [], (
+            seed, utilization, verdict["lint"], verdict["simulate"]
+        )
+
+    def test_sweep_covers_both_outcomes(self):
+        """The sweep is only meaningful if it produces misses AND passes."""
+        missed = flagged = clean = 0
+        for seed, utilization in SWEEP[:20]:
+            spec = generate("periodic", seed, {
+                "n": 3 + seed % 3,
+                "utilization": round(utilization, 3),
+                "deadline_ratio": 1.0,
+            })
+            verdict = run_pipeline(spec, OPTIONS)
+            rules = set(verdict["lint"]["errors"]) | \
+                set(verdict["lint"]["warnings"])
+            if "RTS-V002" in verdict["simulate"]["violations"]:
+                missed += 1
+            if rules & STATIC_SCHED_RULES:
+                flagged += 1
+            else:
+                clean += 1
+        assert missed > 0, "sweep never overloaded the processor"
+        assert flagged > 0 and clean > 0, (missed, flagged, clean)
+
+
+class TestRtaExactGate:
+    def test_blocking_scripts_are_outside_the_model_class(self):
+        assert not _rta_exact(generate("contention", 0))
+        assert not _rta_exact(generate("dag", 0))
+
+    def test_overheads_are_outside_the_model_class(self):
+        spec = generate("periodic", 0, {"overhead_us": 5})
+        assert not _rta_exact(spec)
+
+    def test_jitter_is_outside_the_model_class(self):
+        spec = generate("periodic", 0, {"jitter_us": 10})
+        assert not _rta_exact(spec)

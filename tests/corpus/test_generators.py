@@ -1,0 +1,224 @@
+"""Property-based tests over the scenario generators.
+
+Each test sweeps many seeds (well over 100 generated task sets in
+total) and asserts the invariant the generator advertises: utilization
+stays within the sampled bound, harmonic period sets divide pairwise,
+automotive periods come from the classical set, DAGs are acyclic,
+ordered contention acquires in global index order, and every generator
+is a pure function of ``(kind, seed, params)``.
+"""
+
+import pytest
+
+from repro.campaign.spec import canonical_json
+from repro.corpus import (
+    AUTOMOTIVE_PERIODS_US,
+    GENERATORS,
+    generate,
+    spec_digest,
+)
+from repro.errors import CorpusError
+from repro.kernel.simulator import Simulator
+from repro.kernel.time import parse_time
+from repro.mcse.builder import build_system
+
+PERIODIC_SEEDS = range(30)
+FAMILY_SEEDS = range(20)
+STRUCTURED_SEEDS = range(12)
+
+
+def _functions(spec):
+    return {fn["name"]: fn for fn in spec["functions"]}
+
+
+def _flat_ops(script):
+    ops = []
+    for op in script:
+        ops.append(op)
+        if op[0] == "loop":
+            ops.extend(_flat_ops(op[2]))
+    return ops
+
+
+class TestPeriodic:
+    @pytest.mark.parametrize("seed", PERIODIC_SEEDS)
+    def test_utilization_within_sampled_bound(self, seed):
+        utilization = 0.4 + (seed % 9) / 10.0  # 0.4 .. 1.2
+        spec = generate("periodic", seed, {"n": 4,
+                                           "utilization": utilization})
+        total = sum(parse_time(fn["wcet"]) / parse_time(fn["period"])
+                    for fn in spec["functions"])
+        # wcet rounds to integer microseconds; periods are >= 1000us so
+        # the rounding slack per task is below 0.1%.
+        assert total <= utilization + 0.01, (seed, total, utilization)
+        assert total > 0
+
+    @pytest.mark.parametrize("seed", PERIODIC_SEEDS)
+    def test_rate_monotonic_priorities(self, seed):
+        spec = generate("periodic", seed, {"n": 5})
+        tasks = [(parse_time(fn["period"]), fn["priority"], fn["name"])
+                 for fn in spec["functions"]]
+        by_rate = sorted(tasks)
+        priorities = [prio for _, prio, _ in by_rate]
+        # shorter period (ties broken by name) => strictly higher number
+        assert priorities == sorted(priorities, reverse=True), tasks
+
+    def test_deadline_ratio_and_jitter_annotations(self):
+        spec = generate("periodic", 7, {"n": 3, "deadline_ratio": 0.8,
+                                        "jitter_us": 10})
+        for fn in spec["functions"]:
+            assert parse_time(fn["deadline"]) <= parse_time(fn["period"])
+            assert fn["jitter"] == "10us"
+        bare = generate("periodic", 7, {"n": 3, "deadline_ratio": None})
+        assert all("deadline" not in fn for fn in bare["functions"])
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(CorpusError):
+            generate("periodic", 0, {"n": 0})
+        with pytest.raises(CorpusError):
+            generate("periodic", 0, {"utilization": -0.5})
+        with pytest.raises(CorpusError):
+            generate("periodic", 0, {"periods": "nope"})
+        with pytest.raises(CorpusError):
+            generate("periodic", 0, {"no_such_param": 1})
+
+
+class TestPeriodFamilies:
+    @pytest.mark.parametrize("seed", FAMILY_SEEDS)
+    def test_harmonic_periods_divide_pairwise(self, seed):
+        spec = generate("harmonic", seed, {"n": 5})
+        periods = sorted(parse_time(fn["period"])
+                         for fn in spec["functions"])
+        for small, large in zip(periods, periods[1:]):
+            assert large % small == 0, (seed, periods)
+
+    @pytest.mark.parametrize("seed", FAMILY_SEEDS)
+    def test_automotive_periods_come_from_the_set(self, seed):
+        spec = generate("automotive", seed, {"n": 6})
+        allowed = {p * 10 ** 9 for p in AUTOMOTIVE_PERIODS_US}  # us -> fs
+        for fn in spec["functions"]:
+            assert parse_time(fn["period"]) in allowed, fn
+
+
+class TestDag:
+    @pytest.mark.parametrize("seed", STRUCTURED_SEEDS)
+    def test_edges_are_acyclic_and_wired_through_events(self, seed):
+        spec = generate("dag", seed, {"nodes": 7, "edge_prob": 0.5})
+        edges = []
+        for relation in spec["relations"]:
+            assert relation["kind"] == "event"
+            assert relation["policy"] == "counter"
+            src, dst = relation["name"][1:].split("_")
+            edges.append((int(src), int(dst)))
+        # acyclic by construction: every edge goes index-upward
+        assert all(src < dst for src, dst in edges), edges
+        names = {fn["name"] for fn in spec["functions"]}
+        assert names == {f"n{i}" for i in range(7)}
+
+    def test_every_edge_has_matching_signal_and_wait(self):
+        spec = generate("dag", 3, {"nodes": 6, "edge_prob": 0.5})
+        signalled, waited = set(), set()
+        for fn in spec["functions"]:
+            for op in _flat_ops(fn["script"]):
+                if op[0] == "signal":
+                    signalled.add(op[1])
+                elif op[0] == "wait":
+                    waited.add(op[1])
+        events = {r["name"] for r in spec["relations"]}
+        assert signalled == events and waited == events
+
+
+class TestBursty:
+    @pytest.mark.parametrize("seed", STRUCTURED_SEEDS)
+    def test_handler_outranks_background_load(self, seed):
+        spec = generate("bursty", seed)
+        functions = _functions(spec)
+        handler = functions["irq_handler"]
+        others = [fn.get("priority", 0) for name, fn in functions.items()
+                  if name != "irq_handler"]
+        assert all(handler["priority"] > p for p in others)
+        irq = spec["relations"][0]
+        assert irq == {"kind": "event", "name": "irq", "policy": "counter"}
+
+
+class TestPartitioned:
+    @pytest.mark.parametrize("seed", STRUCTURED_SEEDS)
+    def test_periods_are_major_frame_multiples(self, seed):
+        spec = generate("partitioned", seed, {"partitions": 3})
+        windows = spec["processors"][0]["windows"]
+        assert len(windows) == 3
+        major_frame = sum(parse_time(d) for _, d in windows)
+        names = {name for name, _ in windows}
+        for fn in spec["functions"]:
+            assert fn["partition"] in names
+            assert parse_time(fn["period"]) % major_frame == 0
+            assert parse_time(fn["wcet"]) <= parse_time(fn["period"])
+
+
+class TestContention:
+    @pytest.mark.parametrize("seed", STRUCTURED_SEEDS)
+    def test_ordered_acquisition_is_sorted(self, seed):
+        spec = generate("contention", seed, {"ordered": True})
+        for fn in spec["functions"]:
+            locks = [int(op[1][1:]) for op in _flat_ops(fn["script"])
+                     if op[0] == "lock"]
+            unlocks = [int(op[1][1:]) for op in _flat_ops(fn["script"])
+                       if op[0] == "unlock"]
+            assert locks == sorted(locks), (seed, fn["name"], locks)
+            assert unlocks == list(reversed(locks))
+
+    def test_intervals_and_think_time_shape_the_script(self):
+        spec = generate("contention", 1, {"ordered": False,
+                                          "intervals": True,
+                                          "think_us": 20})
+        ops = _flat_ops(spec["functions"][0]["script"])
+        assert any(op[0] == "execute" and ".." in op[1] for op in ops)
+        assert any(op[0] == "delay" and op[1] == "20us" for op in ops)
+
+    def test_tasks_deal_round_robin_over_processors(self):
+        spec = generate("contention", 2, {"tasks": 4, "processors": 2})
+        assert [p["name"] for p in spec["processors"]] == ["cpu0", "cpu1"]
+        placements = [fn["processor"] for fn in spec["functions"]]
+        assert placements == ["cpu0", "cpu1", "cpu0", "cpu1"]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", sorted(GENERATORS))
+    @pytest.mark.parametrize("seed", range(5))
+    def test_same_inputs_same_canonical_json(self, kind, seed):
+        first = generate(kind, seed)
+        second = generate(kind, seed)
+        assert canonical_json(first) == canonical_json(second)
+        assert spec_digest(first) == spec_digest(second)
+
+    @pytest.mark.parametrize("kind", sorted(GENERATORS))
+    def test_different_seeds_differ(self, kind):
+        digests = {spec_digest(generate(kind, seed)) for seed in range(6)}
+        assert len(digests) > 1, kind
+
+    def test_fuzz_samplers_are_seeded(self):
+        import random
+        for kind, gen in GENERATORS.items():
+            a = gen.fuzz(random.Random(f"{kind}:params:42"))
+            b = gen.fuzz(random.Random(f"{kind}:params:42"))
+            assert a == b, kind
+
+
+class TestEverySpecBuilds:
+    @pytest.mark.parametrize("kind", sorted(GENERATORS))
+    @pytest.mark.parametrize("seed", range(3))
+    def test_build_system_accepts_the_spec(self, kind, seed):
+        spec = generate(kind, seed)
+        system = build_system(spec, sim=Simulator(f"gen-{kind}-{seed}"))
+        assert len(system.functions) == len(spec["functions"])
+
+
+class TestRegistry:
+    def test_unknown_kind_is_a_corpus_error(self):
+        with pytest.raises(CorpusError, match="unknown generator"):
+            generate("nope", 0)
+
+    def test_registry_descriptions_are_set(self):
+        for gen in GENERATORS.values():
+            assert gen.description
+            assert callable(gen.build) and callable(gen.fuzz)

@@ -1,0 +1,120 @@
+"""Batch matrices: expansion, validation and the cached campaign run."""
+
+import json
+
+import pytest
+
+from repro.campaign import ResultCache
+from repro.corpus import (
+    cell_key,
+    expand_matrix,
+    load_matrix,
+    run_cell,
+    run_matrix,
+    validate_matrix,
+)
+from repro.errors import CorpusError
+
+TINY = {
+    "name": "tiny",
+    "generator": "periodic",
+    "seeds": [0, 1],
+    "parameters": {"n": [2], "utilization": [0.4, 1.2]},
+    "options": {"horizon": "20ms", "verify": False},
+}
+
+
+class TestExpansion:
+    def test_cartesian_product(self):
+        cells = expand_matrix(TINY)
+        assert len(cells) == 2 * 1 * 2  # seeds x n x utilization
+        keys = [cell_key(cell) for cell in cells]
+        assert len(set(keys)) == len(keys)
+
+    def test_generator_list_and_seed_object(self):
+        doc = {"generator": ["periodic", "dag"],
+               "seeds": {"count": 3, "start": 10}}
+        cells = expand_matrix(doc)
+        assert len(cells) == 6
+        assert {c["scenario_seed"] for c in cells} == {10, 11, 12}
+
+    def test_defaults_cover_every_generator(self):
+        cells = expand_matrix({})
+        assert len({c["generator"] for c in cells}) >= 7
+
+    def test_cell_key_is_order_independent(self):
+        a = {"generator": "dag", "scenario_seed": 1,
+             "params": {"x": 1, "y": 2}}
+        b = {"generator": "dag", "scenario_seed": 1,
+             "params": {"y": 2, "x": 1}}
+        assert cell_key(a) == cell_key(b)
+
+
+class TestValidation:
+    def test_unknown_matrix_key(self):
+        with pytest.raises(CorpusError, match="unknown matrix keys"):
+            validate_matrix({"generators": "periodic"})
+
+    def test_unknown_generator(self):
+        with pytest.raises(CorpusError, match="unknown generators"):
+            validate_matrix({"generator": "nope"})
+
+    def test_malformed_parameters(self):
+        with pytest.raises(CorpusError, match="non-empty list"):
+            validate_matrix({"parameters": {"n": 3}})
+
+    def test_malformed_seeds(self):
+        with pytest.raises(CorpusError, match="seeds"):
+            validate_matrix({"seeds": "all"})
+        with pytest.raises(CorpusError, match="count"):
+            validate_matrix({"seeds": {"count": 0}})
+
+    def test_load_matrix_file(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(TINY))
+        assert load_matrix(path) == TINY
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(CorpusError, match="unreadable"):
+            load_matrix(bad)
+
+
+class TestRunMatrix:
+    def test_report_shape_and_summary(self):
+        report = run_matrix(TINY)
+        assert report["name"] == "tiny"
+        summary = report["summary"]
+        assert summary["cells"] == summary["completed"] == 4
+        assert summary["failed"] == 0
+        assert summary["violating"] >= 1  # utilization 1.2 must miss
+        assert "RTS-V002" in summary["by_property"]
+        for cell in report["cells"]:
+            metrics = cell["metrics"]
+            assert set(metrics) >= {"spec_sha256", "verdict_sha256",
+                                    "properties", "end_time"}
+
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cold = run_matrix(TINY, cache=cache)
+        assert cold["summary"]["cache_misses"] == 4
+        warm = run_matrix(TINY, cache=cache)
+        assert warm["summary"]["cache_hits"] == 4
+        assert all(cell["cached"] for cell in warm["cells"])
+        assert [c["metrics"] for c in warm["cells"]] == \
+            [c["metrics"] for c in cold["cells"]]
+
+    def test_multiprocess_workers_agree_with_serial(self):
+        serial = run_matrix(TINY)
+        pooled = run_matrix(TINY, workers=2)
+        assert [c["metrics"]["verdict_sha256"] for c in serial["cells"]] == \
+            [c["metrics"]["verdict_sha256"] for c in pooled["cells"]]
+
+    def test_empty_expansion_is_an_error(self):
+        with pytest.raises(CorpusError, match="zero cells"):
+            run_matrix({"seeds": []})
+
+    def test_run_cell_is_deterministic(self):
+        cell = {"generator": "periodic", "scenario_seed": 3,
+                "params": {"n": 2},
+                "options": {"horizon": "20ms", "verify": False}}
+        assert run_cell(cell) == run_cell(cell)

@@ -35,6 +35,7 @@ class TestRegistry:
             "edf",
             "llf",
             "lottery",
+            "time_partition",
         }
 
     def test_make_policy_default(self):

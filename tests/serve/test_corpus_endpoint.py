@@ -1,0 +1,85 @@
+"""POST /v1/corpus: synchronous scenario generation over HTTP."""
+
+from repro.corpus import generate, spec_digest
+
+
+class TestCorpusEndpoint:
+    def test_generates_the_same_spec_as_the_library(self, client):
+        status, payload = client.post_json(
+            "/v1/corpus", {"generator": "periodic", "seed": 3}
+        )
+        assert status == 200
+        assert payload["generator"] == "periodic"
+        assert payload["seed"] == 3
+        assert payload["spec"] == generate("periodic", 3)
+        assert payload["spec_sha256"] == spec_digest(payload["spec"])
+
+    def test_params_are_forwarded(self, client):
+        status, payload = client.post_json("/v1/corpus", {
+            "generator": "contention", "seed": 1,
+            "params": {"tasks": 2, "ordered": False},
+        })
+        assert status == 200
+        expected = generate("contention", 1,
+                            {"tasks": 2, "ordered": False})
+        assert payload["spec"] == expected
+        assert payload["params"] == {"tasks": 2, "ordered": False}
+
+    def test_two_posts_are_byte_identical(self, client):
+        body = {"generator": "dag", "seed": 9}
+        first = client.post("/v1/corpus", body)
+        second = client.post("/v1/corpus", body)
+        assert first[0] == second[0] == 200
+        assert first[2] == second[2]
+
+    def test_generated_spec_round_trips_through_simulate(self, client):
+        status, payload = client.post_json(
+            "/v1/corpus",
+            {"generator": "periodic", "seed": 2, "params": {"n": 2}},
+        )
+        assert status == 200
+        status, outcome = client.post_json(
+            "/v1/simulate",
+            {"spec": payload["spec"], "duration": "10ms"},
+        )
+        assert status == 200
+        assert outcome["state"] == "done"
+
+
+class TestCorpusEndpointValidation:
+    def test_unknown_generator_is_400(self, client):
+        status, payload = client.post_json(
+            "/v1/corpus", {"generator": "nope"}
+        )
+        assert status == 400
+        assert "unknown generator" in payload["error"]
+
+    def test_unknown_keys_are_400(self, client):
+        status, payload = client.post_json(
+            "/v1/corpus", {"generator": "periodic", "sede": 1}
+        )
+        assert status == 400
+        assert "sede" in payload["error"]
+
+    def test_missing_generator_is_400(self, client):
+        status, payload = client.post_json("/v1/corpus", {"seed": 1})
+        assert status == 400
+
+    def test_boolean_seed_is_400(self, client):
+        status, _ = client.post_json(
+            "/v1/corpus", {"generator": "periodic", "seed": True}
+        )
+        assert status == 400
+
+    def test_non_object_params_is_400(self, client):
+        status, _ = client.post_json(
+            "/v1/corpus", {"generator": "periodic", "params": [1]}
+        )
+        assert status == 400
+
+    def test_bad_generator_params_are_400(self, client):
+        status, payload = client.post_json(
+            "/v1/corpus", {"generator": "periodic", "params": {"n": 0}}
+        )
+        assert status == 400
+        assert "periodic" in payload["error"]
