@@ -1,0 +1,183 @@
+"""Multicore dispatch throughput: switches/s and migrations/s vs cores.
+
+Not a paper figure -- the calibration point for :mod:`repro.smp`
+scheduling domains.  The question it answers: what does coordinating M
+cores through one shared ready pool cost relative to partitioned
+(independent per-core) dispatch, and how much cross-core traffic does
+global EDF actually generate?
+
+For M in {1, 2, 4} and each dispatch kind the harness simulates the
+same seeded periodic workload (``repro.corpus`` ``smp`` generator,
+4 tasks and 0.55 utilization per core, 5 us migration cost) for a
+fixed horizon and reports dispatches/s and migrations/s of wall time
+plus the simulated-time speed.  Emitted as ``BENCH_smp_scaling.json``::
+
+    PYTHONPATH=src python benchmarks/bench_smp_scaling.py
+    PYTHONPATH=src python benchmarks/bench_smp_scaling.py --smoke
+"""
+
+import argparse
+import sys
+import time
+
+from _report import (
+    check_envelope,
+    check_fields,
+    repo_root_path,
+    report_meta,
+    write_report,
+)
+from repro.corpus import generate
+from repro.kernel.time import MS
+from repro.mcse.builder import build_system
+
+SCHEMA_VERSION = 1
+
+#: Workload scale per core: the per-core task count and utilization are
+#: held constant, so the machine-wide load grows with M and the
+#: M-core/1-core throughput ratio isolates the domain coordination cost.
+TASKS_PER_CORE = 4
+UTILIZATION_PER_CORE = 0.55
+MIGRATION_COST_US = 5
+SCENARIO_SEED = 42
+
+
+def smp_spec(cores: int, dispatch: str) -> dict:
+    params = {
+        "cores": cores,
+        "n": TASKS_PER_CORE * cores,
+        "utilization": UTILIZATION_PER_CORE * cores,
+        "dispatch": dispatch,
+        "period_min_us": 500,
+        "period_max_us": 10_000,
+    }
+    if dispatch == "global":
+        params["policy"] = "global_edf"
+        params["migration_cost_us"] = MIGRATION_COST_US
+    return generate("smp", SCENARIO_SEED, params)
+
+
+def _entry(cores: int, dispatch: str, horizon_ms: int,
+           rounds: int) -> dict:
+    best = None
+    for _ in range(rounds):
+        system = build_system(smp_spec(cores, dispatch))
+        started = time.perf_counter()
+        system.run(horizon_ms * MS)
+        wall = time.perf_counter() - started
+        if best is None or wall < best[0]:
+            best = (wall, system)
+    wall, system = best
+    switches = sum(
+        cpu.stats()["dispatches"] for cpu in system.processors.values()
+    )
+    domain = system.domains["dom0"]
+    migrations = domain.migration_total
+    return {
+        "cores": cores,
+        "dispatch": dispatch,
+        "tasks": TASKS_PER_CORE * cores,
+        "horizon_ms": horizon_ms,
+        "wall_s": round(wall, 6),
+        "switches": switches,
+        "migrations": migrations,
+        "switches_per_s": round(switches / wall, 1) if wall > 0 else 0.0,
+        "migrations_per_s": (
+            round(migrations / wall, 1) if wall > 0 else 0.0
+        ),
+        "sim_ms_per_wall_s": (
+            round(horizon_ms / wall, 1) if wall > 0 else 0.0
+        ),
+    }
+
+
+def measure(smoke: bool = False, rounds: int = 3) -> dict:
+    horizon_ms = 25 if smoke else 250
+    scaling = [
+        _entry(cores, dispatch, horizon_ms, rounds)
+        for cores in (1, 2, 4)
+        for dispatch in ("global", "partitioned")
+    ]
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "meta": report_meta(smoke, rounds=rounds),
+        "workload": {
+            "tasks_per_core": TASKS_PER_CORE,
+            "utilization_per_core": UTILIZATION_PER_CORE,
+            "migration_cost_us": MIGRATION_COST_US,
+            "scenario_seed": SCENARIO_SEED,
+        },
+        "scaling": scaling,
+    }
+
+
+def validate_schema(payload: dict) -> None:
+    """Assert the JSON shape downstream tooling (and CI) relies on."""
+    check_envelope(payload, SCHEMA_VERSION)
+    check_fields(payload["workload"], (
+        ("tasks_per_core", int),
+        ("utilization_per_core", (int, float)),
+        ("migration_cost_us", int),
+        ("scenario_seed", int),
+    ), context="workload")
+    scaling = payload["scaling"]
+    assert isinstance(scaling, list) and len(scaling) == 6, scaling
+    for entry in scaling:
+        check_fields(entry, (
+            ("cores", int),
+            ("dispatch", str),
+            ("tasks", int),
+            ("horizon_ms", int),
+            ("wall_s", (int, float)),
+            ("switches", int),
+            ("migrations", int),
+            ("switches_per_s", (int, float)),
+            ("migrations_per_s", (int, float)),
+            ("sim_ms_per_wall_s", (int, float)),
+        ), context=f"cores={entry.get('cores')}/{entry.get('dispatch')}")
+        assert entry["switches"] > 0, entry
+        if entry["dispatch"] == "partitioned":
+            # partitioned domains never move tasks, by construction
+            assert entry["migrations"] == 0, entry
+    # global dispatch on a real multicore must actually migrate --
+    # a zero here means the shared pool degenerated to partitioned
+    multicore = [e for e in scaling
+                 if e["dispatch"] == "global" and e["cores"] > 1]
+    assert multicore and all(e["migrations"] > 0 for e in multicore), (
+        scaling
+    )
+
+
+def default_output_path() -> str:
+    return repo_root_path("BENCH_smp_scaling.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="short horizon (CI schema check)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="measurement rounds per cell (keep best)")
+    parser.add_argument("--out", default=default_output_path(),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+    if args.rounds < 1:
+        parser.error(f"--rounds must be >= 1, got {args.rounds}")
+
+    payload = measure(smoke=args.smoke, rounds=args.rounds)
+    validate_schema(payload)
+    write_report(payload, args.out)
+
+    print(f"{'cores':>5} {'dispatch':>12} {'switches':>9} "
+          f"{'migr':>6} {'switch/s':>10} {'migr/s':>8}")
+    for entry in payload["scaling"]:
+        print(f"{entry['cores']:>5} {entry['dispatch']:>12} "
+              f"{entry['switches']:>9} {entry['migrations']:>6} "
+              f"{entry['switches_per_s']:>10.0f} "
+              f"{entry['migrations_per_s']:>8.0f}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

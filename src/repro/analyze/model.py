@@ -46,6 +46,7 @@ from .diagnostics import (
     rule,
 )
 from .lockgraph import find_cycles, lock_usage
+from .multicore import check_domain
 from .schedulability import check_schedulability, periodic_profile
 
 RTS101 = rule("RTS101", "duplicate priorities under a strict priority policy")
@@ -60,6 +61,10 @@ RTS120 = rule("RTS120", "overhead formula fails or returns invalid duration")
 RTS130 = rule("RTS130", "task can never become ready")
 RTS140 = rule("RTS140", "partition window cannot fit its tasks' demand")
 RTS141 = rule("RTS141", "partition label matches no window")
+RTS150 = rule("RTS150", "domain load exceeds total multicore capacity")
+RTS151 = rule("RTS151", "load above the global EDF/RM multicore bound")
+RTS152 = rule("RTS152", "affinity mask excludes every cluster core")
+RTS153 = rule("RTS153", "no partitioned assignment found by first-fit")
 
 
 def analyze_system(system: Any, *, suppress: Iterable[str] = ()) -> Report:
@@ -70,6 +75,8 @@ def analyze_system(system: Any, *, suppress: Iterable[str] = ()) -> Report:
         *(object_suppressions(obj) for obj in system.functions.values()),
         *(object_suppressions(obj) for obj in system.relations.values()),
         *(object_suppressions(obj) for obj in system.processors.values()),
+        *(object_suppressions(obj)
+          for obj in getattr(system, "domains", {}).values()),
     )
     report = Report(suppress=suppressions)
     usages = {
@@ -78,10 +85,17 @@ def analyze_system(system: Any, *, suppress: Iterable[str] = ()) -> Report:
     for processor in system.processors.values():
         _check_priorities(report, processor)
         _check_overheads(report, processor)
-        check_schedulability(
-            report, processor, location=_cpu_loc(processor)
-        )
+        # members of a global/clustered domain pool their capacity, so
+        # the per-core rules (which assume tasks are pinned to their
+        # home core) would mis-report there; the RTS15x rules take over
+        domain = getattr(processor, "domain", None)
+        if domain is None or domain.kind == "partitioned":
+            check_schedulability(
+                report, processor, location=_cpu_loc(processor)
+            )
         _check_partitions(report, processor)
+    for domain in getattr(system, "domains", {}).values():
+        check_domain(report, domain)
     _check_locks(report, system, usages)
     _check_reachability(report, system, usages)
     return report

@@ -83,9 +83,12 @@ def periodic_profile(task: Any) -> Optional[PeriodicTask]:
         return None
     if wcet <= 0 or period <= 0:
         return None
-    speed = getattr(task.processor, "speed", 1.0)
-    if speed != 1.0:
-        wcet = max(1, round(wcet / speed))
+    # One scaling helper shared with the simulator (ProcessorBase
+    # .scale_duration), so heterogeneous-speed analysis can never drift
+    # from what the execute path actually charges.
+    scale = getattr(task.processor, "scale_duration", None)
+    if scale is not None:
+        wcet = scale(wcet)
     return PeriodicTask(
         name=task.name,
         wcet=wcet,

@@ -79,6 +79,7 @@ def _emit_outputs(args, system, recorder) -> None:
                 task_stats_from_functions(system.functions.values()),
                 relation_stats(system.relations.values()),
                 system.processors.values(),
+                getattr(system, "domains", {}).values(),
             )
         )
     if args.svg:
@@ -280,12 +281,17 @@ def _verify_target_spec(target: str) -> dict:
         from .workloads.fig6 import fig6_deadline_miss_spec
 
         return fig6_deadline_miss_spec()
+    if target == "smp-miss":
+        from .smp import smp_miss_spec
+
+        return smp_miss_spec()
     if target.endswith(".json"):
         with open(target) as handle:
             return json.load(handle)
     raise SystemExit(
         f"pyrtos-sc verify: unknown target {target!r} "
-        "(expected fig6, fig6-deadlock, fig6-miss, or a .json spec)"
+        "(expected fig6, fig6-deadlock, fig6-miss, smp-miss, "
+        "or a .json spec)"
     )
 
 
@@ -612,7 +618,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify_parser.add_argument(
         "target",
-        help="fig6 | fig6-deadlock | fig6-miss | spec.json",
+        help="fig6 | fig6-deadlock | fig6-miss | smp-miss | spec.json",
     )
     verify_parser.add_argument("--strategy", default="dfs",
                                choices=("dfs", "random"),

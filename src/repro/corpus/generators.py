@@ -22,6 +22,9 @@ Registry kinds:
 ``partitioned``  ARINC-653-style time partitions with per-partition tasks
 ``contention``   seeded mutex/shared-resource contention; unordered
                  acquisition can (intentionally) deadlock
+``smp``          periodic sets over multicore scheduling domains
+                 (UUniFast across M cores, heterogeneous speeds,
+                 global/partitioned/clustered dispatch, affinity)
 ===============  ===========================================================
 
 Determinism contract: ``generate(kind, seed, params)`` depends only on
@@ -342,6 +345,95 @@ def gen_partitioned(rng: random.Random, *, partitions: int = 2,
 
 
 # ---------------------------------------------------------------------------
+# Multicore scheduling domains
+# ---------------------------------------------------------------------------
+def gen_smp(rng: random.Random, *, cores: int = 2, n: int = 6,
+            utilization: float = 1.2, dispatch: str = "global",
+            policy: str = "global_edf", heterogeneous: bool = False,
+            migration_cost_us: int = 0, affinity_prob: float = 0.0,
+            periods: str = "loguniform", period_min_us: int = 1_000,
+            period_max_us: int = 100_000,
+            deadline_ratio: Optional[float] = 1.0) -> Dict:
+    """A periodic task set over a multicore scheduling domain.
+
+    UUniFast samples ``utilization`` (the *total* across the machine,
+    so values above 1.0 are meaningful up to ``cores``) over ``n``
+    tasks; homes are dealt round-robin over ``cores`` member CPUs.
+    ``dispatch`` picks the domain kind: ``global`` / ``clustered``
+    (cores split into two halves) migrate under ``policy``;
+    ``partitioned`` keeps the round-robin assignment static.
+    ``heterogeneous=True`` slows every odd core to a seeded speed in
+    {0.5, 0.75}, exercising speed-scaled WCETs and the entry-core
+    budget-scaling rule across migrations.  ``affinity_prob`` pins each
+    task (with that probability) to a seeded non-empty core subset.
+    """
+    if cores < 1:
+        raise CorpusError(f"smp: need at least one core, got {cores}")
+    if n < 1:
+        raise CorpusError(f"smp: need at least one task, got {n}")
+    if dispatch not in ("global", "partitioned", "clustered"):
+        raise CorpusError(
+            f"smp: unknown dispatch {dispatch!r} "
+            "(expected global, partitioned or clustered)"
+        )
+    if dispatch == "clustered" and cores < 2:
+        raise CorpusError("smp: clustered dispatch needs at least two cores")
+    core_names = [f"cpu{index}" for index in range(cores)]
+    processors = []
+    for index, core in enumerate(core_names):
+        entry: Dict[str, Any] = {"name": core, "engine": "procedural"}
+        if heterogeneous and index % 2 == 1:
+            entry["speed"] = rng.choice((0.5, 0.75))
+        processors.append(entry)
+
+    shares = uunifast(n, utilization, rng)
+    period_list = _draw_periods(rng, n, periods, period_min_us,
+                                period_max_us)
+    functions = []
+    for index, (share, period) in enumerate(zip(shares, period_list)):
+        # cap per-task utilization at 1.0: one task can never use more
+        # than one core, whatever the dispatch
+        wcet = min(period, max(1, round(period * share)))
+        body: List[list] = [["execute", _us(wcet)]]
+        if period > wcet:
+            body.append(["delay", _us(period - wcet)])
+        fn: Dict[str, Any] = {
+            "name": f"T{index}",
+            "processor": core_names[index % cores],
+            "wcet": _us(wcet),
+            "period": _us(period),
+            "script": [["loop", None, body]],
+        }
+        if deadline_ratio is not None:
+            fn["deadline"] = _us(max(1, round(period * deadline_ratio)))
+        if affinity_prob > 0 and rng.random() < affinity_prob:
+            width = rng.randint(1, cores)
+            fn["affinity"] = sorted(rng.sample(core_names, width))
+        functions.append(fn)
+
+    domain: Dict[str, Any] = {
+        "name": "dom0",
+        "kind": dispatch,
+        "processors": core_names,
+    }
+    if dispatch != "partitioned":
+        domain["policy"] = policy
+        if migration_cost_us > 0:
+            domain["migration_cost"] = _us(migration_cost_us)
+        if dispatch == "clustered":
+            half = max(1, cores // 2)
+            domain["clusters"] = [core_names[:half], core_names[half:]]
+
+    return {
+        "name": f"smp_{dispatch}_m{cores}n{n}",
+        "relations": [],
+        "processors": processors,
+        "scheduling_domains": [domain],
+        "functions": functions,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Mutex / shared-resource contention
 # ---------------------------------------------------------------------------
 def gen_contention(rng: random.Random, *, tasks: int = 3, resources: int = 2,
@@ -461,6 +553,20 @@ def _fuzz_partitioned(rng: random.Random) -> Dict:
     }
 
 
+def _fuzz_smp(rng: random.Random) -> Dict:
+    return {
+        "cores": rng.randint(2, 4),
+        "n": rng.randint(3, 8),
+        "utilization": round(rng.uniform(0.5, 2.5), 3),
+        "dispatch": rng.choice(("global", "global", "partitioned",
+                                "clustered")),
+        "policy": rng.choice(("global_edf", "global_rm")),
+        "heterogeneous": rng.random() < 0.4,
+        "migration_cost_us": rng.choice((0, 0, 5, 20)),
+        "affinity_prob": rng.choice((0.0, 0.0, 0.3)),
+    }
+
+
 def _fuzz_contention(rng: random.Random) -> Dict:
     return {
         "tasks": rng.randint(2, 4),
@@ -500,6 +606,8 @@ GENERATORS: Dict[str, Generator] = {
                   "ARINC-653-style time-partitioned processors"),
         Generator("contention", gen_contention, _fuzz_contention,
                   "seeded nested locking over shared variables"),
+        Generator("smp", gen_smp, _fuzz_smp,
+                  "periodic task sets over multicore scheduling domains"),
     )
 }
 
@@ -530,6 +638,7 @@ __all__ = [
     "gen_dag",
     "gen_partitioned",
     "gen_periodic",
+    "gen_smp",
     "generate",
     "spec_digest",
     "uunifast",

@@ -74,7 +74,9 @@ from .model import System
 #: error: a silently dropped key means the built model is *not* the
 #: model the spec author described (a typo'd ``"functoins"`` list would
 #: simulate an empty system and "pass").
-_TOP_LEVEL_KEYS = frozenset(("name", "relations", "processors", "functions"))
+_TOP_LEVEL_KEYS = frozenset(
+    ("name", "relations", "processors", "scheduling_domains", "functions")
+)
 
 
 def build_system(spec: Dict, sim=None) -> System:
@@ -94,6 +96,9 @@ def build_system(spec: Dict, sim=None) -> System:
 
     for cpu_spec in spec.get("processors", ()):
         _build_processor(system, dict(cpu_spec))
+
+    for dom_spec in spec.get("scheduling_domains", ()):
+        _build_domain(system, dict(dom_spec))
 
     for fn_spec in spec.get("functions", ()):
         _build_function(system, dict(fn_spec))
@@ -153,6 +158,68 @@ def _build_processor(system: System, spec: Dict) -> None:
     _elaborate(f"processor {name!r}", system.processor, name, **spec)
 
 
+#: The declarative surface of a scheduling-domain entry.  Kept strict --
+#: a typo'd key must fail naming the key, not surface as a policy
+#: constructor signature mismatch.
+_DOMAIN_KEYS = frozenset(
+    ("kind", "policy", "processors", "migration_cost", "clusters")
+)
+
+
+def _build_domain(system: System, spec: Dict) -> None:
+    """Elaborate one ``scheduling_domains`` entry (see :mod:`repro.smp`).
+
+    Shape::
+
+        {"name": "dom0", "kind": "global", "policy": "global_edf",
+         "processors": ["cpu0", "cpu1"], "migration_cost": "10us",
+         "clusters": [["cpu0"], ["cpu1"]]}   # clustered kind only
+
+    Unknown keys hard-reject through the domain factory, like every
+    other spec entry.
+    """
+    name = spec.pop("name", None)
+    if not name:
+        raise BuildError(f"scheduling domain spec missing a name: {spec!r}")
+    where = f"scheduling domain {name!r}"
+    unknown = set(spec) - _DOMAIN_KEYS
+    if unknown:
+        raise BuildError(
+            f"{where}: unknown keys {sorted(unknown)}; expected a subset "
+            f"of {sorted(_DOMAIN_KEYS | {'name'})}"
+        )
+    processors = spec.pop("processors", None)
+    if not isinstance(processors, (list, tuple)) or not processors:
+        raise BuildError(f"{where} needs a non-empty processors list")
+    members = [_domain_processor(system, where, entry) for entry in processors]
+    if "migration_cost" in spec:
+        spec["migration_cost"] = parse_time(spec["migration_cost"])
+    if "clusters" in spec:
+        clusters = spec["clusters"]
+        if not isinstance(clusters, (list, tuple)):
+            raise BuildError(
+                f"{where}: clusters must be a list of processor-name lists"
+            )
+        spec["clusters"] = [
+            [_domain_processor(system, where, entry) for entry in group]
+            for group in clusters
+        ]
+    _elaborate(where, system.scheduling_domain, name, members, **spec)
+
+
+def _domain_processor(system: System, where: str, entry):
+    if not isinstance(entry, str):
+        raise BuildError(
+            f"{where}: processors are referenced by name, got {entry!r}"
+        )
+    try:
+        return system.processors[entry]
+    except KeyError:
+        raise BuildError(
+            f"{where} references unknown processor {entry!r}"
+        ) from None
+
+
 def _parse_windows(name: str, windows) -> List:
     """Parse ``time_partition`` windows: ``[[partition, duration], ...]``."""
     if not isinstance(windows, (list, tuple)):
@@ -181,6 +248,7 @@ _FUNCTION_META_KEYS = {
     "deadline": True,   # relative deadline -- a time
     "jitter": True,     # release jitter bound (repro.verify) -- a time
     "partition": False,  # TimePartitionPolicy label -- a string
+    "affinity": False,   # processor names the task may run on -- a list
 }
 
 
@@ -211,6 +279,8 @@ def _build_function(system: System, spec: Dict) -> None:
                     meta["bcet"], meta["wcet"] = parsed
                 else:
                     meta["wcet"] = parsed
+            elif key == "affinity":
+                meta[key] = _parse_affinity(system, name, value)
             else:
                 meta[key] = parse_time(value) if is_time else value
     fn = _elaborate(f"function {name!r}", system.function, name,
@@ -231,6 +301,24 @@ def _build_function(system: System, spec: Dict) -> None:
                 f"function {name!r} mapped on unknown processor {processor!r}"
             ) from None
         cpu.map(fn)
+
+
+def _parse_affinity(system: System, name: str, value) -> tuple:
+    """Validate an affinity mask: a non-empty list of known processors."""
+    if not isinstance(value, (list, tuple)) or not value:
+        raise BuildError(
+            f"function {name!r}: affinity must be a non-empty list of "
+            f"processor names, got {value!r}"
+        )
+    for cpu_name in value:
+        if cpu_name not in system.processors:
+            raise BuildError(
+                f"function {name!r}: affinity names unknown processor "
+                f"{cpu_name!r}"
+            )
+    # canonical order: a mask is a set, and sorted tuples keep generated
+    # spec digests stable however the list was written
+    return tuple(sorted(value))
 
 
 # ---------------------------------------------------------------------------

@@ -42,6 +42,7 @@ class System:
         self.functions: Dict[str, Function] = {}
         self.relations: Dict[str, Relation] = {}
         self.processors: Dict[str, object] = {}
+        self.domains: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Factories
@@ -106,6 +107,21 @@ class System:
         self.processors[name] = cpu
         return cpu
 
+    def scheduling_domain(self, name: str, processors, **kwargs):
+        """Group processors into an SMP scheduling domain.
+
+        See :class:`repro.smp.SchedulingDomain` for the dispatch kinds
+        (``global`` / ``partitioned`` / ``clustered``), affinity and
+        migration semantics.
+        """
+        from ..smp import SchedulingDomain  # local import avoids a cycle
+
+        if name in self.domains:
+            raise ModelError(f"duplicate scheduling domain name {name!r}")
+        domain = SchedulingDomain(self.sim, name, processors, **kwargs)
+        self.domains[name] = domain
+        return domain
+
     def _register(self, name: str, relation: Relation) -> Relation:
         self.relations[name] = relation
         return relation
@@ -114,7 +130,8 @@ class System:
     # Lookup & run control
     # ------------------------------------------------------------------
     def __getitem__(self, name: str):
-        for registry in (self.functions, self.relations, self.processors):
+        for registry in (self.functions, self.relations, self.processors,
+                         self.domains):
             if name in registry:
                 return registry[name]
         raise KeyError(name)

@@ -17,11 +17,14 @@ from .overheads import NO_OVERHEAD, Overheads
 from .policies import (
     EDFPolicy,
     FifoPolicy,
+    GlobalEDFPolicy,
+    GlobalRMPolicy,
     LeastLaxityPolicy,
     LotteryPolicy,
     POLICIES,
     PriorityPreemptivePolicy,
     PriorityRoundRobinPolicy,
+    RateMonotonicPolicy,
     RoundRobinPolicy,
     SchedulingPolicy,
     make_policy,
@@ -43,15 +46,23 @@ ENGINES = {
 }
 
 
-def make_processor(sim, name, engine: str = "procedural", **kwargs):
-    """Create a processor using the selected RTOS engine."""
+def make_processor(sim, name, engine: str = "procedural", domain=None, **kwargs):
+    """Create a processor using the selected RTOS engine.
+
+    ``domain`` optionally joins the new processor to an existing
+    :class:`repro.smp.SchedulingDomain` (global/partitioned kinds; a
+    clustered domain takes its full member list at construction).
+    """
     try:
         cls = ENGINES[engine]
     except KeyError:
         raise RTOSError(
             f"unknown RTOS engine {engine!r}; pick one of {sorted(ENGINES)}"
         ) from None
-    return cls(sim, name, **kwargs)
+    cpu = cls(sim, name, **kwargs)
+    if domain is not None:
+        domain.add_member(cpu)
+    return cpu
 
 
 __all__ = [
@@ -65,6 +76,8 @@ __all__ = [
     "ENGINES",
     "EventInterrupt",
     "FifoPolicy",
+    "GlobalEDFPolicy",
+    "GlobalRMPolicy",
     "InheritanceSharedVariable",
     "LeastLaxityPolicy",
     "LotteryPolicy",
@@ -77,6 +90,7 @@ __all__ = [
     "ProceduralContext",
     "ProceduralProcessor",
     "ProcessorBase",
+    "RateMonotonicPolicy",
     "RoundRobinPolicy",
     "SchedulingPolicy",
     "Task",

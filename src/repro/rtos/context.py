@@ -61,10 +61,12 @@ class RTOSContext(ExecutionContext):
     # ------------------------------------------------------------------
     def _await_grant(self, task: "Task") -> Generator:
         """Wait until the RTOS grants the CPU, then pay the context load."""
-        cpu = self.processor
         if not task.granted:
             yield task.run_event
         task.granted = False
+        # Read the processor *after* the grant: a scheduling domain may
+        # have migrated the task to another core while it was ready.
+        cpu = self.processor
         if cpu.running is not task:  # invariant guard: grants are exclusive
             from ..errors import RTOSError
 
@@ -72,6 +74,11 @@ class RTOSContext(ExecutionContext):
                 f"task {task.name!r} resumed without holding the CPU "
                 f"(running={cpu.running!r})"
             )
+        if task.migration_pending:
+            task.migration_pending = False
+            cost = cpu._overhead(OverheadKind.MIGRATION, task)
+            if cost:
+                yield cost
         load = cpu._overhead(OverheadKind.CONTEXT_LOAD, task)
         if load:
             yield load
@@ -89,13 +96,17 @@ class RTOSContext(ExecutionContext):
         try:
             yield from function.behavior()
         except ProcessKilled:
-            # kernel-level kill: free the CPU instantly (no RTOS cost)
+            # kernel-level kill: free the CPU instantly (no RTOS cost).
+            # Re-read the processor: migrations may have moved the task
+            # since it was first mapped.
+            cpu = task.processor
             if task.state is TaskState.RUNNING:
                 cpu._release_cpu(task)
                 task.set_state(TaskState.TERMINATED)
                 cpu.sim.schedule_delta_callback(cpu._dispatch_next)
             raise
         # normal completion: the RTOS terminates the task (paper case (a))
+        cpu = task.processor
         if task.state is TaskState.RUNNING:
             cpu._release_cpu(task)
             task.set_state(TaskState.TERMINATED)
@@ -161,7 +172,7 @@ class RTOSContext(ExecutionContext):
         # engines.
         def timer_fired() -> None:
             if task.state is TaskState.WAITING:
-                cpu.make_ready(task, reason="timer")
+                task.processor.make_ready(task, reason="timer")
 
         cpu.sim.schedule_callback(duration, timer_fired)
         cpu._release_cpu(task)

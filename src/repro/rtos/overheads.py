@@ -67,10 +67,12 @@ class Overheads:
         scheduling: OverheadSpec = 0,
         context_load: OverheadSpec = 0,
         context_save: OverheadSpec = 0,
+        migration: OverheadSpec = 0,
     ) -> None:
         self._scheduling = self._validate("scheduling", scheduling)
         self._context_load = self._validate("context_load", context_load)
         self._context_save = self._validate("context_save", context_save)
+        self._migration = self._validate("migration", migration)
 
     @staticmethod
     def _validate(name: str, spec: OverheadSpec) -> OverheadSpec:
@@ -113,6 +115,15 @@ class Overheads:
     def context_save(self, processor) -> Time:
         """Context-save duration at this instant on ``processor``."""
         return self._resolve(self._context_save, processor)
+
+    def migration(self, processor) -> Time:
+        """Cross-core migration cost paid on the *target* ``processor``.
+
+        Models cache/TLB reload after a scheduling domain moved a task
+        between cores; charged once, just before the migrated task's
+        context load.  Zero (the default) for single-core models.
+        """
+        return self._resolve(self._migration, processor)
 
 
 #: A zero-cost RTOS (useful for functional-only simulation).

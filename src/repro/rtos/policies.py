@@ -181,6 +181,57 @@ class EDFPolicy(SchedulingPolicy):
         return tuple(t for t in ready if self._deadline(t) == best)
 
 
+class GlobalEDFPolicy(EDFPolicy):
+    """EDF over a scheduling domain's shared ready pool.
+
+    Selection and preemption rules are exactly EDF's; the separate
+    registry name marks the intent (and lets analyzers apply the
+    global-EDF utilization bound, RTS151, instead of the single-core
+    one).  A :class:`~repro.smp.SchedulingDomain` installs one instance
+    on every member core so dispatch, placement and victim selection all
+    agree on the same ordering.
+    """
+
+    name = "global_edf"
+
+
+class RateMonotonicPolicy(SchedulingPolicy):
+    """Rate-monotonic: shorter period = more urgent.
+
+    Periods come from the mapped function's ``period`` annotation; a
+    task with no period is treated as infinitely long (least urgent).
+    Priorities are implicit in the period, so RM task sets need no
+    hand-assigned priorities.
+    """
+
+    name = "rm"
+
+    @staticmethod
+    def _period(task) -> float:
+        period = getattr(task.function, "period", None)
+        return float("inf") if period is None else period
+
+    def select(self, processor, ready):
+        best = None
+        for task in ready:
+            if best is None or self._period(task) < self._period(best):
+                best = task  # strict '<' keeps FIFO order among equals
+        return best
+
+    def should_preempt(self, processor, running, candidate):
+        return self._period(candidate) < self._period(running)
+
+    def tie_candidates(self, processor, ready, chosen):
+        best = self._period(chosen)
+        return tuple(t for t in ready if self._period(t) == best)
+
+
+class GlobalRMPolicy(RateMonotonicPolicy):
+    """Rate-monotonic over a scheduling domain's shared ready pool."""
+
+    name = "global_rm"
+
+
 class LeastLaxityPolicy(SchedulingPolicy):
     """Least-laxity-first: laxity = deadline - now - remaining work.
 
@@ -253,6 +304,9 @@ POLICIES: Dict[str, type] = {
         RoundRobinPolicy,
         PriorityRoundRobinPolicy,
         EDFPolicy,
+        GlobalEDFPolicy,
+        RateMonotonicPolicy,
+        GlobalRMPolicy,
         LeastLaxityPolicy,
         LotteryPolicy,
     )

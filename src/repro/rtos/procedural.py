@@ -53,6 +53,10 @@ class ProceduralContext(RTOSContext):
         task.set_state(TaskState.READY, reason="preempted")
         cpu._record_preemption(task)
         cpu._ready.append(task)
+        if cpu.domain is not None:
+            # a global/clustered domain may resume the victim immediately
+            # on an idle sibling core instead of queueing it here
+            cpu.domain.task_preempted(task)
         duration = cpu._overhead(OverheadKind.CONTEXT_SAVE, task)
         if duration:
             yield duration

@@ -100,9 +100,13 @@ class ProcessorBase(Module):
         self._scheduling_in_progress = False
         self._local_decision: Optional[str] = None
         self._timeslice_handle = None
+        #: Owning :class:`~repro.smp.SchedulingDomain`, or None when this
+        #: processor dispatches independently (the single-core paper model).
+        self.domain = None
         # --- statistics --------------------------------------------------
         self.dispatch_count = 0
         self.preemption_count = 0
+        self.migration_count = 0
         self.overhead_time: Time = 0
 
     # ------------------------------------------------------------------
@@ -229,6 +233,18 @@ class ProcessorBase(Module):
                 f"task {task.name!r} belongs to {task.processor.name!r}, "
                 f"not {self.name!r}"
             )
+        if self.domain is not None:
+            self.domain.task_ready(task, reason)
+            return
+        self._admit_ready(task, reason)
+
+    def _admit_ready(self, task: Task, reason: str) -> None:
+        """Queue ``task`` locally and run this core's decision logic.
+
+        The dispatch seam shared by standalone processors and scheduling
+        domains: domains pick a target core, then admit through here so
+        preemption/idle-wake handling stays in one code path.
+        """
         task.set_state(TaskState.READY, reason)
         self._ready.append(task)
         self._reschedule(task)
@@ -304,6 +320,11 @@ class ProcessorBase(Module):
         self.policy.on_undispatch(self, task)
 
     def _select_and_remove(self) -> Optional[Task]:
+        if self.domain is not None:
+            return self.domain.select_for(self)
+        return self._select_and_remove_local()
+
+    def _select_and_remove_local(self) -> Optional[Task]:
         chosen = self.scheduling_policy(tuple(self._ready))
         if chosen is not None:
             try:
@@ -360,6 +381,8 @@ class ProcessorBase(Module):
             duration = self.overheads.scheduling(self)
         elif kind is OverheadKind.CONTEXT_LOAD:
             duration = self.overheads.context_load(self)
+        elif kind is OverheadKind.MIGRATION:
+            duration = self.overheads.migration(self)
         else:
             duration = self.overheads.context_save(self)
         if duration:
@@ -400,8 +423,10 @@ class ProcessorBase(Module):
             "tasks": len(self.tasks),
             "dispatches": self.dispatch_count,
             "preemptions": self.preemption_count,
+            "migrations": self.migration_count,
             "overhead_time": self.overhead_time,
             "utilization": self.utilization(),
+            "domain": self.domain.name if self.domain is not None else None,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

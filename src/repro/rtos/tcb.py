@@ -60,9 +60,16 @@ class Task:
         self.absolute_deadline: Optional[Time] = None
         #: Remaining work of the execute in progress (LLF), or None.
         self.remaining_budget: Optional[Time] = None
+        # --- SMP (scheduling domains) -------------------------------------
+        #: Processor names this task may run on, or None for "anywhere".
+        self.affinity: Optional[tuple] = getattr(function, "affinity", None)
+        #: Set by a domain migration; charges the migration overhead on
+        #: the target core just before the next context load.
+        self.migration_pending = False
         # --- statistics ---------------------------------------------------
         self.dispatch_count = 0
         self.cpu_time: Time = 0
+        self.migration_count = 0
         self._timeslice_handle = None
 
     # ------------------------------------------------------------------

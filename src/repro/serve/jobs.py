@@ -81,6 +81,10 @@ def _simulate_metrics(params: Dict, state) -> Dict:
         "end_time": system.now,
         "tasks": recorder.tasks(),
         "record_count": len(recorder),
+        "processors": [cpu.stats()
+                       for cpu in system.processors.values()],
+        "domains": [domain.stats()
+                    for domain in getattr(system, "domains", {}).values()],
         "trace": [_json_safe(record) for record in recorder.to_dicts()],
     }
 

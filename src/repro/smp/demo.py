@@ -1,0 +1,85 @@
+"""Canned SMP specs for the CLI, CI smoke jobs and the test suite.
+
+:func:`smp_miss_spec` is the acceptance scenario for the ``place``
+choice class: a global-EDF domain over one fast and one slow core, and
+a single job whose deadline holds on the fast (home) core but not on
+the slow one.  The nominal run (no controller, home-first placement)
+meets the deadline; the explorer's other ``place`` branch delivers the
+wake to the slow core, the election migrates the job there, the speed
+scaling doubles its execute window, and the watchdog fires -- a deadline
+miss reachable *only* under that placement choice, minimized to a
+one-entry trail and deterministically replayable.
+"""
+
+from __future__ import annotations
+
+
+def smp_miss_spec() -> dict:
+    """A miss reachable only under one global-EDF placement branch."""
+    return {
+        "name": "smp_miss",
+        "processors": [
+            {"name": "cpu0", "speed": 1.0},
+            {"name": "cpu1", "speed": 0.5},
+        ],
+        "scheduling_domains": [
+            {
+                "name": "dom0",
+                "kind": "global",
+                "policy": "global_edf",
+                "processors": ["cpu0", "cpu1"],
+                "migration_cost": "10us",
+            }
+        ],
+        "functions": [
+            {
+                "name": "job",
+                "processor": "cpu0",
+                "wcet": "4ms",
+                "deadline": "6ms",
+                "script": [["execute", "4ms"]],
+            }
+        ],
+    }
+
+
+def smp_tie_spec() -> dict:
+    """A small global-EDF tie space (two equal jobs, two equal cores).
+
+    Both jobs carry no absolute deadline, so under global EDF every
+    ready task is an equal-urgency candidate: placement of the second
+    job and each core's election branch, giving the dfs-vs-random
+    agreement tests a few dozen schedules to cover.
+    """
+    return {
+        "name": "smp_tie",
+        "processors": [
+            {"name": "cpu0"},
+            {"name": "cpu1"},
+        ],
+        "scheduling_domains": [
+            {
+                "name": "dom0",
+                "kind": "global",
+                "policy": "global_edf",
+                "processors": ["cpu0", "cpu1"],
+            }
+        ],
+        "functions": [
+            {
+                "name": "job_a",
+                "processor": "cpu0",
+                "script": [["execute", "2ms"], ["delay", "3ms"],
+                           ["execute", "1ms"]],
+            },
+            {
+                "name": "job_b",
+                "processor": "cpu0",
+                "script": [["execute", "2ms"], ["delay", "3ms"],
+                           ["execute", "1ms"]],
+            },
+        ],
+    }
+
+
+__all__ = ["smp_miss_spec", "smp_tie_spec"]

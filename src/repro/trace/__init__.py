@@ -11,6 +11,7 @@ from .records import (
     AccessRecord,
     InterruptRecord,
     MarkerRecord,
+    MigrationRecord,
     OverheadKind,
     OverheadRecord,
     PreemptionRecord,
@@ -39,6 +40,7 @@ __all__ = [
     "Arrow",
     "InterruptRecord",
     "MarkerRecord",
+    "MigrationRecord",
     "OverheadKind",
     "OverheadRecord",
     "OverheadWindow",

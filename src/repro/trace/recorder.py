@@ -23,6 +23,7 @@ from .records import (
     AccessRecord,
     InterruptRecord,
     MarkerRecord,
+    MigrationRecord,
     OverheadRecord,
     PreemptionRecord,
     StateRecord,
@@ -100,6 +101,12 @@ class TraceRecorder:
     def markers(self) -> List[MarkerRecord]:
         return self.of_type(MarkerRecord)
 
+    def migrations(self, task: Optional[str] = None) -> List[MigrationRecord]:
+        records = self.of_type(MigrationRecord)
+        if task is not None:
+            records = [r for r in records if r.task == task]
+        return records
+
     def tasks(self) -> List[str]:
         """Names of all tasks that ever changed state, in first-seen order."""
         seen = {}
@@ -151,6 +158,7 @@ class TraceRecorder:
             "PreemptionRecord": PreemptionRecord,
             "InterruptRecord": InterruptRecord,
             "MarkerRecord": MarkerRecord,
+            "MigrationRecord": MigrationRecord,
         }
         enum_fields = {
             ("StateRecord", "state"): TaskState,

@@ -53,11 +53,12 @@ class AccessKind(enum.Enum):
 
 
 class OverheadKind(enum.Enum):
-    """The three RTOS overhead components of the paper's §3.2."""
+    """The RTOS overhead components (paper §3.2 plus SMP migration)."""
 
     CONTEXT_SAVE = "context_save"
     SCHEDULING = "scheduling"
     CONTEXT_LOAD = "context_load"
+    MIGRATION = "migration"
 
 
 @dataclass(frozen=True)
@@ -122,6 +123,16 @@ class PreemptionRecord(TraceRecord):
     processor: str
     preempted: str
     preempting: str
+
+
+@dataclass(frozen=True)
+class MigrationRecord(TraceRecord):
+    """A scheduling domain moved ``task`` from ``source`` to ``target``."""
+
+    task: str
+    source: str
+    target: str
+    domain: Optional[str] = None
 
 
 @dataclass(frozen=True)

@@ -204,6 +204,7 @@ def format_report(
     task_stats: List[TaskStats],
     rel_stats: Optional[List[RelationStats]] = None,
     processors: Optional[Iterable] = None,
+    domains: Optional[Iterable] = None,
 ) -> str:
     """Render the Figure-8 statistics as a fixed-width text table."""
     lines = []
@@ -235,11 +236,24 @@ def format_report(
         lines.append("")
         for cpu in processors:
             info = cpu.stats()
-            lines.append(
+            line = (
                 f"processor {info['processor']} ({info['engine']}, "
                 f"{info['policy']}): util {info['utilization']:.2%}, "
                 f"{info['dispatches']} dispatches, "
                 f"{info['preemptions']} preemptions, "
                 f"overhead {format_time(info['overhead_time'])}"
+            )
+            if info.get("migrations"):
+                line += f", {info['migrations']} migrations"
+            lines.append(line)
+    if domains:
+        lines.append("")
+        for domain in domains:
+            info = domain.stats()
+            lines.append(
+                f"domain {info['domain']} ({info['kind']}, {info['policy']}):"
+                f" {len(info['processors'])} cores, "
+                f"{info['migrations']} migrations, "
+                f"mean util {info['mean_utilization']:.2%}"
             )
     return "\n".join(lines)

@@ -58,7 +58,9 @@ if TYPE_CHECKING:
     from ..trace.recorder import TraceRecorder
 
 #: Static schedulability rules the verifier cross-checks against.
-_STATIC_SCHED_RULES = frozenset(("RTS103", "RTS104", "RTS105"))
+_STATIC_SCHED_RULES = frozenset(
+    ("RTS103", "RTS104", "RTS105", "RTS150", "RTS151", "RTS153")
+)
 
 
 def assert_always(fn: Callable, name: Optional[str] = None) -> Invariant:
@@ -215,9 +217,10 @@ def build_report(
             report.add(
                 RTSV002, Report.INFO, "cross-check",
                 "exploration reached a deadline miss that the static "
-                "schedulability rules (RTS103/RTS104/RTS105) did not "
-                "flag -- blocking, execution-time intervals or release "
-                "jitter push the task set beyond its periodic profile",
+                "schedulability rules (RTS103/104/105, RTS15x) did not "
+                "flag -- blocking, execution-time intervals, release "
+                "jitter or a multicore placement push the task set "
+                "beyond its periodic profile",
             )
         elif flagged and not dynamic_miss:
             qualifier = (

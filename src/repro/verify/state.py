@@ -64,6 +64,10 @@ def _task_state(task: Any) -> Tuple[Any, ...]:
         task.absolute_deadline,
         bool(task.preempt_pending),
         bool(task.granted),
+        # SMP: which core the task currently sits on, and whether a
+        # migration cost is still owed -- both shape the future schedule
+        task.processor.name,
+        bool(getattr(task, "migration_pending", False)),
     )
 
 

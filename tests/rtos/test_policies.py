@@ -33,6 +33,9 @@ class TestRegistry:
             "round_robin",
             "priority_round_robin",
             "edf",
+            "rm",
+            "global_edf",
+            "global_rm",
             "llf",
             "lottery",
             "time_partition",
@@ -203,6 +206,47 @@ class TestEDF:
         # finishes at 15us; relaxed completes its remaining 40us at 55us
         assert times["urgent-done"] == 15 * US
         assert times["relaxed-done"] == 55 * US
+
+
+class TestRateMonotonic:
+    def test_shortest_period_selected(self):
+        system = System("t")
+        cpu = system.processor("cpu", policy="rm")
+        order = []
+
+        def make(tag):
+            def body(fn):
+                yield from fn.execute(5 * US)
+                order.append(tag)
+
+            return body
+
+        for tag, period in (("slow", 100 * US), ("fast", 20 * US),
+                            ("mid", 50 * US)):
+            fn = system.function(tag, make(tag))
+            fn.period = period
+            cpu.map(fn)
+        system.run()
+        assert order == ["fast", "mid", "slow"]
+
+    def test_missing_period_is_least_urgent(self):
+        system = System("t")
+        cpu = system.processor("cpu", policy="rm")
+        order = []
+
+        def make(tag):
+            def body(fn):
+                yield from fn.execute(5 * US)
+                order.append(tag)
+
+            return body
+
+        cpu.map(system.function("aperiodic", make("aperiodic")))
+        fn = system.function("periodic", make("periodic"))
+        fn.period = 1000 * US
+        cpu.map(fn)
+        system.run()
+        assert order == ["periodic", "aperiodic"]
 
 
 class TestLottery:

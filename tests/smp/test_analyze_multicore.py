@@ -1,0 +1,114 @@
+"""The RTS15x multicore schedulability rules."""
+
+from repro.analyze import analyze_system
+from repro.mcse.builder import build_system
+
+
+def spec_with(functions, domain=None):
+    return {
+        "name": "a",
+        "relations": [],
+        "processors": [
+            {"name": "cpu0", "engine": "procedural"},
+            {"name": "cpu1", "engine": "procedural"},
+        ],
+        "scheduling_domains": [domain or {
+            "name": "dom0", "kind": "global", "policy": "global_edf",
+            "processors": ["cpu0", "cpu1"],
+        }],
+        "functions": functions,
+    }
+
+
+def periodic(name, wcet_ms, period_ms, **extra):
+    fn = {
+        "name": name,
+        "processor": extra.pop("processor", "cpu0"),
+        "wcet": f"{wcet_ms}ms",
+        "period": f"{period_ms}ms",
+        "script": [["loop", None,
+                    [["execute", f"{wcet_ms}ms"],
+                     ["delay", f"{period_ms - wcet_ms}ms"]]]],
+    }
+    fn.update(extra)
+    return fn
+
+
+def rules(report):
+    return {d.rule for d in report.diagnostics}
+
+
+class TestRTS150Capacity:
+    def test_load_above_total_capacity_is_an_error(self):
+        report = analyze_system(build_system(spec_with(
+            [periodic(f"t{i}", 9, 10) for i in range(3)]
+        )))
+        assert "RTS150" in rules(report)
+        assert not report.ok()
+
+    def test_members_of_a_global_domain_skip_per_core_rules(self):
+        # 3 x 0.9 all homed on cpu0 would trip RTS103 on a bare core;
+        # under global dispatch the home is advisory, so only the
+        # domain-level rule may fire
+        report = analyze_system(build_system(spec_with(
+            [periodic(f"t{i}", 9, 10) for i in range(3)]
+        )))
+        assert "RTS103" not in rules(report)
+
+
+class TestRTS151GlobalBound:
+    def test_load_above_gfb_is_a_warning(self):
+        # total 1.8 <= capacity 2, but GFB = 2 - 1*0.6 = 1.4 < 1.8
+        report = analyze_system(build_system(spec_with(
+            [periodic(f"t{i}", 6, 10) for i in range(3)]
+        )))
+        assert "RTS151" in rules(report)
+        assert "RTS150" not in rules(report)
+        assert report.ok()  # warning, not error
+
+    def test_light_load_is_clean(self):
+        report = analyze_system(build_system(spec_with(
+            [periodic(f"t{i}", 3, 10) for i in range(3)]
+        )))
+        assert rules(report) == set()
+
+
+class TestRTS152Affinity:
+    def test_affinity_excluding_the_whole_cluster_is_an_error(self):
+        domain = {"name": "dom0", "kind": "clustered",
+                  "policy": "global_edf",
+                  "processors": ["cpu0", "cpu1"],
+                  "clusters": [["cpu0"], ["cpu1"]]}
+        report = analyze_system(build_system(spec_with(
+            [periodic("t0", 1, 10, affinity=["cpu1"])], domain=domain
+        )))
+        assert "RTS152" in rules(report)
+
+    def test_satisfiable_affinity_is_clean(self):
+        report = analyze_system(build_system(spec_with(
+            [periodic("t0", 1, 10, affinity=["cpu1"])]
+        )))
+        assert "RTS152" not in rules(report)
+
+
+class TestRTS153FirstFit:
+    def test_unpackable_partitioned_set_is_a_warning(self):
+        domain = {"name": "dom0", "kind": "partitioned",
+                  "processors": ["cpu0", "cpu1"]}
+        # 3 x 0.65 = 1.95 fits the 2.0 capacity but no 2-bin packing
+        report = analyze_system(build_system(spec_with(
+            [periodic(f"t{i}", 65, 100,
+                      processor=f"cpu{i % 2}") for i in range(3)],
+            domain=domain,
+        )))
+        assert "RTS153" in rules(report)
+
+    def test_packable_partitioned_set_is_clean(self):
+        domain = {"name": "dom0", "kind": "partitioned",
+                  "processors": ["cpu0", "cpu1"]}
+        report = analyze_system(build_system(spec_with(
+            [periodic(f"t{i}", 4, 10,
+                      processor=f"cpu{i % 2}") for i in range(4)],
+            domain=domain,
+        )))
+        assert "RTS153" not in rules(report)

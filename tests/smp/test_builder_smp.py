@@ -1,0 +1,97 @@
+"""Declarative builder wiring for scheduling domains and affinity."""
+
+import pytest
+
+from repro.errors import BuildError
+from repro.kernel.time import US
+from repro.mcse.builder import build_system
+
+
+def base_spec():
+    return {
+        "name": "b",
+        "relations": [],
+        "processors": [
+            {"name": "cpu0", "engine": "procedural"},
+            {"name": "cpu1", "engine": "procedural"},
+        ],
+        "scheduling_domains": [
+            {"name": "dom0", "kind": "global", "policy": "global_edf",
+             "processors": ["cpu0", "cpu1"]},
+        ],
+        "functions": [
+            {"name": "A", "processor": "cpu0",
+             "script": [["execute", "1ms"]]},
+        ],
+    }
+
+
+class TestDomainSpecs:
+    def test_builds_and_registers_the_domain(self):
+        system = build_system(base_spec())
+        domain = system.domains["dom0"]
+        assert domain.kind == "global"
+        assert [m.name for m in domain.members] == ["cpu0", "cpu1"]
+        assert system.processors["cpu0"].domain is domain
+
+    def test_unknown_domain_key_hard_rejects(self):
+        spec = base_spec()
+        spec["scheduling_domains"][0]["migraton_cost"] = "5us"  # typo
+        with pytest.raises(BuildError, match="migraton_cost"):
+            build_system(spec)
+
+    def test_unknown_member_name_rejects(self):
+        spec = base_spec()
+        spec["scheduling_domains"][0]["processors"] = ["cpu0", "cpu9"]
+        with pytest.raises(BuildError, match="cpu9"):
+            build_system(spec)
+
+    def test_missing_name_rejects(self):
+        spec = base_spec()
+        del spec["scheduling_domains"][0]["name"]
+        with pytest.raises(BuildError, match="missing a name"):
+            build_system(spec)
+
+    def test_empty_processor_list_rejects(self):
+        spec = base_spec()
+        spec["scheduling_domains"][0]["processors"] = []
+        with pytest.raises(BuildError, match="non-empty"):
+            build_system(spec)
+
+    def test_clusters_parse_into_processor_groups(self):
+        spec = base_spec()
+        spec["scheduling_domains"][0].update(
+            kind="clustered", clusters=[["cpu0"], ["cpu1"]]
+        )
+        system = build_system(spec)
+        domain = system.domains["dom0"]
+        assert [[m.name for m in c] for c in domain._clusters] == \
+            [["cpu0"], ["cpu1"]]
+
+    def test_migration_cost_parses_as_a_duration(self):
+        spec = base_spec()
+        spec["scheduling_domains"][0]["migration_cost"] = "7us"
+        system = build_system(spec)
+        cpu0 = system.processors["cpu0"]
+        assert cpu0.overheads.migration(cpu0) == 7 * US
+
+
+class TestAffinity:
+    def test_affinity_lands_on_the_task(self):
+        spec = base_spec()
+        spec["functions"][0]["affinity"] = ["cpu1", "cpu0"]
+        system = build_system(spec)
+        task = system.processors["cpu0"].tasks[0]
+        assert task.affinity == ("cpu0", "cpu1")
+
+    def test_affinity_must_name_known_processors(self):
+        spec = base_spec()
+        spec["functions"][0]["affinity"] = ["cpu7"]
+        with pytest.raises(BuildError, match="cpu7"):
+            build_system(spec)
+
+    def test_affinity_must_be_a_non_empty_list(self):
+        spec = base_spec()
+        spec["functions"][0]["affinity"] = []
+        with pytest.raises(BuildError, match="affinity"):
+            build_system(spec)

@@ -1,0 +1,192 @@
+"""SchedulingDomain semantics: placement, migration, affinity, stats."""
+
+import pytest
+
+from repro.errors import RTOSError
+from repro.kernel.time import MS, US
+from repro.mcse.builder import build_system
+from repro.mcse.model import System
+from repro.rtos import make_processor
+from repro.smp import DOMAIN_KINDS, SchedulingDomain
+from repro.trace import TraceRecorder
+from repro.trace.records import OverheadKind
+
+
+def two_core_spec(**domain_extra):
+    domain = {
+        "name": "dom0",
+        "kind": "global",
+        "policy": "global_edf",
+        "processors": ["cpu0", "cpu1"],
+    }
+    domain.update(domain_extra)
+    return {
+        "name": "smp-two-core",
+        "relations": [],
+        "processors": [
+            {"name": "cpu0", "engine": "procedural"},
+            {"name": "cpu1", "engine": "procedural"},
+        ],
+        "scheduling_domains": [domain],
+        "functions": [
+            {"name": "A", "processor": "cpu0",
+             "script": [["execute", "4ms"]]},
+            {"name": "B", "processor": "cpu0",
+             "script": [["execute", "4ms"]]},
+        ],
+    }
+
+
+class TestConstruction:
+    def test_domain_kinds_catalogue(self):
+        assert DOMAIN_KINDS == ("global", "partitioned", "clustered")
+
+    def test_rejects_unknown_kind(self, sim):
+        cpu = make_processor(sim, "cpu0")
+        with pytest.raises(RTOSError, match="unknown domain kind"):
+            SchedulingDomain(sim, "d", [cpu], kind="galactic")
+
+    def test_rejects_double_membership(self, sim):
+        cpu = make_processor(sim, "cpu0")
+        SchedulingDomain(sim, "d1", [cpu])
+        with pytest.raises(RTOSError, match="already in domain"):
+            SchedulingDomain(sim, "d2", [cpu])
+
+    def test_partitioned_rejects_policy_and_migration_cost(self, sim):
+        cpu = make_processor(sim, "cpu0")
+        with pytest.raises(RTOSError, match="own policy"):
+            SchedulingDomain(sim, "d", [cpu], kind="partitioned",
+                             policy="global_edf")
+        with pytest.raises(RTOSError, match="never migrate"):
+            SchedulingDomain(sim, "d", [cpu], kind="partitioned",
+                             migration_cost=5)
+
+    def test_global_requires_procedural_members(self, sim):
+        cpu = make_processor(sim, "cpu0", engine="threaded")
+        with pytest.raises(RTOSError, match="procedural"):
+            SchedulingDomain(sim, "d", [cpu])
+
+    def test_clustered_needs_an_exact_partition(self, sim):
+        cpus = [make_processor(sim, f"cpu{i}") for i in range(3)]
+        with pytest.raises(RTOSError, match="do not cover"):
+            SchedulingDomain(sim, "d", cpus, kind="clustered",
+                             clusters=[[cpus[0]], [cpus[1]]])
+
+    def test_make_processor_joins_a_domain(self, sim):
+        cpu0 = make_processor(sim, "cpu0")
+        domain = SchedulingDomain(sim, "d", [cpu0])
+        cpu1 = make_processor(sim, "cpu1", domain=domain)
+        assert cpu1.domain is domain
+        assert cpu1 in domain.members
+        assert cpu1.policy is domain.policy
+
+
+class TestGlobalDispatch:
+    def test_second_task_spills_to_the_idle_sibling(self):
+        system = build_system(two_core_spec())
+        recorder = TraceRecorder(system.sim)
+        system.run()
+        # two 4ms jobs over two cores: the second must not wait 4ms
+        assert system.now == 4 * MS
+        moves = recorder.migrations()
+        assert len(moves) == 1
+        assert moves[0].task == "B"
+        assert (moves[0].source, moves[0].target) == ("cpu0", "cpu1")
+        assert moves[0].domain == "dom0"
+
+    def test_migration_counters_agree_everywhere(self):
+        system = build_system(two_core_spec())
+        recorder = TraceRecorder(system.sim)
+        system.run()
+        domain = system.domains["dom0"]
+        # the mapping list stays with the home core; only
+        # task.processor tracks the current location
+        task = [t for t in system.processors["cpu0"].tasks
+                if t.name == "B"][0]
+        assert domain.migration_total == 1
+        assert task.migration_count == 1
+        assert task.processor is system.processors["cpu1"]
+        assert system.processors["cpu1"].migration_count == 1
+        assert len(recorder.migrations("B")) == 1
+
+    def test_migration_cost_is_charged_on_the_target(self):
+        system = build_system(two_core_spec(migration_cost="10us"))
+        recorder = TraceRecorder(system.sim)
+        system.run()
+        costs = [r for r in recorder.overheads("cpu1")
+                 if r.kind is OverheadKind.MIGRATION]
+        assert len(costs) == 1 and costs[0].duration == 10 * US
+        assert costs[0].task == "B"
+        # the migrated job finishes one migration cost late
+        assert system.now == 4 * MS + 10 * US
+
+    def test_affinity_pins_a_task_to_its_core(self):
+        spec = two_core_spec()
+        for fn in spec["functions"]:
+            fn["affinity"] = ["cpu0"]
+        system = build_system(spec)
+        recorder = TraceRecorder(system.sim)
+        system.run()
+        # both pinned to cpu0: strictly serial, nothing ever migrates
+        assert system.now == 8 * MS
+        assert recorder.migrations() == []
+        assert system.processors["cpu1"].stats()["dispatches"] == 0
+
+    def test_domain_stats_shape(self):
+        system = build_system(two_core_spec())
+        system.run()
+        stats = system.domains["dom0"].stats()
+        assert stats["domain"] == "dom0"
+        assert stats["kind"] == "global"
+        assert stats["policy"] == "global_edf"
+        assert stats["processors"] == ["cpu0", "cpu1"]
+        assert stats["migrations"] == 1
+        assert stats["per_task_migrations"] == {"B": 1}
+        assert set(stats["per_core_utilization"]) == {"cpu0", "cpu1"}
+
+    def test_speed_scaling_uses_the_entry_core(self):
+        spec = two_core_spec()
+        spec["processors"][1]["speed"] = 0.5
+        system = build_system(spec)
+        system.run()
+        # B migrates to the half-speed cpu1 before its execute starts,
+        # so its 4ms budget is scaled there: done at 8ms, not 4ms
+        assert system.now == 8 * MS
+
+
+class TestPartitionedDispatch:
+    def test_partitioned_keeps_tasks_home(self):
+        spec = two_core_spec()
+        spec["scheduling_domains"] = [
+            {"name": "dom0", "kind": "partitioned",
+             "processors": ["cpu0", "cpu1"]},
+        ]
+        system = build_system(spec)
+        recorder = TraceRecorder(system.sim)
+        system.run()
+        # both homed on cpu0 and never moved: serial execution
+        assert system.now == 8 * MS
+        assert recorder.migrations() == []
+        assert system.domains["dom0"].stats()["policy"] == "per-core"
+
+
+class TestModelFacade:
+    def test_duplicate_domain_name_rejected(self, sim):
+        system = System("m", sim=sim)
+        system.processor("cpu0")
+        system.scheduling_domain("d", [system.processors["cpu0"]],
+                                 kind="partitioned")
+        system.processor("cpu1")
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError, match="duplicate"):
+            system.scheduling_domain("d", [system.processors["cpu1"]],
+                                     kind="partitioned")
+
+    def test_getitem_resolves_domains(self, sim):
+        system = System("m", sim=sim)
+        system.processor("cpu0")
+        domain = system.scheduling_domain(
+            "d", [system.processors["cpu0"]], kind="partitioned"
+        )
+        assert system["d"] is domain

@@ -1,0 +1,69 @@
+"""The ``smp`` corpus generator: determinism, structure, dispatch axes."""
+
+import pytest
+
+from repro.corpus import generate, spec_digest
+from repro.errors import CorpusError
+from repro.mcse.builder import build_system
+
+
+class TestDeterminism:
+    def test_same_seed_same_spec(self):
+        a = generate("smp", 3, {"cores": 3, "n": 5})
+        b = generate("smp", 3, {"cores": 3, "n": 5})
+        assert spec_digest(a) == spec_digest(b)
+
+    def test_different_seeds_differ(self):
+        a = generate("smp", 3, {"cores": 3, "n": 5})
+        b = generate("smp", 4, {"cores": 3, "n": 5})
+        assert spec_digest(a) != spec_digest(b)
+
+
+class TestStructure:
+    def test_default_shape_builds_and_runs(self):
+        spec = generate("smp", 0)
+        assert len(spec["processors"]) == 2
+        assert spec["scheduling_domains"][0]["kind"] == "global"
+        system = build_system(spec)
+        system.run(1_000_000_000)  # 1us of simulated time
+        assert "dom0" in system.domains
+
+    @pytest.mark.parametrize("dispatch", ["global", "partitioned",
+                                          "clustered"])
+    def test_every_dispatch_kind_builds(self, dispatch):
+        spec = generate("smp", 1, {"cores": 4, "dispatch": dispatch})
+        system = build_system(spec)
+        assert system.domains["dom0"].kind == dispatch
+
+    def test_heterogeneous_speeds_on_odd_cores(self):
+        spec = generate("smp", 2, {"cores": 4, "heterogeneous": True})
+        speeds = [p.get("speed", 1.0) for p in spec["processors"]]
+        assert speeds[0] == 1.0 and speeds[2] == 1.0
+        assert all(s in (0.5, 0.75) for s in (speeds[1], speeds[3]))
+
+    def test_affinity_masks_are_valid_subsets(self):
+        spec = generate("smp", 5, {"cores": 3, "n": 12,
+                                   "affinity_prob": 1.0})
+        names = {p["name"] for p in spec["processors"]}
+        masks = [fn["affinity"] for fn in spec["functions"]]
+        assert masks and all(set(m) <= names and m for m in masks)
+
+    def test_utilization_above_one_is_meaningful(self):
+        # total machine load 1.6 over 2 cores: every per-task share
+        # must still be capped at one core's worth
+        spec = generate("smp", 6, {"cores": 2, "n": 4,
+                                   "utilization": 1.6})
+        for fn in spec["functions"]:
+            wcet = int(fn["wcet"][:-2])
+            period = int(fn["period"][:-2])
+            assert wcet <= period
+
+
+class TestValidation:
+    def test_rejects_unknown_dispatch(self):
+        with pytest.raises(CorpusError, match="dispatch"):
+            generate("smp", 0, {"dispatch": "telepathic"})
+
+    def test_clustered_needs_two_cores(self):
+        with pytest.raises(CorpusError, match="clustered"):
+            generate("smp", 0, {"cores": 1, "dispatch": "clustered"})

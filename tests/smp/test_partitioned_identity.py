@@ -1,0 +1,79 @@
+"""A partitioned 1-core domain is byte-identical to a bare processor.
+
+The acceptance gate for the dispatch-seam refactor: wrapping the fig6
+and fig7 processors in a single-member partitioned domain must change
+*nothing* -- not just the observable schedule (golden conformance) but
+the full serialized trace, byte for byte.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+BENCHMARKS_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "benchmarks")
+)
+if BENCHMARKS_DIR not in sys.path:
+    sys.path.insert(0, BENCHMARKS_DIR)
+
+from _scenarios import build_fig6_system, build_fig7_system  # noqa: E402
+
+from repro.trace import TraceRecorder, diff_traces  # noqa: E402
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "..", "golden")
+
+
+def _serialize(recorder: TraceRecorder) -> bytes:
+    return "\n".join(
+        json.dumps(record, sort_keys=True)
+        for record in recorder.to_dicts()
+    ).encode()
+
+
+def _fig6_trace(partitioned: bool) -> TraceRecorder:
+    system, _log = build_fig6_system()
+    if partitioned:
+        system.scheduling_domain(
+            "pd0", list(system.processors.values()), kind="partitioned"
+        )
+    recorder = TraceRecorder(system.sim)
+    system.run()
+    return recorder
+
+
+def _fig7_trace(variant: str, partitioned: bool) -> TraceRecorder:
+    system, recorder, _done = build_fig7_system(variant)
+    if partitioned:
+        system.scheduling_domain(
+            "pd0", list(system.processors.values()), kind="partitioned"
+        )
+    system.run()
+    return recorder
+
+
+def test_fig6_partitioned_domain_is_byte_identical():
+    assert _serialize(_fig6_trace(True)) == _serialize(_fig6_trace(False))
+
+
+@pytest.mark.parametrize("variant", ["plain", "ceiling"])
+def test_fig7_partitioned_domain_is_byte_identical(variant):
+    assert _serialize(_fig7_trace(variant, True)) == \
+        _serialize(_fig7_trace(variant, False))
+
+
+@pytest.mark.parametrize("golden", ["fig6_timeline.jsonl"])
+def test_fig6_partitioned_domain_conforms_to_the_golden(golden):
+    fresh = _fig6_trace(True)
+    frozen = TraceRecorder.load_jsonl(os.path.join(GOLDEN_DIR, golden))
+    assert not diff_traces(frozen, fresh)
+
+
+@pytest.mark.parametrize("variant", ["plain", "ceiling"])
+def test_fig7_partitioned_domain_conforms_to_the_golden(variant):
+    fresh = _fig7_trace(variant, True)
+    frozen = TraceRecorder.load_jsonl(
+        os.path.join(GOLDEN_DIR, f"fig7_{variant}.jsonl")
+    )
+    assert not diff_traces(frozen, fresh)
