@@ -17,6 +17,12 @@ runs, in milliseconds:
 * :class:`Sanitizer` -- the **runtime sanitizer** behind
   ``Simulator(sanitize=True)``: same-delta conflicting channel writes
   and ambiguous same-timestamp wake orders (rules ``SAN...``).
+* :func:`analyze_flows` / :func:`task_effects` -- the **behavior-flow
+  analyzer**: lowers every task behavior (script ops and generator
+  ASTs alike) into one effect IR, then runs path-sensitive lock-set
+  abstract interpretation and static demand/supply interval inference
+  over it (rules ``RTS16x``); its findings ride along in
+  :func:`analyze_system` reports.
 
 All three report through one :class:`Diagnostic` pipeline; the
 ``pyrtos-sc lint`` CLI command renders it as text or JSON.  The full
@@ -24,9 +30,12 @@ rule catalogue lives in ``docs/analysis.md``.
 """
 
 from .code import analyze_source
-from .diagnostics import RULES, Diagnostic, Report, Severity
+from .diagnostics import RULES, Diagnostic, Report, Severity, explain_rule
+from .effects import TaskEffects, task_effects
+from .flow import TaskFlow, analyze_flows, analyze_task, check_flow
 from .model import analyze_processors, analyze_system
 from .sanitize import Sanitizer
+from .sarif import report_to_sarif
 from .schedulability import periodic_profile
 
 __all__ = [
@@ -35,8 +44,16 @@ __all__ = [
     "Report",
     "Sanitizer",
     "Severity",
+    "TaskEffects",
+    "TaskFlow",
+    "analyze_flows",
     "analyze_processors",
     "analyze_source",
     "analyze_system",
+    "analyze_task",
+    "check_flow",
+    "explain_rule",
     "periodic_profile",
+    "report_to_sarif",
+    "task_effects",
 ]

@@ -49,11 +49,30 @@ class Severity(enum.Enum):
 #: ``docs/analysis.md`` is the human-facing version of this table.
 RULES: Dict[str, str] = {}
 
+#: Optional long-form explanations (rendered by ``pyrtos-sc lint
+#: --explain RULE``): what the rule detects, why it matters, how to fix.
+EXPLANATIONS: Dict[str, str] = {}
 
-def rule(rule_id: str, summary: str) -> str:
+
+def rule(rule_id: str, summary: str, *,
+         explain: Optional[str] = None) -> str:
     """Register ``rule_id`` in the catalogue and return it."""
     RULES[rule_id] = summary
+    if explain is not None:
+        EXPLANATIONS[rule_id] = explain
     return rule_id
+
+
+def explain_rule(rule_id: str) -> str:
+    """Human-readable explanation of one rule (summary + long form)."""
+    if rule_id not in RULES:
+        known = ", ".join(sorted(RULES))
+        raise KeyError(f"unknown rule {rule_id!r}; known rules: {known}")
+    text = f"{rule_id}: {RULES[rule_id]}"
+    long_form = EXPLANATIONS.get(rule_id)
+    if long_form:
+        text += "\n\n" + long_form
+    return text
 
 
 @dataclass(frozen=True)

@@ -1,37 +1,19 @@
-"""Shared-variable acquisition analysis: deadlock cycles and inversion.
+"""Shared-variable acquisition facts: the lock graph and its cycles.
 
-Builds, per system, the *acquisition graph*: which tasks lock which
-shared variables, and which variables they already hold while doing so.
-Two extraction paths feed it:
-
-* **declarative scripts** (``fn.script_ops``, attached by the builder):
-  ``lock``/``unlock``/``read_shared``/``write_shared`` ops are walked
-  in program order, so nesting is exact;
-* **Python behaviors**: the generator's source is parsed with
-  :mod:`ast` and ``fn.lock(x)`` / ``fn.unlock(x)`` /
-  ``fn.read_shared(x)`` / ``fn.write_shared(x)`` calls are matched;
-  the argument names resolve to actual relation objects through the
-  behavior's closure cells and globals.  Control flow is approximated
-  by walking statements in textual order -- good enough to expose
-  nesting hazards, and documented as such.
-
-Functions may also *declare* their nesting explicitly via
-``fn.lock_order = ["A", "B"]`` (hold A while acquiring B), which wins
-over both extraction paths.
+Historically this module walked behavior ASTs *in textual order* to
+approximate lock nesting.  That walker is gone: nesting facts now come
+from the path-sensitive lock-set interpreter in
+:mod:`repro.analyze.flow`, which runs over the unified effect IR
+(:mod:`repro.analyze.effects`) and tracks branches, loops and early
+exits instead of smearing them into one linear order.  What remains
+here is the data shape (:class:`TaskLockUsage`), the declared
+``fn.lock_order`` override, and the cycle finder the RTS110 deadlock
+rule runs over the held->acquired graph.
 """
 
 from __future__ import annotations
 
-import ast
-import inspect
-import textwrap
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
-
-from ..mcse.shared import SharedVariable
-
-#: Function methods that acquire the shared variable passed first.
-_ACQUIRE_METHODS = {"lock", "read_shared", "write_shared"}
-_RELEASE_METHODS = {"unlock"}
+from typing import Any, Dict, List, Set, Tuple
 
 
 class TaskLockUsage:
@@ -41,128 +23,20 @@ class TaskLockUsage:
         self.function = fn
         #: Names of shared variables the function ever acquires.
         self.acquires: Set[str] = set()
-        #: (held, acquired) nesting pairs observed.
+        #: (held, acquired) nesting pairs observed on some path.
         self.nested: List[Tuple[str, str]] = []
 
 
-def _resolve_names(behavior: Any) -> Dict[str, object]:
-    """Map of variable names visible to ``behavior`` -> bound objects."""
-    resolved: Dict[str, object] = {}
-    code = getattr(behavior, "__code__", None)
-    closure = getattr(behavior, "__closure__", None)
-    if code is not None and closure:
-        for name, cell in zip(code.co_freevars, closure):
-            try:
-                resolved[name] = cell.cell_contents
-            except ValueError:  # pragma: no cover - empty cell
-                pass
-    for name, value in (getattr(behavior, "__globals__", None) or {}).items():
-        resolved.setdefault(name, value)
-    return resolved
-
-
-def _shared_name(node: ast.AST, names: Dict[str, object]) -> Optional[str]:
-    """The relation name an AST call argument refers to, if a shared var."""
-    target = None
-    if isinstance(node, ast.Name):
-        target = names.get(node.id)
-    elif isinstance(node, ast.Attribute):
-        # ``self.shared`` / ``module.shared``: resolve the base object
-        base = node.value
-        if isinstance(base, ast.Name):
-            owner = names.get(base.id)
-            if owner is not None:
-                target = getattr(owner, node.attr, None)
-    if isinstance(target, SharedVariable):
-        return target.name
-    return None
-
-
-def _preorder(tree: ast.AST) -> Iterator[ast.AST]:
-    """Depth-first pre-order walk: nodes come out in source order.
-
-    (``ast.walk`` is breadth-first, which would interleave statements
-    from different nesting levels and corrupt the held-lock tracking.)
-    """
-    stack = [tree]
-    while stack:
-        node = stack.pop()
-        yield node
-        stack.extend(reversed(list(ast.iter_child_nodes(node))))
-
-
-def _walk_behavior_ast(usage: TaskLockUsage, behavior: Any) -> None:
-    try:
-        source = textwrap.dedent(inspect.getsource(behavior))
-        tree = ast.parse(source)
-    except (OSError, TypeError, SyntaxError, IndentationError):
-        return
-    names = _resolve_names(behavior)
-    held: List[str] = []
-    for node in _preorder(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        func = node.func
-        if not isinstance(func, ast.Attribute):
-            continue
-        method = func.attr
-        if method in _ACQUIRE_METHODS and node.args:
-            shared = _shared_name(node.args[0], names)
-            if shared is None:
-                continue
-            usage.acquires.add(shared)
-            for holding in held:
-                if holding != shared:
-                    usage.nested.append((holding, shared))
-            if method == "lock":
-                held.append(shared)
-            # read_shared/write_shared release before returning
-        elif method in _RELEASE_METHODS and node.args:
-            shared = _shared_name(node.args[0], names)
-            if shared is not None and shared in held:
-                held.remove(shared)
-
-
-def _walk_script_ops(usage: TaskLockUsage, ops: Sequence[Any],
-                     held: List[str]) -> None:
-    for name, args in ops:
-        if name in _ACQUIRE_METHODS:
-            shared = args[0]
-            usage.acquires.add(shared)
-            for holding in held:
-                if holding != shared:
-                    usage.nested.append((holding, shared))
-            if name == "lock":
-                held.append(shared)
-        elif name in _RELEASE_METHODS:
-            if args[0] in held:
-                held.remove(args[0])
-        elif name == "loop":
-            _walk_script_ops(usage, args[1], held)
-
-
 def lock_usage(fn: Any) -> TaskLockUsage:
-    """Extract the shared-variable usage of one function."""
-    usage = TaskLockUsage(fn)
-    declared = getattr(fn, "lock_order", None)
-    if declared:
-        chain = list(declared)
-        usage.acquires.update(chain)
-        for index, acquired in enumerate(chain[1:], start=1):
-            for holding in chain[:index]:
-                usage.nested.append((holding, acquired))
-        return usage
-    ops = getattr(fn, "script_ops", None)
-    if ops:
-        _walk_script_ops(usage, ops, [])
-        return usage
-    behavior = getattr(fn, "_behavior", None)
-    if behavior is None:
-        # class-based functions override ``behavior()`` instead
-        behavior = getattr(type(fn), "behavior", None)
-    if behavior is not None:
-        _walk_behavior_ast(usage, behavior)
-    return usage
+    """Extract the shared-variable usage of one function.
+
+    A declared ``fn.lock_order = ["A", "B"]`` chain wins; otherwise the
+    behavior (script ops or generator source) is lowered to the effect
+    IR and interpreted path-sensitively.
+    """
+    from .flow import analyze_task
+
+    return analyze_task(fn).usage
 
 
 def find_cycles(edges: Dict[str, Set[str]]) -> List[List[str]]:

@@ -23,6 +23,11 @@ RTS140     partition window cannot fit its tasks' periodic demand
 RTS141     task's partition label matches no window (never eligible)
 =========  ================================================================
 
+The RTS15x multicore-domain rules live in :mod:`repro.analyze.multicore`
+and the RTS16x behavior-flow rules (path-sensitive lock-set analysis,
+static WCET cross-checks, static races, starvation) in
+:mod:`repro.analyze.flow`; both report through the same pipeline here.
+
 Suppression: pass ``suppress={"RTS111", ...}`` or set a
 ``lint_suppress`` iterable of rule ids on the system, a function, a
 relation or a processor (object-level suppressions apply to the whole
@@ -45,7 +50,8 @@ from .diagnostics import (
     object_suppressions,
     rule,
 )
-from .lockgraph import find_cycles, lock_usage
+from .flow import analyze_flows, check_flow
+from .lockgraph import find_cycles
 from .multicore import check_domain
 from .schedulability import check_schedulability, periodic_profile
 
@@ -79,9 +85,8 @@ def analyze_system(system: Any, *, suppress: Iterable[str] = ()) -> Report:
           for obj in getattr(system, "domains", {}).values()),
     )
     report = Report(suppress=suppressions)
-    usages = {
-        name: lock_usage(fn) for name, fn in system.functions.items()
-    }
+    flows = analyze_flows(system)
+    usages = {name: flow.usage for name, flow in flows.items()}
     for processor in system.processors.values():
         _check_priorities(report, processor)
         _check_overheads(report, processor)
@@ -98,6 +103,7 @@ def analyze_system(system: Any, *, suppress: Iterable[str] = ()) -> Report:
         check_domain(report, domain)
     _check_locks(report, system, usages)
     _check_reachability(report, system, usages)
+    check_flow(report, system, flows)
     return report
 
 

@@ -1,0 +1,93 @@
+"""SARIF 2.1.0 rendering of a diagnostic :class:`Report`.
+
+CI systems (GitHub code scanning among them) ingest the Static Analysis
+Results Interchange Format to annotate findings on pull requests.  The
+mapping is intentionally small: one ``run`` of one ``tool.driver``
+(``pyrtos-sc``), every catalogued rule id that appears in the report
+listed under ``rules``, and one ``result`` per diagnostic.  Severities
+map ``ERROR -> "error"``, ``WARNING -> "warning"``, ``INFO -> "note"``.
+
+The artifact location is the lint target (a spec path, an example file,
+or a symbolic name like ``fig6``); model-level findings carry their
+human-readable location in the message and only get a ``region`` when
+the diagnostic has a source line.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .diagnostics import RULES, Diagnostic, Report, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _result(diagnostic: Diagnostic, artifact: str) -> Dict[str, Any]:
+    message = f"{diagnostic.location}: {diagnostic.message}"
+    if diagnostic.hint:
+        message += f" (hint: {diagnostic.hint})"
+    location: Dict[str, Any] = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": artifact},
+        }
+    }
+    if diagnostic.line is not None:
+        location["physicalLocation"]["region"] = {
+            "startLine": diagnostic.line,
+        }
+    return {
+        "ruleId": diagnostic.rule,
+        "level": _LEVELS[diagnostic.severity],
+        "message": {"text": message},
+        "locations": [location],
+    }
+
+
+def report_to_sarif(report: Report, *, artifact: str,
+                    tool_name: str = "pyrtos-sc",
+                    tool_version: str = "0") -> Dict[str, Any]:
+    """Render ``report`` as a SARIF 2.1.0 log object (a plain dict)."""
+    rule_ids = sorted({d.rule for d in report.diagnostics})
+    rules: List[Dict[str, Any]] = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": RULES.get(rule_id, rule_id),
+            },
+        }
+        for rule_id in rule_ids
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "version": tool_version,
+                        "informationUri":
+                            "https://example.invalid/pyrtos-sc",
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    _result(diagnostic, artifact)
+                    for diagnostic in report.diagnostics
+                ],
+            }
+        ],
+    }
+
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "report_to_sarif"]

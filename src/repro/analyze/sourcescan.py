@@ -2,77 +2,43 @@
 
 Support module for the RTS130 never-ready rule: which event relations
 does each function signal, and is the whole system statically visible?
-A function is *visible* when it has declarative script ops or a
-behavior whose source parses and whose ``.signal(x)`` arguments all
-resolve to concrete relations.  One opaque function (or one
-unresolvable signal target) makes the system invisible, and the rule
-stays silent -- the linter only claims what it can prove.
+Signal facts are read off the unified effect IR
+(:mod:`repro.analyze.effects`).  A function is *visible* when its
+lowered tree is exact -- script ops, or a behavior whose source parses
+with every effect target resolved and no opaque delegation.  One opaque
+function makes the system invisible and the rule stays silent: the
+linter only claims what it can prove.
 """
 
 from __future__ import annotations
 
-import ast
-import inspect
-import textwrap
-from typing import Any, Optional, Sequence, Set
+from typing import Any, List, Optional, Set
 
-from ..mcse.events import EventRelation
-from .lockgraph import _preorder, _resolve_names
+from .effects import Branch, Effect, Loop, Node, Seq, task_effects
 
 
-def _script_signals(ops: Sequence[Any], out: Set[str]) -> None:
-    for name, args in ops:
-        if name == "signal":
-            out.add(args[0])
-        elif name == "loop":
-            _script_signals(args[1], out)
-
-
-def _behavior_signals(behavior: Any, out: Set[str]) -> bool:
-    """Collect signaled relation names; False when anything is opaque."""
-    try:
-        source = textwrap.dedent(inspect.getsource(behavior))
-        tree = ast.parse(source)
-    except (OSError, TypeError, SyntaxError, IndentationError):
-        return False
-    names = _resolve_names(behavior)
-    for node in _preorder(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        func = node.func
-        if not isinstance(func, ast.Attribute) or func.attr != "signal":
-            continue
-        if not node.args:
-            continue
-        arg = node.args[0]
-        target = None
-        if isinstance(arg, ast.Name):
-            target = names.get(arg.id)
-        elif isinstance(arg, ast.Attribute) and isinstance(arg.value, ast.Name):
-            owner = names.get(arg.value.id)
-            if owner is not None:
-                target = getattr(owner, arg.attr, None)
-        if isinstance(target, EventRelation):
-            out.add(target.name)
-        else:
-            return False  # signal to an unresolvable target: opaque
-    return True
+def _collect_signals(root: Node, out: Set[str]) -> None:
+    stack: List[Node] = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Effect):
+            if node.kind == "signal" and node.target is not None:
+                out.add(node.target)
+        elif isinstance(node, Seq):
+            stack.extend(node.items)
+        elif isinstance(node, Branch):
+            stack.extend(node.arms)
+        elif isinstance(node, Loop):
+            stack.append(node.body)
 
 
 def signaled_relations(fn: Any) -> Optional[Set[str]]:
     """Relation names ``fn`` signals, or ``None`` when ``fn`` is opaque."""
+    effects = task_effects(fn)
+    if effects is None or not effects.exact:
+        return None
     out: Set[str] = set()
-    ops = getattr(fn, "script_ops", None)
-    if ops:
-        _script_signals(ops, out)
-        return out
-    behavior = getattr(fn, "_behavior", None)
-    if behavior is None:
-        behavior = getattr(type(fn), "behavior", None)
-    if behavior is None:
-        return None
-    if not _behavior_signals(behavior, out):
-        return None
+    _collect_signals(effects.root, out)
     return out
 
 

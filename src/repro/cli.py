@@ -205,23 +205,30 @@ def cmd_campaign(args) -> int:
 
 
 def _lint_target(target: str, suppress):
-    """Return a (location, Report) pair for one lint target."""
+    """Return a (location, Report, witnessable-spec) triple for one target.
+
+    The third element is the builder spec dict for spec-backed targets
+    (the witness harness can re-build and explore them), ``None`` for
+    source files and targets without an injectable simulator.
+    """
     from .analyze import analyze_source, analyze_system
 
     if target == "fig6":
         from .workloads.fig6 import fig6_spec
 
-        return target, analyze_system(build_system(fig6_spec()),
-                                      suppress=suppress)
+        spec = fig6_spec()
+        return target, analyze_system(build_system(spec),
+                                      suppress=suppress), spec
     if target == "mpeg2":
         from .workloads.mpeg2 import Mpeg2Soc
 
         soc = Mpeg2Soc(frames=1)
-        return target, analyze_system(soc.system, suppress=suppress)
+        return target, analyze_system(soc.system, suppress=suppress), None
     if target.endswith(".json"):
         with open(target) as handle:
             spec = json.load(handle)
-        return target, analyze_system(build_system(spec), suppress=suppress)
+        return target, analyze_system(build_system(spec),
+                                      suppress=suppress), spec
     if target.endswith(".py"):
         report = analyze_source(target)
         report.suppress.update(suppress)
@@ -233,37 +240,103 @@ def _lint_target(target: str, suppress):
                 else:
                     kept.append(diagnostic)
             report.diagnostics = kept
-        return target, report
+        return target, report, None
     raise SystemExit(
         f"pyrtos-sc lint: unknown target {target!r} "
         "(expected fig6, mpeg2, a .json spec, or a .py file)"
     )
 
 
+def _witness_report(spec, report, horizon):
+    """Run witness attempts for a report's ERRORs; returns outcome dicts.
+
+    Confirmed and unconfirmed outcomes alike are appended to the report
+    as INFO diagnostics, so an ERROR never ships without either a
+    concrete witness or an explicit no-witness justification.
+    """
+    from .verify.witness import witness_findings, witnessable
+
+    outcomes = witness_findings(spec, report, horizon=horizon)
+    rendered = {}
+    for rule_id, outcome in sorted(outcomes.items()):
+        rendered[rule_id] = outcome.to_dict()
+        status = "confirmed" if outcome.confirmed else "unconfirmed"
+        report.add(
+            rule_id, report.INFO, f"witness ({status})",
+            outcome.justification,
+        )
+    for rule_id in sorted({d.rule for d in report.errors}):
+        if not witnessable(rule_id):
+            rendered[rule_id] = {
+                "rule": rule_id, "confirmed": False,
+                "justification": "rule makes no reachability claim; no "
+                                 "dynamic witness exists by construction",
+            }
+    return rendered
+
+
 def cmd_lint(args) -> int:
     """Statically analyze models and sources without simulating them."""
+    if args.explain:
+        from .analyze.diagnostics import explain_rule
+
+        for rule_id in args.explain:
+            try:
+                print(explain_rule(rule_id))
+            except KeyError as exc:
+                raise SystemExit(f"pyrtos-sc lint: {exc.args[0]}")
+            print()
+        if not args.targets:
+            return 0
+    elif not args.targets:
+        raise SystemExit(
+            "pyrtos-sc lint: pass at least one target, or --explain RULE"
+        )
     suppress = set()
     for chunk in args.suppress or ():
         suppress.update(part.strip() for part in chunk.split(",")
                         if part.strip())
     results = [_lint_target(target, suppress) for target in args.targets]
+    witness_horizon = parse_time(args.witness_horizon) \
+        if args.witness_horizon else None
+    witnesses = {}
+    if args.witness:
+        for location, report, spec in results:
+            if spec is None:
+                continue
+            outcome = _witness_report(spec, report, witness_horizon)
+            if outcome:
+                witnesses[location] = outcome
     failed = False
     if args.json:
         payload = []
-        for location, report in results:
+        for location, report, _ in results:
             entry = report.to_dict()
             entry["target"] = location
+            if location in witnesses:
+                entry["witness"] = witnesses[location]
             payload.append(entry)
             if not report.ok(strict=args.strict):
                 failed = True
         _emit_json(payload)
     else:
-        for location, report in results:
+        for location, report, _ in results:
             if len(results) > 1:
                 print(f"== {location} ==")
             print(report.format_text())
             if not report.ok(strict=args.strict):
                 failed = True
+    if args.sarif:
+        from .analyze.sarif import SARIF_SCHEMA, SARIF_VERSION, \
+            report_to_sarif
+
+        runs = []
+        for location, report, _ in results:
+            runs.extend(report_to_sarif(report, artifact=location)["runs"])
+        log = {"$schema": SARIF_SCHEMA, "version": SARIF_VERSION,
+               "runs": runs}
+        _emit_json(log, args.sarif)
+        print(f"wrote {args.sarif}", file=sys.stderr)
     return 1 if failed else 0
 
 
@@ -600,7 +673,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="statically analyze models/sources without simulating",
     )
     lint_parser.add_argument(
-        "targets", nargs="+",
+        "targets", nargs="*",
         help="fig6 | mpeg2 | spec.json | experiment.py (any mix)",
     )
     lint_parser.add_argument("--json", action="store_true",
@@ -610,6 +683,19 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument("--suppress", action="append", metavar="RULES",
                              help="comma-separated rule ids to suppress "
                                   "(repeatable)")
+    lint_parser.add_argument("--explain", action="append", metavar="RULE",
+                             help="print the catalogue entry and long-form "
+                                  "explanation of a rule (repeatable)")
+    lint_parser.add_argument("--sarif", metavar="PATH",
+                             help="write findings as a SARIF 2.1.0 log")
+    lint_parser.add_argument("--witness", action="store_true",
+                             help="hand every ERROR to the bounded "
+                                  "verifier for a concrete witness "
+                                  "(spec-backed targets only)")
+    lint_parser.add_argument("--witness-horizon", metavar="TIME",
+                             default="50ms",
+                             help="time bound for witness exploration "
+                                  "(default: 50ms)")
     lint_parser.set_defaults(func=cmd_lint)
 
     verify_parser = sub.add_parser(

@@ -44,7 +44,7 @@ def load_report(path: Path) -> Dict:
 
 
 def _cells_by_key(report: Dict) -> Dict[str, Dict]:
-    cells = {}
+    cells: Dict[str, Dict] = {}
     for cell in report.get("cells", ()):
         key = cell.get("key")
         if key is None:
@@ -72,8 +72,8 @@ def compare_reports(report_a: Dict, report_b: Dict, *,
     keys_a, keys_b = set(cells_a), set(cells_b)
     matched = sorted(keys_a & keys_b)
 
-    flips = []
-    drifted = []
+    flips: List[Dict] = []
+    drifted: List[Dict] = []
     metrics: Dict[str, Dict] = {}
     samples: Dict[str, Dict[str, List[float]]] = {
         name: {"a": [], "b": []} for name in NUMERIC_METRICS

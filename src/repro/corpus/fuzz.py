@@ -27,12 +27,19 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import CorpusError
+from ..kernel.simulator import Simulator
 from ..kernel.time import MS
 from ..mcse.builder import build_system
+from ..mcse.model import System
 from ..verify.counterexample import minimize
 from ..verify.harness import VerifyOptions, run_once
 from .generators import GENERATORS, generate, spec_digest
-from .pipeline import PipelineOptions, run_pipeline, violated_properties
+from .pipeline import (
+    PipelineOptions,
+    merge_static_dynamic,
+    run_pipeline,
+    violated_properties,
+)
 from .seeds import load_corpus, make_seed_record, seed_signature, write_seed
 
 #: Default simulation/verification horizon for fuzzed scenarios: long
@@ -89,6 +96,9 @@ class FuzzReport:
     wall_s: float = 0.0
     stream_sha256: str = ""
     stopped_early: bool = False
+    #: Per-rule static-claimed vs verifier-confirmed totals over every
+    #: fuzzed scenario (see ``pipeline.merge_static_dynamic``).
+    static_dynamic: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def scenarios_per_second(self) -> float:
@@ -108,6 +118,7 @@ class FuzzReport:
             "scenarios_per_second": round(self.scenarios_per_second, 3),
             "stream_sha256": self.stream_sha256,
             "stopped_early": self.stopped_early,
+            "static_dynamic": dict(sorted(self.static_dynamic.items())),
         }
 
 
@@ -126,7 +137,7 @@ def _shrink_metrics(spec: Dict, verdict: Dict,
     choices = list(counterexample["choices"])
     runs = [0]
 
-    def factory(sim):
+    def factory(sim: Simulator) -> System:
         runs[0] += 1
         return build_system(spec, sim=sim)
 
@@ -200,6 +211,9 @@ def fuzz(
         report.scenarios += 1
 
         verdict = run_pipeline(spec, options)
+        merge_static_dynamic(
+            report.static_dynamic, verdict.get("static_dynamic", {})
+        )
         properties = violated_properties(verdict)
         if not properties:
             continue

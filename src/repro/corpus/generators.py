@@ -113,7 +113,7 @@ def gen_periodic(rng: random.Random, *, n: int = 4,
     priority = {name: len(by_rate) - rank
                 for rank, (name, _, _) in enumerate(by_rate)}
 
-    functions = []
+    functions: List[Dict] = []
     for name, wcet, period in tasks:
         body: List[list] = [["execute", _us(wcet)]]
         if period > wcet:
@@ -209,7 +209,7 @@ def gen_dag(rng: random.Random, *, nodes: int = 6, edge_prob: float = 0.35,
     for node in range(nodes):
         depth[node] = 1 + max((depth[src] for src in incoming[node]),
                               default=0)
-    functions = []
+    functions: List[Dict] = []
     for node in range(nodes):
         body: List[list] = []
         for src in sorted(incoming[node]):
@@ -313,7 +313,7 @@ def gen_partitioned(rng: random.Random, *, partitions: int = 2,
                for index in range(partitions)]
     major_frame = sum(int(d[:-2]) for _, d in windows)
 
-    functions = []
+    functions: List[Dict] = []
     for p_index in range(partitions):
         window_us = int(windows[p_index][1][:-2])
         shares = uunifast(tasks_per_partition, utilization, rng)
@@ -379,7 +379,7 @@ def gen_smp(rng: random.Random, *, cores: int = 2, n: int = 6,
     if dispatch == "clustered" and cores < 2:
         raise CorpusError("smp: clustered dispatch needs at least two cores")
     core_names = [f"cpu{index}" for index in range(cores)]
-    processors = []
+    processors: List[Dict[str, Any]] = []
     for index, core in enumerate(core_names):
         entry: Dict[str, Any] = {"name": core, "engine": "procedural"}
         if heterogeneous and index % 2 == 1:
@@ -389,7 +389,7 @@ def gen_smp(rng: random.Random, *, cores: int = 2, n: int = 6,
     shares = uunifast(n, utilization, rng)
     period_list = _draw_periods(rng, n, periods, period_min_us,
                                 period_max_us)
-    functions = []
+    functions: List[Dict] = []
     for index, (share, period) in enumerate(zip(shares, period_list)):
         # cap per-task utilization at 1.0: one task can never use more
         # than one core, whatever the dispatch
@@ -471,7 +471,7 @@ def gen_contention(rng: random.Random, *, tasks: int = 3, resources: int = 2,
     relations = [{"kind": "shared", "name": f"R{index}"}
                  for index in range(resources)]
 
-    functions = []
+    functions: List[Dict] = []
     for t_index in range(tasks):
         subset = sorted(rng.sample(range(resources), locks_per_task))
         if not ordered:

@@ -28,14 +28,16 @@ from __future__ import annotations
 import itertools
 import json
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
+from ..campaign.cache import ResultCache
 from ..campaign.runner import Runner
 from ..campaign.spec import ExperimentSpec, RunRequest, no_run
 from ..errors import CorpusError
 from .generators import GENERATORS, generate, spec_digest
 from .pipeline import (
     PipelineOptions,
+    merge_static_dynamic,
     run_pipeline,
     verdict_digest,
     violated_properties,
@@ -123,7 +125,7 @@ def expand_matrix(doc: Dict) -> List[Dict]:
     parameters = doc.get("parameters", {})
     options = doc.get("options", {})
     axes = sorted(parameters)
-    cells = []
+    cells: List[Dict] = []
     for generator in generators:
         for seed in seeds:
             for combo in itertools.product(
@@ -164,6 +166,7 @@ def run_cell(params: Dict) -> Dict:
         "lint_errors": len(verdict.get("lint", {}).get("errors", ())),
         "lint_warnings": len(verdict.get("lint", {}).get("warnings", ())),
         "verify_verdict": verdict.get("verify", {}).get("verdict"),
+        "static_dynamic": verdict.get("static_dynamic", {}),
     }
 
 
@@ -171,9 +174,10 @@ def _identity_metrics(params: Dict, state: Dict) -> Dict:
     return dict(state)
 
 
-def run_matrix(doc: Dict, *, workers: int = 1, cache=None,
+def run_matrix(doc: Dict, *, workers: int = 1,
+               cache: Union[bool, str, Path, ResultCache, None] = None,
                timeout: Optional[float] = None,
-               progress=False) -> Dict:
+               progress: bool = False) -> Dict:
     """Run every cell of a matrix document; returns the report dict."""
     validate_matrix(doc)
     cells = expand_matrix(doc)
@@ -191,13 +195,15 @@ def run_matrix(doc: Dict, *, workers: int = 1, cache=None,
                 for index, cell in enumerate(cells)]
     outcome = runner.execute(spec, requests)
 
-    report_cells = []
+    report_cells: List[Dict] = []
     by_property: Dict[str, int] = {}
-    end_times = []
+    rule_totals: Dict[str, Dict[str, int]] = {}
+    end_times: List[int] = []
     for result in outcome.results:
         metrics = result.metrics
         for prop in metrics.get("properties", ()):
             by_property[prop] = by_property.get(prop, 0) + 1
+        merge_static_dynamic(rule_totals, metrics.get("static_dynamic", {}))
         if isinstance(metrics.get("end_time"), (int, float)):
             end_times.append(metrics["end_time"])
         report_cells.append({
@@ -222,6 +228,7 @@ def run_matrix(doc: Dict, *, workers: int = 1, cache=None,
         "violating": sum(1 for c in report_cells
                          if c["metrics"].get("properties")),
         "by_property": dict(sorted(by_property.items())),
+        "static_dynamic": dict(sorted(rule_totals.items())),
         "cache_hits": outcome.cache_hits,
         "cache_misses": outcome.cache_misses,
         "wall_s": round(outcome.wall_s, 3),

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..analyze import analyze_system
 from ..campaign.spec import canonical_json
@@ -36,6 +36,17 @@ from ..verify.properties import RunMonitors
 
 #: Static schedulability rules cross-checked against observed misses.
 STATIC_SCHED_RULES = frozenset(("RTS103", "RTS104", "RTS105"))
+
+#: Dynamic property id -> static rules that claim (a superset of) it.
+#: This is the precision/recall bookkeeping spine: a static rule is
+#: *confirmed* for a spec when its family property was dynamically
+#: observed (nominal simulation or bounded exploration) on that spec.
+STATIC_DYNAMIC_FAMILIES: Dict[str, tuple] = {
+    "RTS-V001": ("RTS110", "RTS130", "RTS161", "RTS162", "RTS166"),
+    "RTS-V002": ("RTS103", "RTS104", "RTS105", "RTS140", "RTS141",
+                 "RTS150", "RTS151", "RTS153"),
+    "SAN303": ("RTS165",),
+}
 
 
 @dataclass
@@ -188,7 +199,7 @@ def _rta_exact(spec: Dict) -> bool:
     return True
 
 
-def _flat_ops(script) -> List[str]:
+def _flat_ops(script: Iterable[Sequence]) -> List[str]:
     ops: List[str] = []
     for op in script:
         name = op[0]
@@ -196,6 +207,50 @@ def _flat_ops(script) -> List[str]:
         if name == "loop":
             ops.extend(_flat_ops(op[2]))
     return ops
+
+
+def static_dynamic_accounting(verdict: Dict) -> Dict[str, Dict]:
+    """Per-property static-claimed vs dynamically-observed ledger.
+
+    For every :data:`STATIC_DYNAMIC_FAMILIES` property with activity on
+    this spec: which family rules the linter claimed (any severity),
+    whether the property was observed dynamically, and the confirmed
+    intersection.  Silent properties are omitted so clean specs keep a
+    compact verdict.
+    """
+    lint = verdict.get("lint", {})
+    claimed_all = set(lint.get("errors", ())) | \
+        set(lint.get("warnings", ()))
+    observed = set(verdict.get("simulate", {}).get("violations", ()))
+    observed.update(verdict.get("verify", {}).get("properties", ()))
+    ledger: Dict[str, Dict] = {}
+    for prop, rules in sorted(STATIC_DYNAMIC_FAMILIES.items()):
+        claimed = sorted(claimed_all & set(rules))
+        seen = prop in observed
+        if not claimed and not seen:
+            continue
+        ledger[prop] = {
+            "static": claimed,
+            "dynamic": seen,
+            "confirmed": claimed if seen else [],
+        }
+    return ledger
+
+
+def merge_static_dynamic(totals: Dict[str, Dict[str, int]],
+                         ledger: Dict[str, Dict]) -> None:
+    """Fold one spec's accounting into per-rule claimed/confirmed totals.
+
+    ``totals[rule] = {"claimed": n, "confirmed": m}`` -- the persisted
+    shape batch matrices and the fuzz loop report; ``m / n`` is the
+    observed precision of the rule over the corpus slice.
+    """
+    for entry in ledger.values():
+        for rule_id in entry["static"]:
+            row = totals.setdefault(rule_id, {"claimed": 0, "confirmed": 0})
+            row["claimed"] += 1
+            if entry["dynamic"]:
+                row["confirmed"] += 1
 
 
 def run_pipeline(spec: Dict, options: Optional[PipelineOptions] = None,
@@ -227,12 +282,15 @@ def run_pipeline(spec: Dict, options: Optional[PipelineOptions] = None,
         spec, verdict["lint"], verdict["simulate"]
     )
     if not options.verify or stages == "simulate":
+        verdict["static_dynamic"] = static_dynamic_accounting(verdict)
         return verdict
     try:
         verdict["verify"] = verify_stage(spec, options)
     except ReproError as exc:
         verdict["crash"] = {"stage": "verify", "error": type(exc).__name__,
                             "message": str(exc)}
+        return verdict
+    verdict["static_dynamic"] = static_dynamic_accounting(verdict)
     return verdict
 
 
@@ -254,11 +312,14 @@ def verdict_digest(verdict: Dict) -> str:
 
 __all__ = [
     "PipelineOptions",
+    "STATIC_DYNAMIC_FAMILIES",
     "STATIC_SCHED_RULES",
     "differential_check",
     "lint_stage",
+    "merge_static_dynamic",
     "run_pipeline",
     "simulate_stage",
+    "static_dynamic_accounting",
     "verdict_digest",
     "verify_stage",
     "violated_properties",

@@ -75,7 +75,8 @@ from .model import System
 #: model the spec author described (a typo'd ``"functoins"`` list would
 #: simulate an empty system and "pass").
 _TOP_LEVEL_KEYS = frozenset(
-    ("name", "relations", "processors", "scheduling_domains", "functions")
+    ("name", "relations", "processors", "scheduling_domains", "functions",
+     "lint_suppress")
 )
 
 
@@ -90,6 +91,10 @@ def build_system(spec: Dict, sim=None) -> System:
             f"expected a subset of {sorted(_TOP_LEVEL_KEYS)}"
         )
     system = System(spec.get("name", "system"), sim=sim)
+    if "lint_suppress" in spec:
+        system.lint_suppress = _parse_lint_suppress(
+            "spec", spec["lint_suppress"]
+        )
 
     for rel_spec in spec.get("relations", ()):
         _build_relation(system, dict(rel_spec))
@@ -249,7 +254,21 @@ _FUNCTION_META_KEYS = {
     "jitter": True,     # release jitter bound (repro.verify) -- a time
     "partition": False,  # TimePartitionPolicy label -- a string
     "affinity": False,   # processor names the task may run on -- a list
+    "lint_suppress": False,  # rule ids muted for the whole report -- a list
 }
+
+
+def _parse_lint_suppress(where: str, value) -> tuple:
+    """Validate a ``lint_suppress`` entry: a list of rule-id strings."""
+    if isinstance(value, str):
+        value = [value]
+    if not isinstance(value, (list, tuple)) or not all(
+            isinstance(item, str) and item for item in value):
+        raise BuildError(
+            f"{where}: lint_suppress must be a rule id or a list of rule "
+            f"ids, got {value!r}"
+        )
+    return tuple(value)
 
 
 def _build_function(system: System, spec: Dict) -> None:
@@ -281,6 +300,10 @@ def _build_function(system: System, spec: Dict) -> None:
                     meta["wcet"] = parsed
             elif key == "affinity":
                 meta[key] = _parse_affinity(system, name, value)
+            elif key == "lint_suppress":
+                meta[key] = _parse_lint_suppress(
+                    f"function {name!r}", value
+                )
             else:
                 meta[key] = parse_time(value) if is_time else value
     fn = _elaborate(f"function {name!r}", system.function, name,

@@ -40,7 +40,7 @@ Mechanics and invariants:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..errors import RTOSError
 from ..kernel.simulator import Simulator
@@ -67,7 +67,7 @@ class SchedulingDomain:
         policy: Union[str, SchedulingPolicy, None] = None,
         migration_cost: OverheadSpec = 0,
         clusters: Optional[Sequence[Sequence[ProcessorBase]]] = None,
-        **policy_kwargs,
+        **policy_kwargs: object,
     ) -> None:
         if kind not in DOMAIN_KINDS:
             raise RTOSError(
@@ -76,7 +76,7 @@ class SchedulingDomain:
         members = list(processors)
         if not members:
             raise RTOSError(f"domain {name!r} needs at least one processor")
-        seen = set()
+        seen: Set[str] = set()
         for member in members:
             if member.sim is not sim:
                 raise RTOSError(
@@ -148,14 +148,16 @@ class SchedulingDomain:
         for member in members:
             member.domain = self
 
-    def _check_clusters(self, clusters) -> Tuple[Tuple[ProcessorBase, ...], ...]:
+    def _check_clusters(
+        self, clusters: Optional[Sequence[Sequence[ProcessorBase]]]
+    ) -> Tuple[Tuple[ProcessorBase, ...], ...]:
         if not clusters:
             raise RTOSError(
                 f"clustered domain {self.name!r} needs an explicit clusters "
                 "partition of its members"
             )
         assigned: Dict[str, int] = {}
-        out = []
+        out: List[Tuple[ProcessorBase, ...]] = []
         for index, cluster in enumerate(clusters):
             group = tuple(cluster)
             if not group:

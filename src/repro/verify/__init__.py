@@ -52,6 +52,8 @@ from .harness import ModelFactory, RunOutcome, VerifyOptions, replay, \
     run_once, spec_factory
 from .properties import RTSV001, RTSV002, RTSV003, RTSV004, RTSV005, \
     Invariant, RunMonitors, Violation
+from .witness import WITNESS_PROPERTIES, WitnessOutcome, attempt_witness, \
+    witness_findings, witnessable
 
 if TYPE_CHECKING:
     from ..mcse.model import System
@@ -248,6 +250,8 @@ __all__ = [
     "Counterexample",
     "Invariant",
     "ModelFactory",
+    "WITNESS_PROPERTIES",
+    "WitnessOutcome",
     "RTSV001",
     "RTSV002",
     "RTSV003",
@@ -262,6 +266,7 @@ __all__ = [
     "VerifyStats",
     "Violation",
     "assert_always",
+    "attempt_witness",
     "build_report",
     "minimize",
     "replay",
@@ -271,4 +276,6 @@ __all__ = [
     "spec_factory",
     "verify_model",
     "verify_spec",
+    "witness_findings",
+    "witnessable",
 ]

@@ -1,0 +1,211 @@
+"""Concrete witness attempts for static ERROR-severity findings.
+
+The flow analyzer (:mod:`repro.analyze.flow`) claims ERRORs only when
+its extraction is exact -- but "exact over the IR" is still a model of
+the behavior, not the behavior.  This module closes the loop: every
+static rule that asserts a *reachable* failure maps to the dynamic
+property (or sanitizer rule) that would observe it, and
+:func:`attempt_witness` drives the bounded explorer at the model to
+either produce a replayable counterexample (the static claim is
+*confirmed*) or record an explicit no-witness justification that ships
+with the report.
+
+The corpus pipeline aggregates these outcomes into per-rule
+precision/recall accounting (static-claimed vs verifier-confirmed); see
+``repro.corpus.pipeline``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from .explorer import VerifyResult, explore_dfs
+from .harness import ModelFactory, VerifyOptions, spec_factory
+
+#: Static rule id -> dynamic property/sanitizer rule ids that would
+#: observe the claimed failure.  Rules absent here make claims that are
+#: not reachability statements (style, declared-metadata mismatches) and
+#: have no dynamic witness.
+WITNESS_PROPERTIES: Dict[str, Tuple[str, ...]] = {
+    # lock-order deadlock cycles and lock leaks starve another task:
+    # the explorer's quiescence check reports the blocked set
+    "RTS110": ("RTS-V001",),
+    "RTS130": ("RTS-V001",),
+    "RTS161": ("RTS-V001",),
+    "RTS162": ("RTS-V001",),
+    "RTS166": ("RTS-V001",),
+    # static races reproduce as the runtime race sanitizer's finding
+    "RTS165": ("SAN303",),
+    # schedulability errors reproduce as deadline-miss violations
+    "RTS103": ("RTS-V002",),
+    "RTS105": ("RTS-V002",),
+    "RTS140": ("RTS-V002",),
+    "RTS141": ("RTS-V002",),
+    "RTS150": ("RTS-V002",),
+    "RTS153": ("RTS-V002",),
+}
+
+
+@dataclass(frozen=True)
+class WitnessOutcome:
+    """What one witness attempt established for one static rule."""
+
+    rule: str
+    target_properties: Tuple[str, ...]
+    confirmed: bool
+    #: The property/sanitizer rule actually observed, when confirmed.
+    property_id: Optional[str] = None
+    #: Replayable choice sequence of the witness schedule, if any.
+    choices: Optional[Tuple[int, ...]] = None
+    #: Human-readable status -- for confirmed witnesses the replay
+    #: pointer, otherwise the explicit no-witness justification the
+    #: acceptance contract requires.
+    justification: str = ""
+    runs: int = 0
+    complete: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "target_properties": list(self.target_properties),
+            "confirmed": self.confirmed,
+            "property_id": self.property_id,
+            "choices": list(self.choices) if self.choices is not None
+            else None,
+            "justification": self.justification,
+            "runs": self.runs,
+            "complete": self.complete,
+        }
+
+
+def witnessable(rule_id: str) -> bool:
+    """Whether ``rule_id`` has a dynamic counterpart to witness."""
+    return rule_id in WITNESS_PROPERTIES
+
+
+def _as_factory(target: Union[dict, ModelFactory]) -> ModelFactory:
+    if isinstance(target, dict):
+        return spec_factory(target)
+    if callable(target):
+        return target
+    raise TypeError(
+        f"witness target must be a spec dict or a model factory, "
+        f"got {type(target).__name__}"
+    )
+
+
+def attempt_witness(
+    target: Union[dict, ModelFactory],
+    rule_id: str,
+    *,
+    horizon: Optional[int] = None,
+    max_runs: int = 64,
+    max_depth: int = 16,
+) -> WitnessOutcome:
+    """Try to produce a concrete schedule witnessing a static finding.
+
+    ``target`` is a builder spec dict or a ``Simulator -> System``
+    factory (closure-based models have no spec).  The bounded explorer
+    runs with the sanitizer enabled whenever the rule's dynamic
+    counterpart is a ``SAN`` rule.
+    """
+    targets = WITNESS_PROPERTIES.get(rule_id)
+    if targets is None:
+        return WitnessOutcome(
+            rule=rule_id, target_properties=(), confirmed=False,
+            justification=(
+                f"rule {rule_id} makes no reachability claim; no dynamic "
+                "witness exists by construction"
+            ),
+        )
+    factory = _as_factory(target)
+    options = VerifyOptions(
+        horizon=horizon,
+        max_depth=max_depth,
+        sanitize=any(prop.startswith("SAN") for prop in targets),
+    )
+    result = explore_dfs(factory, options, (), max_runs=max_runs)
+    return _outcome(rule_id, targets, result, max_runs)
+
+
+def _outcome(rule_id: str, targets: Tuple[str, ...],
+             result: VerifyResult, max_runs: int) -> WitnessOutcome:
+    runs = result.stats.runs
+    for index, violation in enumerate(result.violations):
+        if violation.property_id not in targets:
+            continue
+        choices: Optional[Tuple[int, ...]] = None
+        if index < len(result.counterexamples):
+            choices = tuple(result.counterexamples[index].choices)
+        return WitnessOutcome(
+            rule=rule_id, target_properties=targets, confirmed=True,
+            property_id=violation.property_id, choices=choices,
+            justification=(
+                f"witnessed: {violation.property_id} at "
+                f"{violation.location} ({violation.message}); replay the "
+                f"recorded choices to reproduce"
+            ),
+            runs=runs, complete=result.complete,
+        )
+    for finding in result.sanitizer_findings:
+        if finding.rule in targets:
+            return WitnessOutcome(
+                rule=rule_id, target_properties=targets, confirmed=True,
+                property_id=finding.rule,
+                justification=(
+                    f"witnessed: sanitizer {finding.rule} at "
+                    f"{finding.location} ({finding.message})"
+                ),
+                runs=runs, complete=result.complete,
+            )
+    if result.complete:
+        justification = (
+            f"no witness: exhaustive exploration ({runs} run(s), "
+            "complete within bounds) reached no "
+            f"{'/'.join(targets)} violation -- the static claim "
+            "over-approximates within these bounds"
+        )
+    else:
+        justification = (
+            f"no witness within bounds ({runs} run(s), exploration "
+            f"truncated at max_runs={max_runs}); the claim is neither "
+            "confirmed nor refuted"
+        )
+    return WitnessOutcome(
+        rule=rule_id, target_properties=targets, confirmed=False,
+        justification=justification, runs=runs, complete=result.complete,
+    )
+
+
+def witness_findings(
+    target: Union[dict, ModelFactory],
+    report: Any,
+    *,
+    horizon: Optional[int] = None,
+    max_runs: int = 64,
+    max_depth: int = 16,
+) -> Dict[str, WitnessOutcome]:
+    """Attempt one witness per distinct ERROR rule of ``report``.
+
+    Returns ``{rule_id: outcome}`` for every ERROR-severity rule that
+    has a dynamic counterpart; witnessless rules are skipped.
+    """
+    outcomes: Dict[str, WitnessOutcome] = {}
+    for rule_id in sorted({d.rule for d in report.errors}):
+        if not witnessable(rule_id):
+            continue
+        outcomes[rule_id] = attempt_witness(
+            target, rule_id,
+            horizon=horizon, max_runs=max_runs, max_depth=max_depth,
+        )
+    return outcomes
+
+
+__all__ = [
+    "WITNESS_PROPERTIES",
+    "WitnessOutcome",
+    "attempt_witness",
+    "witness_findings",
+    "witnessable",
+]

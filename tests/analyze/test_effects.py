@@ -1,0 +1,275 @@
+"""Lowering and interval tests for the unified effect IR."""
+
+from repro.analyze.effects import (
+    Branch,
+    Effect,
+    Exit,
+    Loop,
+    Seq,
+    cost_interval,
+    count_interval,
+    lower_behavior,
+    provably_terminating,
+    resolve_names,
+    task_effects,
+)
+from repro.kernel.simulator import Simulator
+from repro.kernel.time import US
+from repro.mcse.builder import build_system
+from repro.mcse.model import System
+
+
+def spec_fn(name, script, **extra):
+    return dict({"name": name, "priority": 1, "processor": "cpu",
+                 "script": script}, **extra)
+
+
+def build(functions, relations=()):
+    return build_system({
+        "name": "t",
+        "relations": list(relations),
+        "processors": [{"name": "cpu"}],
+        "functions": functions,
+    }, sim=Simulator("effects"))
+
+
+def flatten(node):
+    """Every Effect leaf in pre-order."""
+    if isinstance(node, Effect):
+        return [node]
+    if isinstance(node, Seq):
+        return [leaf for item in node.items for leaf in flatten(item)]
+    if isinstance(node, Branch):
+        return [leaf for arm in node.arms for leaf in flatten(arm)]
+    if isinstance(node, Loop):
+        return flatten(node.body)
+    return []
+
+
+class TestScriptLowering:
+    def test_script_is_exact_with_costs_and_targets(self):
+        system = build(
+            [spec_fn("p", [["execute", "2us"], ["wait", "e"],
+                           ["signal", "e"]])],
+            relations=[{"kind": "event", "name": "e"}],
+        )
+        effects = task_effects(system.functions["p"])
+        assert effects.source == "script"
+        assert effects.exact
+        leaves = flatten(effects.root)
+        assert [leaf.kind for leaf in leaves] == ["execute", "wait", "signal"]
+        assert leaves[0].cost == (2 * US, 2 * US)
+        assert leaves[1].target == "e"
+
+    def test_duration_interval_becomes_cost_interval(self):
+        system = build([spec_fn("p", [["execute", "2us..5us"]])])
+        (leaf,) = flatten(task_effects(system.functions["p"]).root)
+        assert leaf.cost == (2 * US, 5 * US)
+
+    def test_loop_none_is_infinite_and_count_is_exact(self):
+        system = build([spec_fn("p", [
+            ["loop", None, [["loop", 3, [["execute", "1us"]]],
+                            ["delay", "9us"]]],
+        ])])
+        root = task_effects(system.functions["p"]).root
+        (outer,) = root.items
+        assert isinstance(outer, Loop) and outer.infinite
+        inner = outer.body.items[0]
+        assert isinstance(inner, Loop)
+        assert inner.count == 3 and not inner.infinite
+
+    def test_set_preemptive_has_no_flow_effect(self):
+        system = build([spec_fn("p", [["set_preemptive", False],
+                                      ["execute", "1us"]])])
+        leaves = flatten(task_effects(system.functions["p"]).root)
+        assert [leaf.kind for leaf in leaves] == ["execute"]
+
+    def test_shared_convenience_ops_map_to_shared_kinds(self):
+        system = build(
+            [spec_fn("p", [["read_shared", "m"], ["write_shared", "m", 1]])],
+            relations=[{"kind": "shared", "name": "m"}],
+        )
+        leaves = flatten(task_effects(system.functions["p"]).root)
+        assert [leaf.kind for leaf in leaves] == ["shared_read",
+                                                  "shared_write"]
+
+
+class TestBehaviorLowering:
+    def build_one(self, behavior, relations=()):
+        system = System("t", sim=Simulator("effects"))
+        for kind, name in relations:
+            getattr(system, kind)(name)
+        fn = system.function("f", behavior, priority=1)
+        system.processor("cpu").map(fn)
+        return system, fn
+
+    def test_methods_resolve_through_closures(self):
+        system = System("t", sim=Simulator("effects"))
+        mutex = system.shared("m")
+
+        def behavior(fn):
+            yield from fn.lock(mutex)
+            yield from fn.execute(5 * US)
+            yield from fn.unlock(mutex)
+
+        fn = system.function("f", behavior, priority=1)
+        effects = task_effects(fn)
+        assert effects.source == "behavior"
+        assert effects.exact
+        leaves = flatten(effects.root)
+        assert [(leaf.kind, leaf.target) for leaf in leaves] == [
+            ("lock", "m"), ("execute", None), ("unlock", "m"),
+        ]
+        assert leaves[1].cost == (5 * US, 5 * US)
+
+    def test_control_shapes(self):
+        def behavior(fn):
+            for _ in range(3):
+                yield from fn.execute(1 * US)
+            while True:
+                if fn.name:
+                    yield from fn.execute(2 * US)
+                else:
+                    return
+
+        _, fn = self.build_one(behavior)
+        root = task_effects(fn).root
+        for_loop, while_loop = root.items
+        assert isinstance(for_loop, Loop) and for_loop.count == 3
+        assert isinstance(while_loop, Loop)
+        # no break: the loop never falls through *forward* (a return
+        # escapes the whole function, which the fold tracks separately)
+        assert while_loop.infinite
+        (branch,) = while_loop.body.items
+        assert isinstance(branch, Branch) and len(branch.arms) == 2
+        (exit_node,) = branch.arms[1].items
+        assert isinstance(exit_node, Exit) and exit_node.kind == "return"
+
+    def test_while_true_without_break_is_infinite(self):
+        def behavior(fn):
+            while True:
+                yield from fn.delay(1 * US)
+
+        _, fn = self.build_one(behavior)
+        (loop,) = task_effects(fn).root.items
+        assert loop.infinite
+
+    def test_opaque_yield_clears_exactness(self):
+        def behavior(fn):
+            yield
+            yield from fn.execute(1 * US)
+
+        _, fn = self.build_one(behavior)
+        effects = task_effects(fn)
+        assert not effects.exact
+        assert flatten(effects.root)[0].kind == "opaque"
+
+    def test_unresolvable_delegation_clears_exactness(self):
+        def helper(fn):
+            yield from fn.execute(1 * US)
+
+        def behavior(fn):
+            yield from helper(fn)
+
+        _, fn = self.build_one(behavior)
+        assert not task_effects(fn).exact
+
+    def test_try_clears_exactness(self):
+        def behavior(fn):
+            try:
+                yield from fn.execute(1 * US)
+            except ValueError:
+                pass
+
+        _, fn = self.build_one(behavior)
+        assert not task_effects(fn).exact
+
+    def test_container_mutations_become_obj_writes(self):
+        log = []
+        table = {}
+
+        def behavior(fn):
+            log.append(1)
+            table["k"] = 2
+            yield from fn.execute(1 * US)
+
+        _, fn = self.build_one(behavior)
+        effects = task_effects(fn)
+        assert effects.exact
+        writes = [leaf for leaf in flatten(effects.root)
+                  if leaf.kind == "obj_write"]
+        assert sorted(leaf.target for leaf in writes) == ["log", "table"]
+        assert effects.objects == {"log": id(log), "table": id(table)}
+
+    def test_model_objects_are_not_watched(self):
+        system = System("t", sim=Simulator("effects"))
+        queue = system.queue("q")
+
+        def behavior(fn):
+            yield from fn.write(queue, 1)
+
+        fn = system.function("f", behavior, priority=1)
+        effects = task_effects(fn)
+        assert effects.objects == {}
+        assert [leaf.kind for leaf in flatten(effects.root)] == ["write"]
+
+    def test_resolve_names_closure_shadows_globals(self):
+        US_LOCAL = "closure-wins"
+
+        def behavior(fn):
+            return US_LOCAL
+
+        names = resolve_names(behavior)
+        assert names["US_LOCAL"] == "closure-wins"
+        assert names["US"] is US
+
+    def test_unsourceable_behavior_lowers_to_none(self):
+        assert lower_behavior(len) is None
+
+
+class TestIntervals:
+    def exec_(self, lo, hi=None):
+        return Effect("execute", cost=(lo, hi if hi is not None else lo))
+
+    def test_seq_sums_and_branch_spreads(self):
+        tree = Seq((
+            self.exec_(10),
+            Branch(arms=(Seq((self.exec_(5),)), Seq(()))),
+        ))
+        assert cost_interval(tree) == (10, 15)
+
+    def test_exact_loop_multiplies(self):
+        tree = Loop(body=Seq((self.exec_(2),)), count=4)
+        assert cost_interval(tree) == (8, 8)
+        assert provably_terminating(tree)
+
+    def test_unknown_loop_drops_both_claims(self):
+        tree = Loop(body=Seq((self.exec_(2),)), count=None)
+        assert cost_interval(tree) == (0, None)
+        assert not provably_terminating(tree)
+
+    def test_infinite_loop_is_unbounded_and_cuts_the_tail(self):
+        tree = Seq((
+            Loop(body=Seq((Effect("wait", target="e"),)), infinite=True),
+            Effect("signal", target="e"),
+        ))
+        # the signal after the infinite loop is unreachable
+        assert count_interval(tree, "signal", "e") == (0, 0)
+        assert count_interval(tree, "wait", "e") == (None, None)
+
+    def test_early_return_zeroes_the_guaranteed_floor(self):
+        tree = Seq((
+            Branch(arms=(Seq((Exit("return"),)), Seq(()))),
+            self.exec_(7),
+        ))
+        assert cost_interval(tree) == (0, 7)
+
+    def test_count_interval_filters_by_target(self):
+        tree = Seq((Effect("signal", target="a"),
+                    Effect("signal", target="b")))
+        assert count_interval(tree, "signal", "a") == (1, 1)
+        assert count_interval(tree, "signal") == (2, 2)
+
+    def test_unknown_cost_has_no_lower_bound(self):
+        tree = Seq((Effect("execute", cost=None),))
+        assert cost_interval(tree) == (0, None)

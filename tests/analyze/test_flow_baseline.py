@@ -1,0 +1,36 @@
+"""The flow-lint ratchet stays green on a clean tree.
+
+``tools/flow_baseline.py --check`` sweeps every corpus generator, the
+workload family and the runnable examples, counting RTS16x findings per
+rule against ``tests/analyze/flow_baseline.json``.  Running it here
+keeps the ratchet honest in tier-1, not just in the CI job: a change
+that introduces new flow findings in shipped scenarios fails this test
+with the per-finding listing in the output.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class TestFlowBaseline:
+    def test_baseline_file_shape(self):
+        baseline = json.loads(
+            (REPO / "tests" / "analyze" / "flow_baseline.json").read_text()
+        )
+        assert set(baseline) == {"rules"}
+        for rule_id, count in baseline["rules"].items():
+            assert rule_id.startswith("RTS16"), rule_id
+            assert isinstance(count, int) and count >= 0
+
+    def test_ratchet_passes_on_clean_tree(self):
+        completed = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "flow_baseline.py"),
+             "--check"],
+            capture_output=True, text=True, cwd=REPO,
+        )
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+        assert "flow-lint ratchet: OK" in completed.stdout

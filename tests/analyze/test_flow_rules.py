@@ -1,0 +1,331 @@
+"""Rule-by-rule tests for the behavior-flow analyzer (RTS16x)."""
+
+from repro.analyze import analyze_system
+from repro.kernel.simulator import Simulator
+from repro.kernel.time import US
+from repro.mcse.builder import build_system
+from repro.mcse.model import System
+
+
+def spec_fn(name, script, **extra):
+    return dict({"name": name, "priority": 1, "processor": "cpu",
+                 "script": script}, **extra)
+
+
+def build(functions, relations=(), **top):
+    return build_system(dict({
+        "name": "t",
+        "relations": list(relations),
+        "processors": [{"name": "cpu"}],
+        "functions": functions,
+    }, **top), sim=Simulator("flow"))
+
+
+SHARED_M = [{"kind": "shared", "name": "m"}]
+
+
+class TestRts160BranchDivergence:
+    def test_lock_in_one_arm_only(self):
+        system = System("t", sim=Simulator("flow"))
+        mutex = system.shared("m")
+
+        def behavior(fn):
+            if fn.name:
+                yield from fn.lock(mutex)
+            yield from fn.execute(1 * US)
+            yield from fn.unlock(mutex)
+
+        system.processor("cpu").map(system.function("f", behavior,
+                                                    priority=1))
+        report = analyze_system(system)
+        (diag,) = report.by_rule("RTS160")
+        assert diag.severity == report.WARNING
+        assert "{m}" in diag.message and "{}" in diag.message
+
+    def test_symmetric_arms_are_clean(self):
+        system = System("t", sim=Simulator("flow"))
+        mutex = system.shared("m")
+
+        def behavior(fn):
+            if fn.name:
+                yield from fn.lock(mutex)
+                yield from fn.unlock(mutex)
+            yield from fn.execute(1 * US)
+
+        system.processor("cpu").map(system.function("f", behavior,
+                                                    priority=1))
+        assert not analyze_system(system).by_rule("RTS160")
+
+
+class TestRts161LockLeak:
+    def test_leak_with_victim_is_error(self):
+        system = build([
+            spec_fn("leaker", [["lock", "m"], ["execute", "1us"]]),
+            spec_fn("victim", [["lock", "m"], ["unlock", "m"]]),
+        ], relations=SHARED_M)
+        (diag,) = analyze_system(system).by_rule("RTS161")
+        assert diag.severity == diag.severity.ERROR
+        assert "victim" in diag.message
+
+    def test_leak_without_victim_is_warning(self):
+        system = build(
+            [spec_fn("leaker", [["lock", "m"], ["execute", "1us"]])],
+            relations=SHARED_M,
+        )
+        (diag,) = analyze_system(system).by_rule("RTS161")
+        assert diag.severity == diag.severity.WARNING
+
+    def test_early_return_path_is_caught(self):
+        system = System("t", sim=Simulator("flow"))
+        mutex = system.shared("m")
+
+        def leaker(fn):
+            yield from fn.lock(mutex)
+            if fn.name:
+                return
+            yield from fn.unlock(mutex)
+
+        def victim(fn):
+            yield from fn.lock(mutex)
+            yield from fn.unlock(mutex)
+
+        cpu = system.processor("cpu")
+        cpu.map(system.function("leaker", leaker, priority=2))
+        cpu.map(system.function("victim", victim, priority=1))
+        (diag,) = analyze_system(system).by_rule("RTS161")
+        assert diag.severity == diag.severity.ERROR
+        assert "return" in diag.message
+
+    def test_balanced_paths_are_clean(self):
+        system = build(
+            [spec_fn("ok", [["lock", "m"], ["execute", "1us"],
+                            ["unlock", "m"]])],
+            relations=SHARED_M,
+        )
+        assert not analyze_system(system).by_rule("RTS161")
+
+
+class TestRts162DoubleAcquire:
+    def test_lock_inside_loop_unlock_missing(self):
+        system = build(
+            [spec_fn("p", [["loop", None, [["lock", "m"],
+                                           ["execute", "1us"]]]])],
+            relations=SHARED_M,
+        )
+        (diag,) = analyze_system(system).by_rule("RTS162")
+        assert diag.severity == diag.severity.ERROR
+        assert "already" in diag.message
+
+    def test_paired_lock_unlock_in_loop_is_clean(self):
+        system = build(
+            [spec_fn("p", [["loop", None, [["lock", "m"],
+                                           ["execute", "1us"],
+                                           ["unlock", "m"],
+                                           ["delay", "9us"]]]])],
+            relations=SHARED_M,
+        )
+        report = analyze_system(system)
+        assert not report.by_rule("RTS162")
+        assert not report.by_rule("RTS161")
+
+
+class TestRts163WaitWhileHolding:
+    def test_wait_holding_lock(self):
+        system = build(
+            [spec_fn("p", [["lock", "m"], ["wait", "e"], ["unlock", "m"],
+                           ["signal", "e"]])],
+            relations=SHARED_M + [{"kind": "event", "name": "e"}],
+        )
+        (diag,) = analyze_system(system).by_rule("RTS163")
+        assert diag.severity == diag.severity.WARNING
+        assert "'e'" in diag.message and "'m'" in diag.message
+
+    def test_wait_after_release_is_clean(self):
+        system = build(
+            [spec_fn("p", [["lock", "m"], ["unlock", "m"], ["wait", "e"],
+                           ["signal", "e"]])],
+            relations=SHARED_M + [{"kind": "event", "name": "e"}],
+        )
+        assert not analyze_system(system).by_rule("RTS163")
+
+
+class TestRts164WcetUnderruns:
+    def test_declared_wcet_below_static_demand(self):
+        system = build([spec_fn(
+            "p", [["loop", None, [["execute", "5us"], ["delay", "5us"]]]],
+            wcet="1us", period="10us",
+        )])
+        (diag,) = analyze_system(system).by_rule("RTS164")
+        assert diag.severity == diag.severity.WARNING
+        assert str(5 * US) in diag.message
+
+    def test_honest_wcet_is_clean(self):
+        system = build([spec_fn(
+            "p", [["loop", None, [["execute", "5us"], ["delay", "5us"]]]],
+            wcet="5us", period="10us",
+        )])
+        assert not analyze_system(system).by_rule("RTS164")
+
+    def test_unknown_bound_loops_make_no_claim(self):
+        system = System("t", sim=Simulator("flow"))
+
+        def behavior(fn):
+            while fn.name:
+                yield from fn.execute(50 * US)
+
+        fn = system.function("p", behavior, priority=1)
+        fn.wcet = 1 * US
+        system.processor("cpu").map(fn)
+        assert not analyze_system(system).by_rule("RTS164")
+
+
+def race_system(*, domain_kind="global", guarded=False, same_core=False):
+    system = System("race", sim=Simulator("flow"))
+    mutex = system.shared("mutex")
+    cpu0 = system.processor("cpu0")
+    cpu1 = system.processor("cpu1")
+    if domain_kind is not None:
+        system.scheduling_domain("dom", [cpu0, cpu1], kind=domain_kind)
+    buffer = []
+
+    def make_writer(tag):
+        def guarded_writer(fn):
+            yield from fn.lock(mutex)
+            buffer.append(tag)
+            yield from fn.execute(5 * US)
+            yield from fn.unlock(mutex)
+
+        def writer(fn):
+            buffer.append(tag)
+            yield from fn.execute(5 * US)
+
+        return guarded_writer if guarded else writer
+
+    for index, tag in enumerate(("a", "b")):
+        fn = system.function(f"writer_{tag}", make_writer(tag),
+                             priority=2 - index)
+        (cpu0 if same_core or index == 0 else cpu1).map(fn)
+    return system
+
+
+class TestRts165StaticRace:
+    def test_unguarded_writers_on_global_domain(self):
+        report = analyze_system(race_system())
+        (diag,) = report.by_rule("RTS165")
+        assert diag.severity == diag.severity.ERROR
+        assert "'buffer'" in diag.message
+        assert "SAN303" in diag.message
+
+    def test_common_lock_silences(self):
+        assert not analyze_system(
+            race_system(guarded=True)).by_rule("RTS165")
+
+    def test_single_core_serialization_silences(self):
+        # both writers pinned to one core of a partitioned system: the
+        # writes interleave but never run truly in parallel
+        assert not analyze_system(
+            race_system(domain_kind=None, same_core=True)
+        ).by_rule("RTS165")
+
+
+class TestRts166Starvation:
+    def waiter(self):
+        return spec_fn("waiter", [["loop", None, [["wait", "e"],
+                                                  ["execute", "1us"]]]])
+
+    def test_bounded_supply_with_quiescent_system_is_error(self):
+        system = build(
+            [self.waiter(),
+             spec_fn("oneshot", [["signal", "e"], ["signal", "e"]])],
+            relations=[{"kind": "event", "name": "e"}],
+        )
+        (diag,) = analyze_system(system).by_rule("RTS166")
+        assert diag.severity == diag.severity.ERROR
+        assert "at most 2" in diag.message
+
+    def test_live_nonsignaling_task_degrades_to_warning(self):
+        system = build(
+            [self.waiter(),
+             spec_fn("oneshot", [["signal", "e"]]),
+             spec_fn("spinner", [["loop", None, [["execute", "1us"],
+                                                 ["delay", "9us"]]]])],
+            relations=[{"kind": "event", "name": "e"}],
+        )
+        (diag,) = analyze_system(system).by_rule("RTS166")
+        assert diag.severity == diag.severity.WARNING
+
+    def test_recurring_signaler_silences(self):
+        system = build(
+            [self.waiter(),
+             spec_fn("ticker", [["loop", None, [["signal", "e"],
+                                                ["delay", "9us"]]]])],
+            relations=[{"kind": "event", "name": "e"}],
+        )
+        assert not analyze_system(system).by_rule("RTS166")
+
+    def test_one_opaque_function_silences_everything(self):
+        system = build(
+            [self.waiter(),
+             spec_fn("oneshot", [["signal", "e"]])],
+            relations=[{"kind": "event", "name": "e"}],
+        )
+
+        def opaque(fn):
+            yield
+
+        system.processor("cpu2").map(
+            system.function("mystery", opaque, priority=3))
+        assert not analyze_system(system).by_rule("RTS166")
+
+
+class TestSuppression:
+    def test_behavior_pragma_suppresses_flow_finding(self):
+        system = System("t", sim=Simulator("flow"))
+        mutex = system.shared("m")
+
+        def leaker(fn):
+            # pyrtos: disable=RTS161
+            yield from fn.lock(mutex)
+            yield from fn.execute(1 * US)
+
+        system.processor("cpu").map(system.function("leaker", leaker,
+                                                    priority=1))
+        report = analyze_system(system)
+        assert not report.by_rule("RTS161")
+        assert [d.rule for d in report.suppressed] == ["RTS161"]
+
+    def test_trailing_pragma_suppresses_one_line(self):
+        system = System("t", sim=Simulator("flow"))
+        mutex = system.shared("m")
+
+        def leaker(fn):
+            yield from fn.lock(mutex)
+            if fn.name:
+                return  # pyrtos: disable=RTS161
+            yield from fn.unlock(mutex)
+
+        system.processor("cpu").map(system.function("leaker", leaker,
+                                                    priority=1))
+        report = analyze_system(system)
+        assert not report.by_rule("RTS161")
+        assert "RTS161" in {d.rule for d in report.suppressed}
+
+    def test_spec_level_lint_suppress(self):
+        system = build(
+            [spec_fn("leaker", [["lock", "m"], ["execute", "1us"]])],
+            relations=SHARED_M,
+            lint_suppress=["RTS161"],
+        )
+        report = analyze_system(system)
+        assert not report.by_rule("RTS161")
+        assert "RTS161" in {d.rule for d in report.suppressed}
+
+    def test_function_level_lint_suppress(self):
+        system = build(
+            [spec_fn("leaker", [["lock", "m"], ["execute", "1us"]],
+                     lint_suppress="RTS161")],
+            relations=SHARED_M,
+        )
+        report = analyze_system(system)
+        assert not report.by_rule("RTS161")
+        assert "RTS161" in {d.rule for d in report.suppressed}

@@ -1,0 +1,127 @@
+"""SARIF rendering, `--sarif` CLI output and `--explain`."""
+
+import json
+
+import pytest
+
+from repro.analyze import analyze_system, explain_rule, report_to_sarif
+from repro.analyze.sarif import SARIF_SCHEMA, SARIF_VERSION
+from repro.cli import main
+from repro.kernel.simulator import Simulator
+from repro.mcse.builder import build_system
+from repro.workloads.fig6 import fig6_crossed_mutex_spec, fig6_spec
+
+
+def deadlock_report():
+    system = build_system(fig6_crossed_mutex_spec(),
+                          sim=Simulator("sarif"))
+    return analyze_system(system)
+
+
+class TestReportToSarif:
+    def test_log_shape(self):
+        log = report_to_sarif(deadlock_report(), artifact="fig6-deadlock")
+        assert log["$schema"] == SARIF_SCHEMA
+        assert log["version"] == SARIF_VERSION == "2.1.0"
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "pyrtos-sc"
+        rule_ids = {rule["id"] for rule in driver["rules"]}
+        assert "RTS110" in rule_ids
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+
+    def test_every_result_references_a_listed_rule(self):
+        log = report_to_sarif(deadlock_report(), artifact="x")
+        (run,) = log["runs"]
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert run["results"]
+        for result in run["results"]:
+            assert result["ruleId"] in rule_ids
+            assert result["level"] in ("error", "warning", "note")
+            assert result["message"]["text"]
+            (location,) = result["locations"]
+            physical = location["physicalLocation"]
+            assert physical["artifactLocation"]["uri"] == "x"
+
+    def test_severity_levels_map(self):
+        report = deadlock_report()
+        log = report_to_sarif(report, artifact="x")
+        levels = {r["ruleId"]: r["level"] for r in log["runs"][0]["results"]}
+        assert levels["RTS110"] == "error"
+
+    def test_region_only_with_a_line(self):
+        report = deadlock_report()
+        report.add("RTS110", report.INFO, "somewhere", "with a line",
+                   None, 7)
+        log = report_to_sarif(report, artifact="x")
+        regions = [
+            r["locations"][0]["physicalLocation"].get("region")
+            for r in log["runs"][0]["results"]
+        ]
+        assert {"startLine": 7} in regions
+        assert None in regions  # model-level findings have no line
+
+
+class TestCliSarif:
+    def test_lint_writes_schema_checked_sarif(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps(fig6_spec()))
+        out = tmp_path / "out.sarif"
+        assert main(["lint", str(spec), "--sarif", str(out)]) == 0
+        log = json.loads(out.read_text())
+        assert log["version"] == "2.1.0"
+        assert log["$schema"] == SARIF_SCHEMA
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "pyrtos-sc"
+        assert run["results"] == []  # fig6 lints clean
+
+    def test_multi_target_sarif_merges_runs(self, tmp_path):
+        clean = tmp_path / "clean.json"
+        clean.write_text(json.dumps(fig6_spec()))
+        broken = tmp_path / "broken.json"
+        broken.write_text(json.dumps(fig6_crossed_mutex_spec()))
+        out = tmp_path / "out.sarif"
+        assert main(["lint", str(clean), str(broken),
+                     "--sarif", str(out)]) == 1
+        log = json.loads(out.read_text())
+        assert len(log["runs"]) == 2
+        uris = {
+            result["locations"][0]["physicalLocation"]
+            ["artifactLocation"]["uri"]
+            for run in log["runs"] for result in run["results"]
+        }
+        assert uris == {str(broken)}
+
+
+class TestExplain:
+    def test_explain_rule_renders_summary_and_long_form(self):
+        text = explain_rule("RTS162")
+        assert text.startswith("RTS162: ")
+        assert "self-deadlock" in text
+        assert "\n\n" in text  # summary separated from the long form
+
+    def test_explain_unknown_rule_raises_with_catalogue(self):
+        with pytest.raises(KeyError) as err:
+            explain_rule("RTS999")
+        assert "RTS999" in err.value.args[0]
+        assert "RTS110" in err.value.args[0]
+
+    def test_cli_explain_without_targets(self, capsys):
+        assert main(["lint", "--explain", "RTS165"]) == 0
+        out = capsys.readouterr().out
+        assert "RTS165" in out
+        assert "SAN303" in out
+
+    def test_cli_explain_unknown_rule_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["lint", "--explain", "RTS999"])
+
+    def test_cli_no_targets_no_explain_errors(self):
+        with pytest.raises(SystemExit):
+            main(["lint"])
+
+    def test_all_flow_rules_have_explanations(self):
+        for index in range(7):
+            text = explain_rule(f"RTS16{index}")
+            assert len(text.splitlines()) >= 2

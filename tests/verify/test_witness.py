@@ -1,0 +1,124 @@
+"""Witness attempts: static ERROR findings vs the bounded explorer."""
+
+import pytest
+
+from repro.analyze import analyze_system
+from repro.kernel.simulator import Simulator
+from repro.kernel.time import MS, US
+from repro.mcse.builder import build_system
+from repro.mcse.model import System
+from repro.verify import (
+    WITNESS_PROPERTIES,
+    attempt_witness,
+    witness_findings,
+    witnessable,
+)
+from repro.workloads.fig6 import fig6_crossed_mutex_spec, fig6_spec
+
+
+class TestMapping:
+    def test_reachability_rules_are_witnessable(self):
+        for rule_id in ("RTS110", "RTS161", "RTS162", "RTS165", "RTS166",
+                        "RTS103"):
+            assert witnessable(rule_id)
+
+    def test_metadata_rules_are_not(self):
+        for rule_id in ("RTS101", "RTS160", "RTS164"):
+            assert not witnessable(rule_id)
+
+    def test_targets_are_dynamic_properties_or_sanitizer_rules(self):
+        for targets in WITNESS_PROPERTIES.values():
+            for prop in targets:
+                assert prop.startswith(("RTS-V", "SAN"))
+
+
+class TestAttemptWitness:
+    def test_crossed_mutexes_confirm_as_deadlock(self):
+        outcome = attempt_witness(fig6_crossed_mutex_spec(), "RTS110",
+                                  horizon=1 * MS)
+        assert outcome.confirmed
+        assert outcome.property_id == "RTS-V001"
+        assert outcome.choices is not None
+        assert "witnessed" in outcome.justification
+        assert outcome.runs >= 1
+
+    def test_static_race_confirms_via_sanitizer(self):
+        def factory(sim):
+            system = System("race", sim=sim)
+            cpu0 = system.processor("cpu0")
+            cpu1 = system.processor("cpu1")
+            system.scheduling_domain("dom", [cpu0, cpu1], kind="global")
+            buffer = []
+
+            def make_writer(tag):
+                def writer(fn):
+                    buffer.append(tag)
+                    yield from fn.execute(5 * US)
+
+                return writer
+
+            for index, tag in enumerate(("a", "b")):
+                fn = system.function(f"writer_{tag}", make_writer(tag),
+                                     priority=2 - index)
+                (cpu0 if index == 0 else cpu1).map(fn)
+            return system
+
+        outcome = attempt_witness(factory, "RTS165", horizon=1 * MS)
+        assert outcome.confirmed
+        assert outcome.property_id == "SAN303"
+
+    def test_clean_spec_yields_explicit_no_witness(self):
+        outcome = attempt_witness(fig6_spec(), "RTS103", horizon=1 * MS)
+        assert not outcome.confirmed
+        assert "no witness" in outcome.justification
+        assert outcome.runs >= 1
+
+    def test_unwitnessable_rule_documents_why(self):
+        outcome = attempt_witness(fig6_spec(), "RTS101")
+        assert not outcome.confirmed
+        assert outcome.target_properties == ()
+        assert "no reachability claim" in outcome.justification
+        assert outcome.runs == 0
+
+    def test_rejects_non_factory_targets(self):
+        with pytest.raises(TypeError):
+            attempt_witness(42, "RTS110")
+
+
+class TestWitnessFindings:
+    def test_one_attempt_per_error_rule(self):
+        spec = fig6_crossed_mutex_spec()
+        system = build_system(spec, sim=Simulator("witness"))
+        report = analyze_system(system)
+        outcomes = witness_findings(spec, report, horizon=1 * MS)
+        assert "RTS110" in outcomes
+        assert outcomes["RTS110"].confirmed
+        for outcome in outcomes.values():
+            assert outcome.to_dict()["rule"] == outcome.rule
+
+    def test_starvation_error_confirms(self):
+        spec = {
+            "name": "starved",
+            "relations": [{"kind": "event", "name": "e"}],
+            "processors": [{"name": "cpu"}],
+            "functions": [
+                {"name": "waiter", "priority": 2, "processor": "cpu",
+                 "script": [["loop", None, [["wait", "e"],
+                                            ["execute", "1us"]]]]},
+                {"name": "oneshot", "priority": 1, "processor": "cpu",
+                 "script": [["signal", "e"]]},
+            ],
+        }
+        system = build_system(spec, sim=Simulator("witness"))
+        report = analyze_system(system)
+        (diag,) = report.by_rule("RTS166")
+        assert diag.severity == diag.severity.ERROR
+        outcomes = witness_findings(spec, report, horizon=1 * MS)
+        assert outcomes["RTS166"].confirmed
+        assert outcomes["RTS166"].property_id == "RTS-V001"
+
+    def test_clean_report_attempts_nothing(self):
+        spec = fig6_spec()
+        system = build_system(spec, sim=Simulator("witness"))
+        report = analyze_system(system)
+        assert witness_findings(spec, report) == {}

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Flow-lint ratchet: RTS16x findings over examples and the corpus.
+
+Runs the behavior-flow analyzer (``repro.analyze.flow``) over a fixed,
+deterministic target set -- every corpus generator at seeds 0..2 with
+default parameters, the fig6 workload family, the SMP workload spec,
+and the example systems that can be built without running -- and counts
+findings per RTS16x rule.
+
+``--check`` compares the counts against the checked-in baseline
+(``tests/analyze/flow_baseline.json``) and fails when any rule count
+*increased* (the ratchet); a decrease is reported as an invitation to
+tighten the baseline.  ``--update`` rewrites the baseline.
+
+The current baseline is not zero: the ``bursty`` generator family
+deliberately under-provisions event signals (it exists to seed RTS-V001
+starvation scenarios for the verifier), so its three RTS166 warnings
+are true positives kept on purpose.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import os
+import sys
+from typing import Dict, List, Tuple
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+BASELINE_PATH = os.path.join(ROOT, "tests", "analyze",
+                             "flow_baseline.json")
+
+FLOW_RULES = tuple(f"RTS16{index}" for index in range(7))
+
+
+def _load_example(name: str):
+    path = os.path.join(ROOT, "examples", f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def iter_targets():
+    """Yield ``(label, system)`` for every baseline target."""
+    from repro.corpus.generators import GENERATORS, generate
+    from repro.kernel.simulator import Simulator
+    from repro.mcse.builder import build_system
+
+    for kind in sorted(GENERATORS):
+        for seed in (0, 1, 2):
+            spec = generate(kind, seed, None)
+            yield (f"generator:{kind}:{seed}",
+                   build_system(spec, sim=Simulator("flow-lint")))
+
+    from repro.workloads.fig6 import (
+        fig6_crossed_mutex_spec,
+        fig6_deadline_miss_spec,
+        fig6_spec,
+    )
+    from repro.smp import smp_miss_spec
+
+    for label, spec in (
+        ("workload:fig6", fig6_spec()),
+        ("workload:fig6-deadlock", fig6_crossed_mutex_spec()),
+        ("workload:fig6-miss", fig6_deadline_miss_spec()),
+        ("workload:smp-miss", smp_miss_spec()),
+    ):
+        yield label, build_system(spec, sim=Simulator("flow-lint"))
+
+    with open(os.path.join(ROOT, "examples", "smp_global_edf.json")) as fh:
+        yield ("example:smp_global_edf",
+               build_system(json.load(fh), sim=Simulator("flow-lint")))
+
+    mutual = _load_example("mutual_exclusion")
+    for variant in ("plain", "preemption_mask", "inheritance", "ceiling"):
+        system, _, _ = mutual.build(variant)
+        yield f"example:mutual_exclusion:{variant}", system
+
+    quickstart = _load_example("quickstart")
+    system, _ = quickstart.build_system()
+    yield "example:quickstart", system
+
+
+def collect() -> Tuple[Dict[str, int], List[str]]:
+    """Per-rule RTS16x counts plus one line per finding."""
+    from repro.analyze import analyze_system
+
+    counts = {rule: 0 for rule in FLOW_RULES}
+    lines: List[str] = []
+    for label, system in iter_targets():
+        report = analyze_system(system)
+        for diagnostic in report.diagnostics:
+            if diagnostic.rule in counts:
+                counts[diagnostic.rule] += 1
+                lines.append(f"{label}: {diagnostic.format()}")
+    return counts, lines
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--check", action="store_true",
+                      help="fail if any per-rule count exceeds the baseline")
+    mode.add_argument("--update", action="store_true",
+                      help="rewrite the checked-in baseline")
+    args = parser.parse_args()
+
+    counts, lines = collect()
+    for line in lines:
+        print(line)
+    print(f"per-rule counts: {json.dumps(counts, sort_keys=True)}")
+
+    if args.update:
+        with open(BASELINE_PATH, "w") as handle:
+            json.dump({"rules": counts}, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {os.path.relpath(BASELINE_PATH, ROOT)}")
+        return 0
+
+    if args.check:
+        with open(BASELINE_PATH) as handle:
+            baseline = json.load(handle)["rules"]
+        regressions = {
+            rule: (baseline.get(rule, 0), count)
+            for rule, count in counts.items()
+            if count > baseline.get(rule, 0)
+        }
+        if regressions:
+            for rule, (allowed, count) in sorted(regressions.items()):
+                print(f"FLOW-LINT REGRESSION: {rule} findings {count} > "
+                      f"baseline {allowed}")
+            print("fix the findings or (for intentional hazards) update "
+                  "the baseline with: python tools/flow_baseline.py "
+                  "--update")
+            return 1
+        improved = {
+            rule: (baseline.get(rule, 0), count)
+            for rule, count in counts.items()
+            if count < baseline.get(rule, 0)
+        }
+        for rule, (allowed, count) in sorted(improved.items()):
+            print(f"note: {rule} improved to {count} (baseline {allowed}); "
+                  "consider tightening via --update")
+        print("flow-lint ratchet: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

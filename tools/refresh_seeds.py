@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Regenerate checked-in corpus seed verdicts after pipeline changes.
+
+A seed file freezes (spec, options, verdict, digests).  When the
+pipeline's verdict *shape* legitimately changes -- a new lint rule
+fires on an old spec, a new accounting key is added -- every stored
+``verdict_sha256`` drifts and ``tests/corpus/test_seeds.py`` fails by
+design.  This tool re-runs each seed's embedded spec under its recorded
+options and rewrites the verdict and digest in place, printing a diff
+summary so the drift is reviewable.
+
+The *spec* and *options* are never touched: a seed that changes its
+violated-property signature (not just its verdict bytes) is a real
+behavior change and is reported loudly for manual review.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+SEEDS_DIR = os.path.join(ROOT, "tests", "corpus", "seeds")
+
+
+def main() -> int:
+    from repro.corpus.pipeline import (
+        PipelineOptions,
+        run_pipeline,
+        verdict_digest,
+        violated_properties,
+    )
+    from repro.corpus.seeds import load_seed, seed_filename
+
+    changed = 0
+    signature_changes = []
+    for name in sorted(os.listdir(SEEDS_DIR)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(SEEDS_DIR, name)
+        record = load_seed(path)
+        options = PipelineOptions.from_dict(record["options"])
+        old_properties = violated_properties(record["verdict"])
+        verdict = run_pipeline(record["spec"], options)
+        new_properties = violated_properties(verdict)
+        digest = verdict_digest(verdict)
+        if digest == record["verdict_sha256"]:
+            print(f"{name}: unchanged")
+            continue
+        if new_properties != old_properties:
+            signature_changes.append(
+                (name, old_properties, new_properties))
+        record["verdict"] = verdict
+        record["verdict_sha256"] = digest
+        new_name = seed_filename(record)
+        with open(path, "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        if new_name != name:
+            os.replace(path, os.path.join(SEEDS_DIR, new_name))
+            print(f"{name}: refreshed -> renamed {new_name}")
+        else:
+            print(f"{name}: refreshed ({digest[:10]})")
+        changed += 1
+
+    print(f"{changed} seed(s) refreshed")
+    if signature_changes:
+        print("WARNING: violated-property signatures changed -- review:")
+        for name, old, new in signature_changes:
+            print(f"  {name}: {old} -> {new}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
