@@ -1,0 +1,269 @@
+"""Personality dispatch overhead: lowering cost vs the generic builder.
+
+A personality is a build-time spec compiler, so its entire cost is paid
+before the first delta cycle.  This harness pins that claim down and
+emits ``BENCH_personality_overhead.json``:
+
+* **lowering** -- microbenchmark of ``lower_spec`` alone (the pure
+  FreeRTOS -> generic compilation), in microseconds per call;
+* **end_to_end** -- build + simulate of a FreeRTOS personality spec
+  against the hand-written generic spec of the same design, with the
+  relative overhead asserted under the **10%** budget;
+* **equivalence** -- the two runs' traces must digest identically
+  (byte-identical JSONL), so the overhead being measured is pure
+  dispatch, never a schedule divergence;
+* **matrix** -- one full differential-verification matrix run
+  (``repro.personality.differential``), asserting the published
+  verdicts reproduce and reporting its wall time::
+
+    PYTHONPATH=src python benchmarks/bench_personality_overhead.py
+    PYTHONPATH=src python benchmarks/bench_personality_overhead.py --smoke
+"""
+
+import argparse
+import hashlib
+import json
+import sys
+import time
+
+from _report import (
+    check_envelope,
+    check_fields,
+    repo_root_path,
+    report_meta,
+    write_report,
+)
+from repro.kernel.simulator import Simulator
+from repro.kernel.time import MS
+from repro.mcse.builder import build_system
+from repro.personality import lower_spec
+from repro.personality.differential import run_matrix
+from repro.trace import TraceRecorder
+
+SCHEMA_VERSION = 1
+
+#: The end-to-end overhead budget (build + simulate, relative).
+OVERHEAD_BUDGET_PCT = 10.0
+
+FREERTOS_SPEC = {
+    "name": "overhead",
+    "personality": "freertos",
+    "config": {"configUSE_PREEMPTION": 1, "configUSE_TIME_SLICING": 0},
+    "objects": [
+        {"kind": "queue", "name": "q", "length": 2},
+        {"kind": "mutex", "name": "m"},
+    ],
+    "tasks": [
+        {"name": "producer", "priority": 2, "script": [
+            ["loop", None, [
+                ["execute", "100us"],
+                ["xQueueSend", "q", 1, "5ms"],
+                ["vTaskDelayUntil", "1ms"],
+            ]],
+        ]},
+        {"name": "consumer", "priority": 1, "script": [
+            ["loop", None, [
+                ["xQueueReceive", "q"],
+                ["xSemaphoreTake", "m"],
+                ["execute", "200us"],
+                ["xSemaphoreGive", "m"],
+            ]],
+        ]},
+    ],
+}
+
+GENERIC_SPEC = {
+    "name": "overhead",
+    "relations": [
+        {"kind": "queue", "name": "q", "capacity": 2},
+        {"kind": "shared", "name": "m", "protocol": "inheritance"},
+    ],
+    "processors": [
+        {"name": "cpu0", "engine": "procedural",
+         "policy": "priority_preemptive"},
+    ],
+    "functions": [
+        {"name": "producer", "priority": 2, "processor": "cpu0",
+         "script": [
+             ["loop", None, [
+                 ["execute", "100us"],
+                 ["write", "q", 1, "5ms"],
+                 ["delay_until", "1ms"],
+             ]],
+         ]},
+        {"name": "consumer", "priority": 1, "processor": "cpu0",
+         "script": [
+             ["loop", None, [
+                 ["read", "q"],
+                 ["lock", "m"],
+                 ["execute", "200us"],
+                 ["unlock", "m"],
+             ]],
+         ]},
+    ],
+}
+
+
+def _lowering_entry(calls: int) -> dict:
+    # warm the import/registry path before timing
+    lower_spec(FREERTOS_SPEC)
+    started = time.perf_counter()
+    for _ in range(calls):
+        lower_spec(FREERTOS_SPEC)
+    wall = time.perf_counter() - started
+    return {
+        "calls": calls,
+        "wall_s": round(wall, 4),
+        "us_per_lowering": round(wall / calls * 1e6, 2),
+    }
+
+
+def _run_once(spec, tag, horizon):
+    started = time.perf_counter()
+    system = build_system(spec, sim=Simulator(tag))
+    recorder = TraceRecorder(system.sim)
+    system.run(horizon)
+    wall = time.perf_counter() - started
+    digest = hashlib.sha256()
+    for record in recorder.to_dicts():
+        digest.update(json.dumps(record, default=repr).encode())
+        digest.update(b"\n")
+    return wall, digest.hexdigest(), len(recorder.records)
+
+
+def _end_to_end(rounds: int, horizon) -> dict:
+    personality_best = generic_best = None
+    personality_digest = generic_digest = None
+    records = 0
+    for _ in range(rounds):
+        wall, digest, records = _run_once(FREERTOS_SPEC, "bench-frt",
+                                          horizon)
+        personality_digest = digest
+        if personality_best is None or wall < personality_best:
+            personality_best = wall
+        wall, digest, _ = _run_once(GENERIC_SPEC, "bench-gen", horizon)
+        generic_digest = digest
+        if generic_best is None or wall < generic_best:
+            generic_best = wall
+    overhead_pct = (personality_best - generic_best) / generic_best * 100
+    return {
+        "rounds": rounds,
+        "horizon_ms": horizon // MS,
+        "records": records,
+        "personality_wall_s": round(personality_best, 4),
+        "generic_wall_s": round(generic_best, 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "budget_pct": OVERHEAD_BUDGET_PCT,
+        "traces_identical": personality_digest == generic_digest,
+        "trace_sha256": personality_digest,
+    }
+
+
+def _matrix_entry() -> dict:
+    started = time.perf_counter()
+    result = run_matrix()
+    wall = time.perf_counter() - started
+    return {
+        "configs": len(result.verdicts),
+        "matches_expected": result.matches_expected,
+        "wall_s": round(wall, 3),
+        "table": result.table(),
+    }
+
+
+def measure(smoke: bool = False, rounds: int = 5) -> dict:
+    calls = 50 if smoke else 500
+    horizon = (20 if smoke else 200) * MS
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "meta": report_meta(smoke, rounds=rounds),
+        "lowering": _lowering_entry(calls),
+        "end_to_end": _end_to_end(rounds, horizon),
+        "matrix": _matrix_entry(),
+    }
+
+
+def validate_schema(payload: dict) -> None:
+    """Assert the JSON shape downstream tooling (and CI) relies on."""
+    check_envelope(payload, SCHEMA_VERSION)
+    lowering = payload["lowering"]
+    check_fields(lowering, (
+        ("calls", int),
+        ("wall_s", (int, float)),
+        ("us_per_lowering", (int, float)),
+    ), context="lowering")
+    assert lowering["us_per_lowering"] > 0, lowering
+    end_to_end = payload["end_to_end"]
+    check_fields(end_to_end, (
+        ("rounds", int),
+        ("horizon_ms", int),
+        ("records", int),
+        ("personality_wall_s", (int, float)),
+        ("generic_wall_s", (int, float)),
+        ("overhead_pct", (int, float)),
+        ("budget_pct", (int, float)),
+        ("traces_identical", bool),
+        ("trace_sha256", str),
+    ), context="end_to_end")
+    assert end_to_end["records"] > 0, end_to_end
+    assert end_to_end["traces_identical"], (
+        "personality and generic traces diverged -- the overhead number "
+        "is meaningless if the schedules differ"
+    )
+    assert end_to_end["overhead_pct"] < end_to_end["budget_pct"], (
+        f"personality dispatch overhead "
+        f"{end_to_end['overhead_pct']}% exceeds the "
+        f"{end_to_end['budget_pct']}% budget"
+    )
+    matrix = payload["matrix"]
+    check_fields(matrix, (
+        ("configs", int),
+        ("matches_expected", bool),
+        ("wall_s", (int, float)),
+        ("table", list),
+    ), context="matrix")
+    assert matrix["configs"] == 4, matrix
+    assert matrix["matches_expected"], (
+        "differential matrix no longer reproduces the published verdicts"
+    )
+
+
+def default_output_path() -> str:
+    return repo_root_path("BENCH_personality_overhead.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="short horizon / few calls (CI schema check)")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="build+simulate rounds per flavor "
+                             "(keep fastest)")
+    parser.add_argument("--out", default=default_output_path(),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+    if args.rounds < 1:
+        parser.error(f"--rounds must be >= 1, got {args.rounds}")
+
+    payload = measure(smoke=args.smoke, rounds=args.rounds)
+    validate_schema(payload)
+    write_report(payload, args.out)
+
+    lowering = payload["lowering"]
+    print(f"lowering: {lowering['us_per_lowering']}us per lower_spec "
+          f"({lowering['calls']} calls)")
+    end_to_end = payload["end_to_end"]
+    print(f"end-to-end: personality {end_to_end['personality_wall_s']}s "
+          f"vs generic {end_to_end['generic_wall_s']}s -> "
+          f"{end_to_end['overhead_pct']}% overhead "
+          f"(budget {end_to_end['budget_pct']}%, traces identical: "
+          f"{end_to_end['traces_identical']})")
+    matrix = payload["matrix"]
+    print(f"matrix: {matrix['configs']} configs match published "
+          f"verdicts in {matrix['wall_s']}s")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

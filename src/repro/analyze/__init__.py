@@ -34,6 +34,7 @@ from .diagnostics import RULES, Diagnostic, Report, Severity, explain_rule
 from .effects import TaskEffects, task_effects
 from .flow import TaskFlow, analyze_flows, analyze_task, check_flow
 from .model import analyze_processors, analyze_system
+from .personality import check_personality
 from .sanitize import Sanitizer
 from .sarif import report_to_sarif
 from .schedulability import periodic_profile
@@ -52,6 +53,7 @@ __all__ = [
     "analyze_system",
     "analyze_task",
     "check_flow",
+    "check_personality",
     "explain_rule",
     "periodic_profile",
     "report_to_sarif",

@@ -70,6 +70,9 @@ _METHOD_KINDS: Dict[str, str] = {
     "unlock": "unlock",
     "read_shared": "shared_read",
     "write_shared": "shared_write",
+    "set_flag": "signal",
+    "clear_flag": "signal",
+    "wait_flag": "wait",
 }
 
 #: Container methods that mutate their receiver in place.  A call to one
@@ -205,8 +208,14 @@ def _script_nodes(ops: Sequence[Any]) -> Iterator[Node]:
                 count=count if count is not None else None,
                 infinite=count is None,
             )
+        elif name == "delay_until":
+            # cadence-relative delay: anywhere from 0 (already late) to
+            # one full period of wall-clock suspension
+            yield Effect("delay", cost=(0, int(args[0])))
         elif name == "set_preemptive":
             continue  # scheduling-mode toggle: no flow-visible effect
+        elif name == "clr_flag":
+            yield Effect("signal", target=args[0])
         else:
             yield Effect(_METHOD_KINDS[name], target=args[0])
 

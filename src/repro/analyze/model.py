@@ -52,6 +52,7 @@ from .diagnostics import (
 )
 from .flow import analyze_flows, check_flow
 from .lockgraph import find_cycles
+from .personality import check_personality
 from .multicore import check_domain
 from .schedulability import check_schedulability, periodic_profile
 
@@ -104,6 +105,7 @@ def analyze_system(system: Any, *, suppress: Iterable[str] = ()) -> Report:
     _check_locks(report, system, usages)
     _check_reachability(report, system, usages)
     check_flow(report, system, flows)
+    check_personality(report, system)
     return report
 
 

@@ -374,6 +374,16 @@ def cmd_verify(args) -> int:
 
     spec = _verify_target_spec(args.target)
     horizon = parse_time(args.horizon) if args.horizon else None
+    bounds = {
+        "preemption_bound": (
+            parse_time(args.preemption_bound)
+            if args.preemption_bound else None
+        ),
+        "starvation_bound": (
+            parse_time(args.starvation_bound)
+            if args.starvation_bound else None
+        ),
+    }
     result = verify_spec(
         spec,
         strategy=args.strategy,
@@ -383,6 +393,7 @@ def cmd_verify(args) -> int:
         max_runs=args.max_runs,
         runs=args.runs,
         seed=args.seed,
+        **bounds,
     )
     report = build_report(result, factory=spec_factory(spec))
     if args.json:
@@ -409,7 +420,7 @@ def cmd_verify(args) -> int:
         else:
             system, recorder, outcome = replay_spec(
                 spec, counterexample.choices,
-                horizon=horizon, max_depth=args.depth,
+                horizon=horizon, max_depth=args.depth, **bounds,
             )
             exhibited = [v.property_id for v in outcome.violations]
             print(
@@ -474,14 +485,45 @@ def cmd_codegen(args) -> int:
     return 0
 
 
+def _corpus_catalogue() -> dict:
+    """The full scenario vocabulary: generators, policies, personalities."""
+    from .corpus import GENERATORS
+    from .personality import PERSONALITIES
+    from .rtos.policies import POLICIES
+
+    def _doc(cls) -> str:
+        doc = (cls.__doc__ or "").strip().splitlines()
+        return doc[0].rstrip(".") if doc else ""
+
+    return {
+        "generators": {
+            name: GENERATORS[name].description
+            for name in sorted(GENERATORS)
+        },
+        "policies": {
+            name: _doc(POLICIES[name]) for name in sorted(POLICIES)
+        },
+        "personalities": {
+            name: PERSONALITIES[name].description
+            for name in sorted(PERSONALITIES)
+        },
+    }
+
+
 def cmd_corpus(args) -> int:
     """Generate one corpus scenario spec (or list the catalogue)."""
-    from .corpus import GENERATORS, generate, spec_digest
+    from .corpus import generate, spec_digest
 
-    if args.list or not args.kind:
-        width = max(len(name) for name in GENERATORS)
-        for name in sorted(GENERATORS):
-            print(f"{name:<{width}}  {GENERATORS[name].description}")
+    if args.list or args.json or not args.kind:
+        catalogue = _corpus_catalogue()
+        if args.json:
+            _emit_json(catalogue, args.out)
+            return 0
+        for section, entries in catalogue.items():
+            print(f"{section}:")
+            width = max(len(name) for name in entries)
+            for name, description in entries.items():
+                print(f"  {name:<{width}}  {description}")
         return 0
     params = json.loads(args.params) if args.params else None
     spec = generate(args.kind, args.seed, params)
@@ -723,6 +765,15 @@ def build_parser() -> argparse.ArgumentParser:
     verify_parser.add_argument("--sanitize", action="store_true",
                                help="run the nondeterminism sanitizer "
                                     "(SAN301/302/303) during exploration")
+    verify_parser.add_argument("--preemption-bound", metavar="TIME",
+                               default=None,
+                               help="check RTS-V006: max time a ready "
+                                    "higher-priority task may wait behind "
+                                    "a lower-priority running task")
+    verify_parser.add_argument("--starvation-bound", metavar="TIME",
+                               default=None,
+                               help="check RTS-V007: max continuous READY "
+                                    "time before a task counts as starved")
     verify_parser.add_argument("--json", action="store_true",
                                help="machine-readable JSON on stdout")
     verify_parser.add_argument("--replay", action="store_true",
@@ -794,6 +845,10 @@ def build_parser() -> argparse.ArgumentParser:
                                     "(default: stdout)")
     corpus_parser.add_argument("--digest", action="store_true",
                                help="print only the canonical spec sha256")
+    corpus_parser.add_argument("--json", action="store_true",
+                               help="emit the catalogue (generators, "
+                                    "scheduling policies, personalities) "
+                                    "as JSON")
     corpus_parser.add_argument("--list", action="store_true",
                                help="list the generator catalogue")
     corpus_parser.set_defaults(func=cmd_corpus)

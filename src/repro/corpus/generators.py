@@ -25,6 +25,9 @@ Registry kinds:
 ``smp``          periodic sets over multicore scheduling domains
                  (UUniFast across M cores, heterogeneous speeds,
                  global/partitioned/clustered dispatch, affinity)
+``freertos``     FreeRTOS producer/consumer applications emitted as
+                 personality specs (:mod:`repro.personality`) -- queues,
+                 PI mutexes, task notifications, both scheduler switches
 ===============  ===========================================================
 
 Determinism contract: ``generate(kind, seed, params)`` depends only on
@@ -508,6 +511,107 @@ def gen_contention(rng: random.Random, *, tasks: int = 3, resources: int = 2,
 
 
 # ---------------------------------------------------------------------------
+# FreeRTOS personality applications
+# ---------------------------------------------------------------------------
+def gen_freertos(rng: random.Random, *, producers: int = 2,
+                 queue_length: int = 4, iterations: int = 3,
+                 use_mutex: bool = True, use_notify: bool = False,
+                 poll: bool = False, starve: bool = False,
+                 preemption: int = 1,
+                 time_slicing: int = 1, period_min_us: int = 500,
+                 period_max_us: int = 5_000, exec_min_us: int = 20,
+                 exec_max_us: int = 200,
+                 engine: str = "procedural") -> Dict:
+    """Seeded FreeRTOS producer/consumer application (personality spec).
+
+    ``producers`` periodic tasks push onto one bounded queue; a
+    higher-priority consumer drains it, optionally serializing on a
+    priority-inheritance mutex and optionally reporting each batch to a
+    top-priority monitor through task notifications.  ``poll=True``
+    makes the consumer spin with a zero timeout instead of blocking --
+    deliberately tripping the RTS171 busy-wait lint so fuzzing reaches
+    personality findings, not just healthy systems.  ``starve=True``
+    plants the classic off-by-one consumer bug: one more blocking
+    receive than messages produced, so the consumer deadlocks once the
+    producers retire (an RTS-V001 finding for the fuzz loop).
+
+    The emitted spec carries the ``"personality": "freertos"`` key: the
+    builder lowers it transparently, so every corpus consumer
+    (lint/simulate/verify/campaign) takes it unchanged.
+    """
+    if producers < 1:
+        raise CorpusError(f"freertos: need at least one producer, "
+                          f"got {producers}")
+    if queue_length < 1:
+        raise CorpusError("freertos: queue_length must be >= 1")
+    objects: List[Dict] = [
+        {"kind": "queue", "name": "q", "length": queue_length},
+    ]
+    if use_mutex:
+        objects.append({"kind": "mutex", "name": "log_mutex"})
+
+    tasks: List[Dict] = []
+    for index in range(producers):
+        period = rng.randint(period_min_us, period_max_us)
+        cost = rng.randint(exec_min_us, exec_max_us)
+        body: List[list] = [
+            ["execute", _us(cost)],
+            ["xQueueSend", "q", index, _us(period_max_us)],
+            ["vTaskDelayUntil", _us(period)],
+        ]
+        tasks.append({
+            "name": f"producer{index}",
+            "priority": 1 + rng.randint(0, 1),
+            "script": [["loop", iterations, body]],
+        })
+
+    receive_tmo = "forever" if starve else _us(10 * period_max_us)
+    consume: List[list] = [
+        ["xQueueReceive", "q", 0 if poll else receive_tmo],
+    ]
+    if use_mutex:
+        consume += [
+            ["xSemaphoreTake", "log_mutex"],
+            ["execute", _us(rng.randint(exec_min_us, exec_max_us))],
+            ["xSemaphoreGive", "log_mutex"],
+        ]
+    else:
+        consume.append(
+            ["execute", _us(rng.randint(exec_min_us, exec_max_us))]
+        )
+    if use_notify:
+        consume.append(["xTaskNotifyGive", "monitor"])
+    batches = producers * iterations + (1 if starve else 0)
+    tasks.append({
+        "name": "consumer",
+        "priority": 3,
+        "script": [["loop", batches, consume]],
+    })
+    if use_notify:
+        tasks.append({
+            "name": "monitor",
+            "priority": 4,
+            "script": [["loop", producers * iterations, [
+                ["ulTaskNotifyTake", _us(20 * period_max_us)],
+                ["execute", _us(exec_min_us)],
+            ]]],
+        })
+
+    return {
+        "name": f"freertos_p{producers}q{queue_length}",
+        "personality": "freertos",
+        "config": {
+            "configUSE_PREEMPTION": preemption,
+            "configUSE_TIME_SLICING": time_slicing,
+            "tick": "1ms",
+            "engine": engine,
+        },
+        "objects": objects,
+        "tasks": tasks,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 #: Fuzz parameter samplers: seeded draws over each generator's
@@ -567,6 +671,20 @@ def _fuzz_smp(rng: random.Random) -> Dict:
     }
 
 
+def _fuzz_freertos(rng: random.Random) -> Dict:
+    return {
+        "producers": rng.randint(1, 3),
+        "queue_length": rng.randint(1, 4),
+        "iterations": rng.randint(1, 3),
+        "use_mutex": rng.random() < 0.7,
+        "use_notify": rng.random() < 0.4,
+        "poll": rng.random() < 0.2,
+        "starve": rng.random() < 0.3,
+        "preemption": 1 if rng.random() < 0.8 else 0,
+        "time_slicing": 1 if rng.random() < 0.7 else 0,
+    }
+
+
 def _fuzz_contention(rng: random.Random) -> Dict:
     return {
         "tasks": rng.randint(2, 4),
@@ -608,6 +726,8 @@ GENERATORS: Dict[str, Generator] = {
                   "seeded nested locking over shared variables"),
         Generator("smp", gen_smp, _fuzz_smp,
                   "periodic task sets over multicore scheduling domains"),
+        Generator("freertos", gen_freertos, _fuzz_freertos,
+                  "FreeRTOS producer/consumer apps (personality specs)"),
     )
 }
 
@@ -636,6 +756,7 @@ __all__ = [
     "gen_bursty",
     "gen_contention",
     "gen_dag",
+    "gen_freertos",
     "gen_partitioned",
     "gen_periodic",
     "gen_smp",

@@ -45,19 +45,27 @@ tool would emit).  Supported ops:
                                whose lower bound is the nominal time and
                                whose span the model checker explores
 ``["delay", dur]``             wall-clock delay (no CPU)
-``["wait", event]``            wait on an event relation
+``["delay_until", period]``    fixed-cadence release: delay to the next
+                               multiple of ``period`` from the first call
+``["wait", event, tmo?]``      wait on an event relation
 ``["signal", event]``          signal an event relation
-``["read", queue]``            read a message (value discarded)
-``["write", queue, value]``    write a message
+``["read", queue, tmo?]``      read a message (value discarded)
+``["write", queue, value, tmo?]`` write a message
 ``["lock", shared]``           lock a shared variable
 ``["unlock", shared]``         unlock it
 ``["read_shared", shared]``    lock+read+unlock convenience
 ``["write_shared", shared, v]`` lock+write+unlock convenience
+``["set_flag", flags, bits]``  OR bits into an eventflag relation
+``["clr_flag", flags, mask]``  AND an eventflag pattern with a mask
+``["wait_flag", flags, bits, mode, tmo?]`` wait for a flag pattern
+                               (``mode``: "and"/"or")
 ``["loop", n, body]``          repeat ``body`` n times (``None`` = forever)
 ``["set_preemptive", bool]``   toggle the mapped processor's mode
 =============================  =============================================
 
-Durations accept anything :func:`repro.kernel.time.parse_time` does.
+Durations accept anything :func:`repro.kernel.time.parse_time` does;
+the optional ``tmo?`` timeouts additionally accept ``None`` /
+``"forever"`` (block indefinitely) and ``0`` (non-blocking poll).
 """
 
 from __future__ import annotations
@@ -76,14 +84,34 @@ from .model import System
 #: simulate an empty system and "pass").
 _TOP_LEVEL_KEYS = frozenset(
     ("name", "relations", "processors", "scheduling_domains", "functions",
-     "lint_suppress")
+     "lint_suppress", "personality", "config")
 )
 
 
 def build_system(spec: Dict, sim=None) -> System:
-    """Elaborate ``spec`` into a ready-to-run :class:`System`."""
+    """Elaborate ``spec`` into a ready-to-run :class:`System`.
+
+    A spec carrying a ``"personality"`` key is first lowered by that
+    kernel personality (:mod:`repro.personality`) into the generic
+    format, then elaborated exactly like a hand-written generic spec.
+    """
     if not isinstance(spec, dict):
         raise BuildError(f"spec must be a dict, got {type(spec).__name__}")
+    if spec.get("personality"):
+        from ..personality import lower_spec  # local import avoids a cycle
+
+        lowering = lower_spec(spec)
+        system = build_system(lowering.spec, sim=sim)
+        system.personality = lowering.personality
+        for fn_name, ops in lowering.api_ops.items():
+            if fn_name in system.functions:
+                system.functions[fn_name].personality_ops = ops
+        return system
+    if "config" in spec:
+        raise BuildError(
+            "spec key 'config' is only meaningful together with "
+            "'personality'"
+        )
     unknown = set(spec) - _TOP_LEVEL_KEYS
     if unknown:
         raise BuildError(
@@ -111,17 +139,32 @@ def build_system(spec: Dict, sim=None) -> System:
     return system
 
 
-def _elaborate(where: str, call, *args, **kwargs):
+def _elaborate(where: str, call, *args, accepted=None, **kwargs):
     """Invoke a model factory, turning bad kwargs into a BuildError.
 
     Specs are plain data, so an unexpected key surfaces as the factory's
     ``TypeError``; re-raise it as a :class:`BuildError` naming the spec
-    entry instead of leaking a Python signature mismatch.
+    entry instead of leaking a Python signature mismatch.  ``accepted``
+    lists the keys this spec level takes, so a typo'd key fails with the
+    valid vocabulary in hand, not just the rejected word.
     """
     try:
         return call(*args, **kwargs)
     except TypeError as exc:
-        raise BuildError(f"{where}: {exc}") from None
+        hint = f"; accepted keys: {sorted(accepted)}" if accepted else ""
+        raise BuildError(f"{where}: {exc}{hint}") from None
+
+
+#: Accepted spec keys per relation kind (satellite of the unknown-key
+#: hard-reject: the rejection message teaches the valid vocabulary).
+_RELATION_KEYS = {
+    "event": ("kind", "name", "policy", "wake_order", "max_count",
+              "initial"),
+    "queue": ("kind", "name", "capacity", "wake_order"),
+    "shared": ("kind", "name", "initial", "wake_order", "protocol",
+               "ceiling"),
+    "flags": ("kind", "name", "initial", "wake_order", "clear_on_wake"),
+}
 
 
 def _build_relation(system: System, spec: Dict) -> None:
@@ -130,17 +173,28 @@ def _build_relation(system: System, spec: Dict) -> None:
     if not name:
         raise BuildError(f"relation spec missing a name: {spec!r}")
     where = f"relation {name!r}"
+    accepted = _RELATION_KEYS.get(kind)
     if kind == "event":
         _elaborate(where, system.event, name,
-                   policy=spec.pop("policy", "fugitive"), **spec)
+                   policy=spec.pop("policy", "fugitive"),
+                   accepted=accepted, **spec)
     elif kind == "queue":
         _elaborate(where, system.queue, name,
-                   capacity=spec.pop("capacity", 8), **spec)
+                   capacity=spec.pop("capacity", 8),
+                   accepted=accepted, **spec)
     elif kind == "shared":
         _elaborate(where, system.shared, name,
-                   initial=spec.pop("initial", None), **spec)
+                   initial=spec.pop("initial", None),
+                   accepted=accepted, **spec)
+    elif kind == "flags":
+        _elaborate(where, system.flags, name,
+                   initial=spec.pop("initial", 0),
+                   accepted=accepted, **spec)
     else:
-        raise BuildError(f"unknown relation kind {kind!r} for {name!r}")
+        raise BuildError(
+            f"unknown relation kind {kind!r} for {name!r}; pick one of "
+            f"{sorted(_RELATION_KEYS)}"
+        )
 
 
 _DURATION_KEYS = (
@@ -148,6 +202,17 @@ _DURATION_KEYS = (
     "context_load_duration",
     "context_save_duration",
     "time_slice",
+)
+
+
+#: The declarative processor surface.  The factory additionally
+#: forwards policy-specific keywords (e.g. ``windows`` for
+#: time_partition), so this is a hint list for error messages, not a
+#: hard whitelist.
+_PROCESSOR_KEYS = (
+    "name", "engine", "policy", "speed", "preemptive",
+    "scheduling_duration", "context_load_duration",
+    "context_save_duration", "time_slice", "windows",
 )
 
 
@@ -160,7 +225,8 @@ def _build_processor(system: System, spec: Dict) -> None:
             spec[key] = parse_time(spec[key])
     if "windows" in spec:
         spec["windows"] = _parse_windows(name, spec["windows"])
-    _elaborate(f"processor {name!r}", system.processor, name, **spec)
+    _elaborate(f"processor {name!r}", system.processor, name,
+               accepted=_PROCESSOR_KEYS, **spec)
 
 
 #: The declarative surface of a scheduling-domain entry.  Kept strict --
@@ -271,10 +337,24 @@ def _parse_lint_suppress(where: str, value) -> tuple:
     return tuple(value)
 
 
+#: Every key a function spec entry accepts (structure + factory kwargs
+#: + the analyzer metadata of :data:`_FUNCTION_META_KEYS`).
+_FUNCTION_KEYS = frozenset(
+    ("name", "processor", "behavior", "script", "priority", "start_time",
+     "auto_start")
+) | frozenset(_FUNCTION_META_KEYS)
+
+
 def _build_function(system: System, spec: Dict) -> None:
     name = spec.pop("name", None)
     if not name:
         raise BuildError(f"function spec missing a name: {spec!r}")
+    unknown = set(spec) - _FUNCTION_KEYS
+    if unknown:
+        raise BuildError(
+            f"function {name!r}: unknown keys {sorted(unknown)}; "
+            f"accepted keys: {sorted(_FUNCTION_KEYS)}"
+        )
     processor = spec.pop("processor", None)
     behavior = spec.pop("behavior", None)
     script = spec.pop("script", None)
@@ -371,18 +451,59 @@ def _validate_block(system: System, block: List, path: str) -> List:
             if len(args) != 1:
                 raise BuildError(f"{where}: {name} takes one duration")
             args[0] = parse_duration_range(args[0], where)
-        elif name == "delay":
+        elif name in ("delay", "delay_until"):
             if len(args) != 1:
                 raise BuildError(f"{where}: {name} takes one duration")
             args[0] = parse_time(args[0])
-        elif name in ("wait", "signal", "read", "lock", "unlock", "read_shared"):
+            if name == "delay_until" and args[0] <= 0:
+                raise BuildError(f"{where}: delay_until period must be > 0")
+        elif name in ("wait", "read"):
+            if len(args) not in (1, 2):
+                raise BuildError(
+                    f"{where}: {name} takes a relation name and an "
+                    "optional timeout"
+                )
+            _relation(system, args[0], where)
+            if len(args) == 2:
+                args[1] = _parse_timeout(args[1], where)
+        elif name in ("signal", "lock", "unlock", "read_shared"):
             if len(args) != 1:
                 raise BuildError(f"{where}: {name} takes one relation name")
             _relation(system, args[0], where)
-        elif name in ("write", "write_shared"):
+        elif name == "write":
+            if len(args) not in (2, 3):
+                raise BuildError(
+                    f"{where}: {name} takes relation, value and an "
+                    "optional timeout"
+                )
+            _relation(system, args[0], where)
+            if len(args) == 3:
+                args[2] = _parse_timeout(args[2], where)
+        elif name == "write_shared":
             if len(args) != 2:
                 raise BuildError(f"{where}: {name} takes relation and value")
             _relation(system, args[0], where)
+        elif name in ("set_flag", "clr_flag"):
+            if len(args) != 2 or not isinstance(args[1], int):
+                raise BuildError(
+                    f"{where}: {name} takes a relation name and a bit "
+                    "pattern"
+                )
+            _flags_relation(system, args[0], where)
+        elif name == "wait_flag":
+            if len(args) not in (3, 4) or not isinstance(args[1], int):
+                raise BuildError(
+                    f"{where}: wait_flag takes relation, pattern, "
+                    "mode ('and'/'or') and an optional timeout"
+                )
+            _flags_relation(system, args[0], where)
+            if args[2] not in ("and", "or"):
+                raise BuildError(
+                    f"{where}: wait_flag mode must be 'and' or 'or', "
+                    f"got {args[2]!r}"
+                )
+            if len(args) == 4:
+                args[3] = _parse_timeout(args[3], where)
         elif name == "loop":
             if len(args) != 2:
                 raise BuildError(f"{where}: loop takes a count and a body")
@@ -444,11 +565,35 @@ def resolve_duration(fn: Function, duration):
     return hi if index else lo
 
 
+def _parse_timeout(value, where: str):
+    """Parse a bounded-wait timeout: a duration, or None/"forever"."""
+    if value is None or value == "forever":
+        return None
+    try:
+        timeout = parse_time(value)
+    except (TypeError, ValueError) as exc:
+        raise BuildError(f"{where}: bad timeout {value!r}: {exc}") from None
+    if timeout < 0:
+        raise BuildError(f"{where}: negative timeout {value!r}")
+    return timeout
+
+
 def _relation(system: System, name: str, where: str):
     try:
         return system.relations[name]
     except KeyError:
         raise BuildError(f"{where}: unknown relation {name!r}") from None
+
+
+def _flags_relation(system: System, name: str, where: str):
+    from .events import EventFlags
+
+    relation = _relation(system, name, where)
+    if not isinstance(relation, EventFlags):
+        raise BuildError(
+            f"{where}: {name!r} is not an eventflag relation"
+        )
+    return relation
 
 
 def _run_block(system: System, fn: Function, ops: List) -> Generator:
@@ -457,14 +602,45 @@ def _run_block(system: System, fn: Function, ops: List) -> Generator:
             yield from fn.execute(resolve_duration(fn, args[0]))
         elif name == "delay":
             yield from fn.delay(args[0])
+        elif name == "delay_until":
+            # vTaskDelayUntil-style fixed-cadence release: the anchor is
+            # this call's first activation, each call advances it by one
+            # period, and the delay absorbs whatever the body consumed.
+            period = args[0]
+            anchor = getattr(fn, "_release_anchor", None)
+            if anchor is None:
+                anchor = fn.sim.now
+            target = anchor + period
+            fn._release_anchor = target
+            remaining = target - fn.sim.now
+            if remaining > 0:
+                yield from fn.delay(remaining)
         elif name == "wait":
-            yield from fn.wait(system.relations[args[0]])
+            yield from fn.wait(
+                system.relations[args[0]],
+                timeout=args[1] if len(args) > 1 else None,
+            )
         elif name == "signal":
             yield from fn.signal(system.relations[args[0]])
         elif name == "read":
-            yield from fn.read(system.relations[args[0]])
+            yield from fn.read(
+                system.relations[args[0]],
+                timeout=args[1] if len(args) > 1 else None,
+            )
         elif name == "write":
-            yield from fn.write(system.relations[args[0]], args[1])
+            yield from fn.write(
+                system.relations[args[0]], args[1],
+                timeout=args[2] if len(args) > 2 else None,
+            )
+        elif name == "set_flag":
+            yield from fn.set_flag(system.relations[args[0]], args[1])
+        elif name == "clr_flag":
+            yield from fn.clear_flag(system.relations[args[0]], args[1])
+        elif name == "wait_flag":
+            yield from fn.wait_flag(
+                system.relations[args[0]], args[1], args[2],
+                timeout=args[3] if len(args) > 3 else None,
+            )
         elif name == "lock":
             yield from fn.lock(system.relations[args[0]])
         elif name == "unlock":

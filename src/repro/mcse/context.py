@@ -18,7 +18,7 @@ paper's §4.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator
+from typing import TYPE_CHECKING, Generator, Optional
 
 from ..kernel.time import Time
 from ..trace.records import TaskState
@@ -43,8 +43,13 @@ class ExecutionContext:
         raise NotImplementedError
 
     def block(self, function: "Function", waiter: Waiter,
-              relation: Relation) -> Generator:
-        """Suspend until ``waiter`` is delivered; returns the value."""
+              relation: Relation, timeout: Optional[Time] = None) -> Generator:
+        """Suspend until ``waiter`` is delivered; returns the value.
+
+        With a ``timeout`` the suspension is bounded: on expiry the
+        waiter is withdrawn from the relation and the function resumes
+        with ``waiter.delivered`` still False.
+        """
         raise NotImplementedError
 
     def delay(self, function: "Function", duration: Time) -> Generator:
@@ -84,14 +89,24 @@ class HardwareContext(ExecutionContext):
             yield duration
 
     def block(self, function: "Function", waiter: Waiter,
-              relation: Relation) -> Generator:
+              relation: Relation, timeout: Optional[Time] = None) -> Generator:
         state = (
             TaskState.WAITING_RESOURCE if relation.resource else TaskState.WAITING
         )
         function._set_state(state, reason="blocked")
         if not waiter.delivered:
-            yield waiter.event
-        function._set_state(TaskState.RUNNING, reason="woken")
+            if timeout is None:
+                yield waiter.event
+            else:
+                from ..kernel.process import wait_any
+
+                yield wait_any(waiter.event, timeout=timeout)
+                if not waiter.delivered:
+                    relation.withdraw(waiter)
+        function._set_state(
+            TaskState.RUNNING,
+            reason="woken" if waiter.delivered else "timeout",
+        )
         return waiter.value
 
     def delay(self, function: "Function", duration: Time) -> Generator:

@@ -117,11 +117,17 @@ class CounterEvent(EventRelation):
 
     def __init__(self, sim: Simulator, name: str = "event",
                  wake_order: str = "fifo",
-                 max_count: Optional[int] = None) -> None:
+                 max_count: Optional[int] = None,
+                 initial: int = 0) -> None:
         super().__init__(sim, name, wake_order)
         if max_count is not None and max_count < 1:
             raise ModelError(f"max_count must be >= 1, got {max_count}")
-        self._count = 0
+        if initial < 0 or (max_count is not None and initial > max_count):
+            raise ModelError(
+                f"initial count {initial} outside [0, "
+                f"{max_count if max_count is not None else 'inf'}]"
+            )
+        self._count = initial
         self.max_count = max_count
         #: Signals dropped because the counter was saturated.
         self.saturated_count = 0
@@ -152,3 +158,94 @@ class CounterEvent(EventRelation):
 
     def pending(self) -> int:
         return self._count
+
+
+#: Wait modes an eventflag waiter may ask for.
+FLAG_MODES = ("and", "or")
+
+
+class EventFlags(Relation):
+    """A bit-pattern synchronization relation (ITRON-style eventflags).
+
+    Functions *set* bits (OR into the pattern), *clear* bits (AND with a
+    mask) and *wait* for a pattern with mode ``"and"`` (all requested
+    bits set) or ``"or"`` (any requested bit set).  Unlike the event
+    relations, what a waiter consumes is parameterized per call, so the
+    waiter carries its ``(pattern, mode)`` request in the payload.
+
+    ``clear_on_wake`` mirrors ITRON's ``TA_CLR`` attribute: the whole
+    pattern resets to zero when a wait is satisfied, so each release
+    serves exactly one waiter.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "flags",
+                 wake_order: str = "fifo", initial: int = 0,
+                 clear_on_wake: bool = False) -> None:
+        super().__init__(sim, name, wake_order)
+        if initial < 0:
+            raise ModelError(f"initial flag pattern must be >= 0: {initial}")
+        self.pattern = initial
+        self.clear_on_wake = clear_on_wake
+        if initial:
+            self._occ_set(1)
+
+    # ------------------------------------------------------------------
+    def satisfies(self, pattern: int, mode: str) -> bool:
+        """Whether the current bit pattern satisfies a wait request."""
+        if mode not in FLAG_MODES:
+            raise ModelError(
+                f"unknown flag wait mode {mode!r}; pick one of {FLAG_MODES}"
+            )
+        if pattern <= 0:
+            raise ModelError(f"flag wait pattern must be positive: {pattern}")
+        if mode == "and":
+            return (self.pattern & pattern) == pattern
+        return bool(self.pattern & pattern)
+
+    def try_wait_pattern(self, pattern: int, mode: str) -> bool:
+        """Consume a satisfied pattern now; False if unsatisfied."""
+        if not self.satisfies(pattern, mode):
+            return False
+        if self.clear_on_wake:
+            self.pattern = 0
+            self._occ_set(0)
+        return True
+
+    def enqueue_flag_waiter(self, function, pattern: int, mode: str):
+        """Suspend ``function`` until ``(pattern, mode)`` is satisfied."""
+        self.satisfies(pattern, mode)  # validate the request eagerly
+        return self._enqueue_waiter(function, payload=(pattern, mode))
+
+    # ------------------------------------------------------------------
+    def set(self, bits: int) -> None:
+        """OR ``bits`` into the pattern, waking satisfied waiters.
+
+        Waiters are served in wait-queue order; with ``clear_on_wake``
+        the first satisfied waiter consumes the whole pattern.
+        """
+        if bits <= 0:
+            raise ModelError(f"flag set pattern must be positive: {bits}")
+        self.access_count += 1
+        self.pattern |= bits
+        self._occ_set(1 if self.pattern else 0)
+        while True:
+            waiter = self._pop_satisfied()
+            if waiter is None:
+                return
+            self._deliver(waiter, self.pattern)
+            if self.clear_on_wake:
+                self.pattern = 0
+                self._occ_set(0)
+                return
+
+    def clear(self, mask: int) -> None:
+        """AND the pattern with ``mask`` (ITRON ``clr_flg`` semantics)."""
+        self.pattern &= mask
+        self._occ_set(1 if self.pattern else 0)
+
+    def _pop_satisfied(self):
+        for index, waiter in enumerate(self._waiters):
+            pattern, mode = waiter.payload
+            if self.satisfies(pattern, mode):
+                return self._waiters.pop(index)
+        return None

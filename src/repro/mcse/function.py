@@ -29,7 +29,7 @@ from ..kernel.simulator import Simulator
 from ..kernel.time import Time
 from ..trace.records import AccessKind, AccessRecord, StateRecord, TaskState
 from .context import HARDWARE_CONTEXT, ExecutionContext
-from .events import EventRelation
+from .events import EventFlags, EventRelation
 from .queues import MessageQueue
 from .shared import SharedVariable
 
@@ -162,14 +162,24 @@ class Function(Module):
         yield from self.context.delay(self, duration)
 
     # -- events ---------------------------------------------------------
-    def wait(self, event: EventRelation) -> Generator:
-        """Wait on an MCSE event (consumes one memorized occurrence)."""
+    def wait(self, event: EventRelation,
+             timeout: Optional[Time] = None) -> Generator:
+        """Wait on an MCSE event (consumes one memorized occurrence).
+
+        ``timeout`` bounds the wait: ``0`` polls without blocking, any
+        other value resumes empty-handed once it expires.  Returns True
+        when an occurrence was consumed (always, for unbounded waits).
+        """
         if event.try_wait():
             self._record_access(event, AccessKind.WAIT, blocked=False)
-            return
+            return True
+        if timeout == 0:
+            self._record_access(event, AccessKind.WAIT, blocked=False)
+            return False
         self._record_access(event, AccessKind.WAIT, blocked=True)
         waiter = event._enqueue_waiter(self)
-        yield from self.context.block(self, waiter, event)
+        yield from self.context.block(self, waiter, event, timeout)
+        return waiter.delivered
 
     def signal(self, event: EventRelation) -> Generator:
         """Signal an MCSE event (never blocks; may pay RTOS overhead)."""
@@ -178,28 +188,81 @@ class Function(Module):
         yield from self.context.after_signal(self, event)
 
     # -- message queues ---------------------------------------------------
-    def read(self, queue: MessageQueue) -> Generator:
-        """Take the oldest message from ``queue`` (blocks when empty)."""
+    def read(self, queue: MessageQueue,
+             timeout: Optional[Time] = None) -> Generator:
+        """Take the oldest message from ``queue`` (blocks when empty).
+
+        With a ``timeout`` the read is bounded: ``0`` polls, any other
+        value gives up once it expires; a failed bounded read returns
+        None.
+        """
         ok, item = queue.try_get()
         if ok:
             self._record_access(queue, AccessKind.READ, blocked=False, value=item)
             # taking a message may have unblocked a writer
             yield from self.context.after_signal(self, queue)
             return item
+        if timeout == 0:
+            self._record_access(queue, AccessKind.READ, blocked=False)
+            return None
         self._record_access(queue, AccessKind.READ, blocked=True)
         waiter = queue._enqueue_waiter(self)
-        value = yield from self.context.block(self, waiter, queue)
+        value = yield from self.context.block(self, waiter, queue, timeout)
         return value
 
-    def write(self, queue: MessageQueue, item: object) -> Generator:
-        """Append ``item`` to ``queue`` (blocks when full)."""
+    def write(self, queue: MessageQueue, item: object,
+              timeout: Optional[Time] = None) -> Generator:
+        """Append ``item`` to ``queue`` (blocks when full).
+
+        With a ``timeout`` the write is bounded (``0`` polls); returns
+        True when the message was accepted.
+        """
         if queue.try_put(item):
             self._record_access(queue, AccessKind.WRITE, blocked=False, value=item)
             yield from self.context.after_signal(self, queue)
-            return
+            return True
+        if timeout == 0:
+            self._record_access(queue, AccessKind.WRITE, blocked=False, value=item)
+            return False
         self._record_access(queue, AccessKind.WRITE, blocked=True, value=item)
         waiter = queue.enqueue_writer(self, item)
-        yield from self.context.block(self, waiter, queue)
+        yield from self.context.block(self, waiter, queue, timeout)
+        return waiter.delivered
+
+    # -- eventflags -------------------------------------------------------
+    def set_flag(self, flags: EventFlags, pattern: int) -> Generator:
+        """OR ``pattern`` into an eventflag relation (never blocks)."""
+        self._record_access(flags, AccessKind.SIGNAL, blocked=False,
+                            value=pattern)
+        flags.set(pattern)
+        yield from self.context.after_signal(self, flags)
+
+    def clear_flag(self, flags: EventFlags, mask: int) -> Generator:
+        """AND an eventflag pattern with ``mask`` (never wakes anyone)."""
+        self._record_access(flags, AccessKind.WRITE, blocked=False, value=mask)
+        flags.clear(mask)
+        return
+        yield  # pragma: no cover - makes this a generator function
+
+    def wait_flag(self, flags: EventFlags, pattern: int, mode: str = "or",
+                  timeout: Optional[Time] = None) -> Generator:
+        """Wait until ``pattern`` is satisfied under ``mode`` (and/or).
+
+        Bounded like :meth:`wait`; returns True when satisfied.
+        """
+        if flags.try_wait_pattern(pattern, mode):
+            self._record_access(flags, AccessKind.WAIT, blocked=False,
+                                value=pattern)
+            return True
+        if timeout == 0:
+            self._record_access(flags, AccessKind.WAIT, blocked=False,
+                                value=pattern)
+            return False
+        self._record_access(flags, AccessKind.WAIT, blocked=True,
+                            value=pattern)
+        waiter = flags.enqueue_flag_waiter(self, pattern, mode)
+        yield from self.context.block(self, waiter, flags, timeout)
+        return waiter.delivered
 
     # -- shared variables -------------------------------------------------
     def lock(self, shared: SharedVariable) -> Generator:

@@ -19,7 +19,8 @@ from typing import Callable, Dict, Generator, Optional
 from ..errors import ModelError
 from ..kernel.simulator import Simulator
 from ..kernel.time import Time
-from .events import BooleanEvent, CounterEvent, EventRelation, FugitiveEvent
+from .events import BooleanEvent, CounterEvent, EventFlags, EventRelation, \
+    FugitiveEvent
 from .function import Function
 from .queues import MessageQueue
 from .relations import Relation
@@ -30,6 +31,31 @@ EVENT_POLICIES = {
     "fugitive": FugitiveEvent,
     "boolean": BooleanEvent,
     "counter": CounterEvent,
+}
+
+
+def _plain_shared():
+    return SharedVariable
+
+
+def _inheritance_shared():
+    from ..rtos.services import InheritanceSharedVariable  # avoid a cycle
+
+    return InheritanceSharedVariable
+
+
+def _ceiling_shared():
+    from ..rtos.services import CeilingSharedVariable  # avoid a cycle
+
+    return CeilingSharedVariable
+
+
+#: Resource-access protocols accepted by :meth:`System.shared` (lazy
+#: class lookups: the RTOS protocols live above the MCSE layer).
+SHARED_PROTOCOLS = {
+    "none": _plain_shared,
+    "inheritance": _inheritance_shared,
+    "ceiling": _ceiling_shared,
 }
 
 
@@ -84,10 +110,30 @@ class System:
         self._check_relation_name(name)
         return self._register(name, MessageQueue(self.sim, name, capacity, **kwargs))
 
-    def shared(self, name: str, initial: object = None, **kwargs) -> SharedVariable:
-        """Create a mutex-protected shared variable."""
+    def flags(self, name: str, initial: int = 0, **kwargs) -> EventFlags:
+        """Create an eventflag relation (bit-pattern synchronization)."""
         self._check_relation_name(name)
-        return self._register(name, SharedVariable(self.sim, name, initial, **kwargs))
+        return self._register(
+            name, EventFlags(self.sim, name, initial=initial, **kwargs)
+        )
+
+    def shared(self, name: str, initial: object = None,
+               protocol: str = "none", **kwargs) -> SharedVariable:
+        """Create a mutex-protected shared variable.
+
+        ``protocol`` selects the resource-access protocol: ``"none"``
+        (plain mutex), ``"inheritance"`` (priority inheritance) or
+        ``"ceiling"`` (immediate priority ceiling; pass ``ceiling=``).
+        """
+        try:
+            cls = SHARED_PROTOCOLS[protocol]()
+        except KeyError:
+            raise ModelError(
+                f"unknown shared-variable protocol {protocol!r}; "
+                f"pick one of {sorted(SHARED_PROTOCOLS)}"
+            ) from None
+        self._check_relation_name(name)
+        return self._register(name, cls(self.sim, name, initial, **kwargs))
 
     def _check_relation_name(self, name: str) -> None:
         if name in self.relations:

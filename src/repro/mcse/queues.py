@@ -129,3 +129,7 @@ class MessageQueue(Relation):
             self._writer_waiters.remove(waiter)
         except ValueError:
             pass
+
+    def withdraw(self, waiter: Waiter) -> None:
+        self.remove_waiter(waiter)
+        self.remove_writer_waiter(waiter)

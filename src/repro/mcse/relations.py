@@ -154,6 +154,14 @@ class Relation:
         except ValueError:
             pass
 
+    def withdraw(self, waiter: Waiter) -> None:
+        """Withdraw ``waiter`` from every wait list of this relation.
+
+        The timed-block machinery calls this on timeout expiry; queue
+        relations extend it to cover their writer-side list too.
+        """
+        self.remove_waiter(waiter)
+
     @property
     def waiter_count(self) -> int:
         return len(self._waiters)

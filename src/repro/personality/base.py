@@ -1,0 +1,101 @@
+"""The personality contract: spec-level lowering onto the generic model.
+
+A *personality* makes the generic RTOS model speak a concrete kernel's
+API.  It is deliberately **not** a runtime layer: a personality is a
+pure spec-to-spec compiler that translates kernel objects (queues,
+semaphores, mailboxes, eventflags, ...) into generic MCSE relations and
+API-level script ops (``xQueueSend``, ``slp_tsk``, ...) into the
+builder's generic op grammar, then hands the result to the ordinary
+:func:`repro.mcse.builder.build_system` elaboration.
+
+That one design decision buys every guarantee the rest of the stack
+already provides: tracing, statistics, lint (the lowered ops feed the
+exact effect IR of :mod:`repro.analyze.effects`), SMP domains and the
+bounded model checker all see a plain generic system -- a
+personality-built model is byte-identical to the hand-written generic
+model of the same system, and the equivalence tests assert exactly
+that.
+
+The original API op list of every task survives the lowering as
+``Function.personality_ops``, which is what the RTS17x personality
+misuse rules (:mod:`repro.analyze.personality`) audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..errors import BuildError
+
+
+@dataclass
+class Lowering:
+    """The result of lowering one personality spec."""
+
+    #: Personality name (``system.personality`` after the build).
+    personality: str
+    #: The pure generic builder spec the personality compiled to.
+    spec: Dict
+    #: Task name -> validated original API op list (``personality_ops``).
+    api_ops: Dict[str, List] = field(default_factory=dict)
+    #: The resolved personality configuration (defaults applied).
+    config: Dict = field(default_factory=dict)
+
+
+class Personality:
+    """One registered kernel personality (subclass and implement lower)."""
+
+    #: Registry key and ``"personality"`` spec value.
+    name = "abstract"
+    #: One-line catalogue description.
+    description = ""
+    #: API-level script op names this personality understands.
+    api_ops: Sequence[str] = ()
+    #: Kernel object kinds this personality's ``"objects"`` list takes.
+    object_kinds: Sequence[str] = ()
+
+    def lower(self, spec: Dict) -> Lowering:
+        """Compile a personality spec into a :class:`Lowering`."""
+        raise NotImplementedError
+
+
+def check_keys(where: str, entry: Dict, accepted: Sequence[str]) -> None:
+    """Hard-reject unknown keys, teaching the accepted vocabulary."""
+    unknown = set(entry) - set(accepted)
+    if unknown:
+        raise BuildError(
+            f"{where}: unknown keys {sorted(unknown)}; "
+            f"accepted keys: {sorted(accepted)}"
+        )
+
+
+def entry_name(where: str, entry: Dict) -> str:
+    """Pop and validate the mandatory ``name`` of a spec entry."""
+    name = entry.get("name")
+    if not name or not isinstance(name, str):
+        raise BuildError(f"{where}: entry needs a name: {entry!r}")
+    return name
+
+
+def parse_timeout_spec(value):
+    """Normalize an API timeout: ``None``/aliases block forever.
+
+    Returns ``None`` (wait forever), ``0`` for the poll constant
+    ``TMO_POL``, or the raw duration value (the generic builder parses
+    and validates it).
+    """
+    if value is None or value in ("forever", "portMAX_DELAY", "TMO_FEVR"):
+        return None
+    if value == "TMO_POL":
+        return 0
+    return value
+
+
+__all__ = [
+    "Lowering",
+    "Personality",
+    "check_keys",
+    "entry_name",
+    "parse_timeout_spec",
+]

@@ -1,0 +1,273 @@
+"""Differential verification of the FreeRTOS scheduling configurations.
+
+The headline experiment of the personality subsystem.  Published formal
+analyses of the FreeRTOS scheduler (Spin/Promela models of the
+``vTaskSwitchContext`` logic) establish a verdict matrix for two
+scheduling properties over the two classic ``FreeRTOSConfig.h``
+switches:
+
+* **preemption** -- a ready higher-priority task gets the CPU promptly
+  (here: RTS-V006 with a bound of one tick), and
+* **fairness** -- equal-priority compute loops all make progress
+  (here: RTS-V007 with a bound of several time slices).
+
+=========  ============  ==========  ========
+PREEMPTION  TIME_SLICING  preemption  fairness
+=========  ============  ==========  ========
+1          1             holds       holds
+1          0             holds       fails
+0          1             fails       fails
+0          0             fails       fails
+=========  ============  ==========  ========
+
+This module re-derives that matrix *dynamically*: each configuration is
+lowered by the FreeRTOS personality onto the generic model and checked
+with the bounded model checker (:mod:`repro.verify`).  The two
+properties need different exploration stances:
+
+* Preemption is checked under **full schedule exploration**: it must
+  hold on *every* admissible schedule, including adversarial
+  equal-priority tie-breaks (and genuinely does when
+  ``configUSE_PREEMPTION`` is on, since cross-priority preemption never
+  depends on a tie).
+* Fairness is checked on the **canonical schedule** (the verifier's
+  default-choice run).  FreeRTOS's ready-list rotation is a
+  deterministic tie-break rule; the generic verifier deliberately
+  leaves ties open, and an adversarial tie-break starves a peer under
+  *any* configuration -- exploring ties would test the verifier's
+  adversary, not the scheduler algorithm the published models check.
+
+Every failing verdict carries a minimized, replayable counterexample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..kernel.time import MS, Time
+from ..verify import RTSV006, RTSV007, VerifyResult, replay_spec, \
+    verify_spec
+
+#: The published verdict matrix: config -> (preemption holds, fairness
+#: holds).
+EXPECTED_MATRIX: Dict[Tuple[int, int], Tuple[bool, bool]] = {
+    (1, 1): (True, True),
+    (1, 0): (True, False),
+    (0, 1): (False, False),
+    (0, 0): (False, False),
+}
+
+#: Scenario timing (one place, so specs and bounds stay consistent).
+TICK = 1 * MS
+PREEMPTION_BOUND = 1 * MS       # one tick of scheduling latency
+STARVATION_BOUND = 5 * MS       # five time slices without the CPU
+DEFAULT_HORIZON = 20 * MS
+
+
+def _config(preemption: int, slicing: int) -> Dict:
+    return {
+        "configUSE_PREEMPTION": preemption,
+        "configUSE_TIME_SLICING": slicing,
+        "tick": "1ms",
+    }
+
+
+def preemption_spec(preemption: int, slicing: int) -> Dict:
+    """A low-priority compute hog vs. a periodic high-priority task.
+
+    With preemption enabled the high task's tick-aligned release must
+    displace the hog within a tick; cooperative configurations leave it
+    READY behind the never-yielding hog (RTS-V006).
+    """
+    return {
+        "name": f"freertos_preemption_p{preemption}s{slicing}",
+        "personality": "freertos",
+        "config": _config(preemption, slicing),
+        "tasks": [
+            {"name": "hog", "priority": 1, "script": [
+                ["loop", None, [["execute", "10ms"]]],
+            ]},
+            {"name": "urgent", "priority": 3, "script": [
+                ["loop", None, [
+                    ["vTaskDelay", "2ms"],
+                    ["execute", "100us"],
+                ]],
+            ]},
+        ],
+    }
+
+
+def fairness_spec(preemption: int, slicing: int) -> Dict:
+    """Two equal-priority compute loops and nothing else.
+
+    Only time slicing rotates them; every other configuration lets the
+    first-dispatched loop keep the CPU forever (RTS-V007).
+    """
+    return {
+        "name": f"freertos_fairness_p{preemption}s{slicing}",
+        "personality": "freertos",
+        "config": _config(preemption, slicing),
+        "tasks": [
+            {"name": "spin_a", "priority": 1, "script": [
+                ["loop", None, [["execute", "10ms"]]],
+            ]},
+            {"name": "spin_b", "priority": 1, "script": [
+                ["loop", None, [["execute", "10ms"]]],
+            ]},
+        ],
+    }
+
+
+@dataclass
+class PropertyVerdict:
+    """One property's dynamic verdict under one configuration."""
+
+    property_id: str
+    holds: bool
+    #: Minimized counterexample choices when the property fails (the
+    #: replay handle; empty tuple = the canonical schedule fails).
+    counterexample: Optional[Tuple[int, ...]] = None
+    #: The spec the verdict was checked on (replay needs it verbatim).
+    spec: Optional[Dict] = None
+
+    def replay(self, horizon: Time = DEFAULT_HORIZON):
+        """Re-execute the failing schedule with a trace recorder.
+
+        Returns ``(system, recorder, outcome)`` exactly like
+        :func:`repro.verify.replay_spec`.
+        """
+        if self.holds or self.counterexample is None or self.spec is None:
+            raise ValueError("no counterexample to replay: property holds")
+        bounds = (
+            {"preemption_bound": PREEMPTION_BOUND}
+            if self.property_id == RTSV006
+            else {"starvation_bound": STARVATION_BOUND}
+        )
+        return replay_spec(self.spec, list(self.counterexample),
+                           horizon=horizon, **bounds)
+
+
+@dataclass
+class ConfigVerdict:
+    """Both property verdicts for one (PREEMPTION, TIME_SLICING) pair."""
+
+    config: Tuple[int, int]
+    preemption: PropertyVerdict
+    fairness: PropertyVerdict
+
+    @property
+    def observed(self) -> Tuple[bool, bool]:
+        return (self.preemption.holds, self.fairness.holds)
+
+    @property
+    def expected(self) -> Tuple[bool, bool]:
+        return EXPECTED_MATRIX[self.config]
+
+    @property
+    def matches(self) -> bool:
+        return self.observed == self.expected
+
+
+@dataclass
+class MatrixResult:
+    """The full differential matrix run."""
+
+    verdicts: List[ConfigVerdict] = field(default_factory=list)
+
+    @property
+    def matches_expected(self) -> bool:
+        return all(v.matches for v in self.verdicts)
+
+    def mismatches(self) -> List[ConfigVerdict]:
+        return [v for v in self.verdicts if not v.matches]
+
+    def table(self) -> List[Dict]:
+        """Plain-data rows for JSON emission / docs rendering."""
+        rows = []
+        for verdict in self.verdicts:
+            preemption, slicing = verdict.config
+            rows.append({
+                "configUSE_PREEMPTION": preemption,
+                "configUSE_TIME_SLICING": slicing,
+                "preemption": {
+                    "expected": verdict.expected[0],
+                    "observed": verdict.preemption.holds,
+                    "counterexample": (
+                        None if verdict.preemption.counterexample is None
+                        else list(verdict.preemption.counterexample)
+                    ),
+                },
+                "fairness": {
+                    "expected": verdict.expected[1],
+                    "observed": verdict.fairness.holds,
+                    "counterexample": (
+                        None if verdict.fairness.counterexample is None
+                        else list(verdict.fairness.counterexample)
+                    ),
+                },
+                "matches": verdict.matches,
+            })
+        return rows
+
+
+def _verdict(result: VerifyResult, property_id: str,
+             spec: Dict) -> PropertyVerdict:
+    violations = [v for v in result.violations
+                  if v.property_id == property_id]
+    if not violations:
+        return PropertyVerdict(property_id, True)
+    counterexample = None
+    if (result.counterexample is not None
+            and result.counterexample.property_id == property_id):
+        counterexample = tuple(result.counterexample.choices)
+    else:
+        counterexample = ()
+    return PropertyVerdict(property_id, False, counterexample, spec)
+
+
+def check_config(preemption: int, slicing: int, *,
+                 horizon: Time = DEFAULT_HORIZON,
+                 max_runs: int = 50) -> ConfigVerdict:
+    """Check both scheduling properties under one configuration."""
+    pre_spec = preemption_spec(preemption, slicing)
+    pre = verify_spec(
+        pre_spec, horizon=horizon,
+        preemption_bound=PREEMPTION_BOUND, max_runs=max_runs,
+    )
+    fair_spec_ = fairness_spec(preemption, slicing)
+    fair = verify_spec(
+        fair_spec_, horizon=horizon,
+        starvation_bound=STARVATION_BOUND, max_runs=1,
+    )
+    return ConfigVerdict(
+        config=(preemption, slicing),
+        preemption=_verdict(pre, RTSV006, pre_spec),
+        fairness=_verdict(fair, RTSV007, fair_spec_),
+    )
+
+
+def run_matrix(*, horizon: Time = DEFAULT_HORIZON,
+               max_runs: int = 50) -> MatrixResult:
+    """Run the whole 2x2 configuration matrix."""
+    result = MatrixResult()
+    for config in sorted(EXPECTED_MATRIX, reverse=True):
+        result.verdicts.append(
+            check_config(*config, horizon=horizon, max_runs=max_runs)
+        )
+    return result
+
+
+__all__ = [
+    "EXPECTED_MATRIX",
+    "PREEMPTION_BOUND",
+    "STARVATION_BOUND",
+    "DEFAULT_HORIZON",
+    "preemption_spec",
+    "fairness_spec",
+    "PropertyVerdict",
+    "ConfigVerdict",
+    "MatrixResult",
+    "check_config",
+    "run_matrix",
+]

@@ -20,7 +20,7 @@ the next task is dispatched) are the two hooks ``_relinquish`` and
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator
+from typing import TYPE_CHECKING, Generator, Optional
 
 from ..errors import ProcessKilled
 from ..kernel.process import wait_any
@@ -146,12 +146,24 @@ class RTOSContext(ExecutionContext):
         task.remaining_budget = None
 
     def block(self, function: "Function", waiter: Waiter,
-              relation: Relation) -> Generator:
+              relation: Relation, timeout: Optional[Time] = None) -> Generator:
         cpu = self.processor
         task = function.task
         state = (
             TaskState.WAITING_RESOURCE if relation.resource else TaskState.WAITING
         )
+        timer = None
+        if timeout is not None:
+            # Bounded wait: an independent RTOS timer (same mechanism as
+            # :meth:`delay`) withdraws the undelivered waiter on expiry
+            # and puts the task back in the ready queue empty-handed.
+            def timeout_fired() -> None:
+                if waiter.delivered or task.blocked_on is not relation:
+                    return
+                relation.withdraw(waiter)
+                task.processor.make_ready(task, reason="timeout")
+
+            timer = cpu.sim.schedule_callback(timeout, timeout_fired)
         cpu._release_cpu(task)
         task.blocked_on = relation
         task.set_state(state, reason="blocked")
@@ -159,6 +171,10 @@ class RTOSContext(ExecutionContext):
         # delivery makes the task Ready; the grant hands it the CPU back
         yield from self._await_grant(task)
         task.blocked_on = None
+        if timer is not None:
+            # A delivered wait revokes its pending timer so the stale
+            # entry cannot keep an otherwise-finished simulation alive.
+            timer.cancelled = True
         return waiter.value
 
     def delay(self, function: "Function", duration: Time) -> Generator:

@@ -14,7 +14,10 @@ branching at each nondeterministic decision the model admits:
 Checked properties carry stable rule ids shared with the static
 analyzers (:mod:`repro.analyze`): RTS-V001 no deadlock, RTS-V002 all
 deadlines met, RTS-V003 mutex safety / no lost wakeup, RTS-V004 bounded
-priority inversion, RTS-V005 user ``assert_always`` invariants.
+priority inversion, RTS-V005 user ``assert_always`` invariants, RTS-V006
+bounded preemption latency and RTS-V007 scheduler fairness (the last two
+power the kernel-personality differential matrix,
+:mod:`repro.personality`).
 
 A violation yields a *minimized* :class:`Counterexample`: the exact
 choice sequence, deterministically replayable through the standard
@@ -51,7 +54,7 @@ from .explorer import VerifyResult, VerifyStats, explore_dfs, explore_random
 from .harness import ModelFactory, RunOutcome, VerifyOptions, replay, \
     run_once, spec_factory
 from .properties import RTSV001, RTSV002, RTSV003, RTSV004, RTSV005, \
-    Invariant, RunMonitors, Violation
+    RTSV006, RTSV007, Invariant, RunMonitors, Violation
 from .witness import WITNESS_PROPERTIES, WitnessOutcome, attempt_witness, \
     witness_findings, witnessable
 
@@ -84,6 +87,8 @@ def _make_options(options: Optional[VerifyOptions],
         max_depth=kwargs.get("max_depth") or 64,
         sanitize=bool(kwargs.get("sanitize")),
         inversion_bound=kwargs.get("inversion_bound"),
+        preemption_bound=kwargs.get("preemption_bound"),
+        starvation_bound=kwargs.get("starvation_bound"),
         explore_preempt_modes=bool(kwargs.get("explore_preempt_modes")),
     )
 
@@ -98,6 +103,8 @@ def verify_model(
     max_depth: Optional[int] = None,
     sanitize: bool = False,
     inversion_bound: Optional[int] = None,
+    preemption_bound: Optional[int] = None,
+    starvation_bound: Optional[int] = None,
     explore_preempt_modes: bool = False,
     max_runs: int = 10_000,
     runs: int = 100,
@@ -113,6 +120,8 @@ def verify_model(
         options,
         horizon=horizon, max_depth=max_depth, sanitize=sanitize,
         inversion_bound=inversion_bound,
+        preemption_bound=preemption_bound,
+        starvation_bound=starvation_bound,
         explore_preempt_modes=explore_preempt_modes,
     )
     if strategy in ("dfs", "exhaustive"):
@@ -144,6 +153,8 @@ def replay_model(
     max_depth: Optional[int] = None,
     sanitize: bool = False,
     inversion_bound: Optional[int] = None,
+    preemption_bound: Optional[int] = None,
+    starvation_bound: Optional[int] = None,
 ) -> Tuple[System, "TraceRecorder", RunOutcome]:
     """Re-execute a counterexample's choices with a trace recorder.
 
@@ -153,6 +164,8 @@ def replay_model(
         options,
         horizon=horizon, max_depth=max_depth, sanitize=sanitize,
         inversion_bound=inversion_bound,
+        preemption_bound=preemption_bound,
+        starvation_bound=starvation_bound,
     )
     return replay(factory, choices, opts, invariants, expected=expected)
 
@@ -257,6 +270,8 @@ __all__ = [
     "RTSV003",
     "RTSV004",
     "RTSV005",
+    "RTSV006",
+    "RTSV007",
     "RandomController",
     "RunMonitors",
     "RunOutcome",

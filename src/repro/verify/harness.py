@@ -48,6 +48,12 @@ class VerifyOptions:
     #: RTS-V004 bound on a single continuous resource wait (``None``
     #: disables the property).
     inversion_bound: Optional[Time] = None
+    #: RTS-V006 bound: how long a higher-priority task may stay READY
+    #: behind a lower-priority running task (``None`` disables).
+    preemption_bound: Optional[Time] = None
+    #: RTS-V007 bound on any single continuous READY wait (``None``
+    #: disables the fairness property).
+    starvation_bound: Optional[Time] = None
     #: Also branch each processor's preemptive mode (off by default:
     #: it doubles the space per processor and most models fix the mode).
     explore_preempt_modes: bool = False
@@ -121,6 +127,8 @@ def _build_instrumented(
         system,
         invariants=tuple(invariants),
         inversion_bound=options.inversion_bound,
+        preemption_bound=options.preemption_bound,
+        starvation_bound=options.starvation_bound,
     )
     return system, monitors, recorder
 

@@ -11,6 +11,11 @@ RTS-V002   deadline miss: a watchdog expired on some explored schedule
 RTS-V003   mutex safety violated, or a wakeup was lost on a relation
 RTS-V004   a task's resource-wait exceeded the priority-inversion bound
 RTS-V005   a user ``assert_always`` invariant evaluated false
+RTS-V006   a ready higher-priority task was not dispatched within the
+           preemption bound (the classic Spin-checked FreeRTOS property:
+           "the highest-priority ready task runs")
+RTS-V007   a ready task was starved of the CPU beyond the starvation
+           bound (scheduler fairness, e.g. round-robin time slicing)
 =========  =============================================================
 
 Monitors are pure observers: they attach through the simulator's
@@ -40,6 +45,9 @@ RTSV002 = rule("RTS-V002", "deadline miss reachable under an explored schedule")
 RTSV003 = rule("RTS-V003", "mutex misuse or lost wakeup on an explored schedule")
 RTSV004 = rule("RTS-V004", "priority inversion exceeds the declared bound")
 RTSV005 = rule("RTS-V005", "user invariant violated on an explored schedule")
+RTSV006 = rule("RTS-V006",
+               "ready higher-priority task not dispatched within the bound")
+RTSV007 = rule("RTS-V007", "ready task starved beyond the fairness bound")
 
 
 @dataclass(frozen=True)
@@ -83,13 +91,19 @@ class RunMonitors:
         *,
         invariants: Tuple[Invariant, ...] = (),
         inversion_bound: Optional[Time] = None,
+        preemption_bound: Optional[Time] = None,
+        starvation_bound: Optional[Time] = None,
     ) -> None:
         self.system = system
         self.invariants = invariants
         self.inversion_bound = inversion_bound
+        self.preemption_bound = preemption_bound
+        self.starvation_bound = starvation_bound
         self.violations: List[Violation] = []
         self._watchdogs: List[DeadlineWatchdog] = []
         self._blocked_since: Dict[str, Tuple[Time, Optional[str]]] = {}
+        self._ready_since: Dict[str, Time] = {}
+        self._sched_flagged: set = set()
         self._invariants_broken = set()
         self._attach()
 
@@ -104,12 +118,21 @@ class RunMonitors:
                 )
         if self.inversion_bound is not None:
             sim.add_observer(self._observe_inversion)
+        if self._scheduling_bounds:
+            sim.add_observer(self._observe_scheduling)
 
     def detach(self) -> None:
         for watchdog in self._watchdogs:
             watchdog.disable()
         if self.inversion_bound is not None:
             self.system.sim.remove_observer(self._observe_inversion)
+        if self._scheduling_bounds:
+            self.system.sim.remove_observer(self._observe_scheduling)
+
+    @property
+    def _scheduling_bounds(self) -> bool:
+        return (self.preemption_bound is not None
+                or self.starvation_bound is not None)
 
     # ------------------------------------------------------------------
     # RTS-V004: bounded priority inversion
@@ -156,6 +179,62 @@ class RunMonitors:
             ))
 
     # ------------------------------------------------------------------
+    # RTS-V006/RTS-V007: scheduling properties (preemption + fairness)
+    # ------------------------------------------------------------------
+    def _observe_scheduling(self, record: object) -> None:
+        if not isinstance(record, StateRecord):
+            return
+        if record.state is TaskState.READY:
+            self._ready_since.setdefault(record.task, record.time)
+        else:
+            self._ready_since.pop(record.task, None)
+        # Every scheduling event advances time; sweep the open READY
+        # windows so a violation is stamped as soon as it is observable.
+        self._sweep_ready_windows(record.time)
+
+    def _sweep_ready_windows(self, now: Time) -> None:
+        for task, since in list(self._ready_since.items()):
+            waited = now - since
+            if (self.starvation_bound is not None
+                    and waited > self.starvation_bound
+                    and (RTSV007, task) not in self._sched_flagged):
+                self._sched_flagged.add((RTSV007, task))
+                self.violations.append(Violation(
+                    RTSV007,
+                    f"continuously READY for {format_time(waited)} "
+                    f"without being dispatched "
+                    f"(bound {format_time(self.starvation_bound)})",
+                    now,
+                    location=f"task {task}",
+                ))
+            if (self.preemption_bound is not None
+                    and waited > self.preemption_bound
+                    and (RTSV006, task) not in self._sched_flagged):
+                running = self._outprioritized_running(task)
+                if running is not None:
+                    self._sched_flagged.add((RTSV006, task))
+                    self.violations.append(Violation(
+                        RTSV006,
+                        f"READY for {format_time(waited)} while the "
+                        f"lower-priority task {running!r} kept the CPU "
+                        f"(bound {format_time(self.preemption_bound)})",
+                        now,
+                        location=f"task {task}",
+                    ))
+
+    def _outprioritized_running(self, task_name: str) -> Optional[str]:
+        """The lower-priority task running on ``task_name``'s CPU, if any."""
+        fn = self.system.functions.get(task_name)
+        if fn is None or fn.task is None:
+            return None
+        running = fn.task.processor.running
+        if running is None or running is fn.task:
+            return None
+        if running.effective_priority < fn.task.effective_priority:
+            return running.name
+        return None
+
+    # ------------------------------------------------------------------
     # Invariants (RTS-V005), checked at every choice point + end of run
     # ------------------------------------------------------------------
     def check_invariants(self, now: Time) -> None:
@@ -181,6 +260,11 @@ class RunMonitors:
         for task, (since, blocker) in list(self._blocked_since.items()):
             self._check_inversion(task, since, blocker, now)
         self._blocked_since.clear()
+        # still-open READY windows count up to the horizon too: a task
+        # starved until the end of the run is the canonical violation.
+        if self._scheduling_bounds:
+            self._sweep_ready_windows(now)
+        self._ready_since.clear()
 
         if error is not None:
             self.violations.append(Violation(
@@ -263,6 +347,8 @@ __all__ = [
     "RTSV003",
     "RTSV004",
     "RTSV005",
+    "RTSV006",
+    "RTSV007",
     "Violation",
     "Invariant",
     "RunMonitors",

@@ -91,7 +91,7 @@ def _relation_state(relation: Any) -> Tuple[Any, ...]:
     owner = getattr(relation, "owner", None)
     if owner is not None:
         extra.append(("owner", owner.name))
-    for attr in ("_flag", "_count"):
+    for attr in ("_flag", "_count", "pattern"):
         value = getattr(relation, attr, None)
         if value is not None:
             extra.append((attr, value))

@@ -1,0 +1,163 @@
+"""RTS17x personality-misuse rules: ISR blocking and busy-wait polls."""
+
+from repro.analyze import analyze_system
+from repro.analyze.personality import RTS170, RTS171
+from repro.kernel.simulator import Simulator
+from repro.mcse.builder import build_system
+
+
+def lint(spec, name):
+    system = build_system(spec, sim=Simulator(name))
+    return analyze_system(system)
+
+
+def rules_of(report):
+    return {d.rule for d in report.diagnostics}
+
+
+class TestRTS170BlockingInISR:
+    def test_blocking_call_in_isr_task_is_an_error(self):
+        spec = {
+            "name": "bad-isr",
+            "personality": "freertos",
+            "objects": [{"kind": "queue", "name": "q", "length": 2}],
+            "tasks": [
+                {"name": "isr", "isr": True, "script": [
+                    ["xQueueSend", "q", 1, "5ms"],     # blocks: RTS170
+                ]},
+                {"name": "t", "priority": 1, "script": [
+                    ["loop", None, [["xQueueReceive", "q"],
+                                    ["execute", "10us"]]],
+                ]},
+            ],
+        }
+        report = lint(spec, "rts170")
+        findings = [d for d in report.diagnostics if d.rule == RTS170]
+        assert len(findings) == 1
+        assert "xQueueSend" in findings[0].message
+
+    def test_from_isr_variants_are_clean(self):
+        spec = {
+            "name": "good-isr",
+            "personality": "freertos",
+            "objects": [{"kind": "queue", "name": "q", "length": 2}],
+            "tasks": [
+                {"name": "isr", "isr": True, "script": [
+                    ["xQueueSendFromISR", "q", 1],
+                ]},
+                {"name": "t", "priority": 1, "script": [
+                    ["loop", None, [["xQueueReceive", "q"],
+                                    ["execute", "10us"]]],
+                ]},
+            ],
+        }
+        assert RTS170 not in rules_of(lint(spec, "rts170-clean"))
+
+    def test_uitron_blocking_service_call_in_isr(self):
+        spec = {
+            "name": "bad-itron-isr",
+            "personality": "uitron",
+            "objects": [{"kind": "semaphore", "name": "sem"}],
+            "tasks": [
+                {"name": "handler", "priority": 1, "isr": True,
+                 "script": [["wai_sem", "sem"]]},
+                {"name": "t", "priority": 2, "script": [
+                    ["sig_sem", "sem"], ["execute", "5us"],
+                ]},
+            ],
+        }
+        assert RTS170 in rules_of(lint(spec, "rts170-itron"))
+
+
+class TestRTS171BusyWaitPoll:
+    def test_zero_timeout_poll_in_loop_warns(self):
+        spec = {
+            "name": "poller",
+            "personality": "freertos",
+            "objects": [{"kind": "queue", "name": "q", "length": 2}],
+            "tasks": [
+                {"name": "spin", "priority": 1, "script": [
+                    ["loop", None, [
+                        ["xQueueReceive", "q", 0],     # busy-wait: RTS171
+                        ["execute", "1us"],
+                    ]],
+                ]},
+                {"name": "feeder", "priority": 2, "script": [
+                    ["loop", None, [["xQueueSend", "q", 1],
+                                    ["vTaskDelay", "1ms"]]],
+                ]},
+            ],
+        }
+        report = lint(spec, "rts171")
+        findings = [d for d in report.diagnostics if d.rule == RTS171]
+        assert len(findings) == 1
+        assert findings[0].severity.name == "WARNING"
+
+    def test_blocking_receive_in_loop_is_clean(self):
+        spec = {
+            "name": "blocker",
+            "personality": "freertos",
+            "objects": [{"kind": "queue", "name": "q", "length": 2}],
+            "tasks": [
+                {"name": "rx", "priority": 1, "script": [
+                    ["loop", None, [["xQueueReceive", "q", "10ms"],
+                                    ["execute", "1us"]]],
+                ]},
+                {"name": "tx", "priority": 2, "script": [
+                    ["loop", None, [["xQueueSend", "q", 1],
+                                    ["vTaskDelay", "1ms"]]],
+                ]},
+            ],
+        }
+        assert RTS171 not in rules_of(lint(spec, "rts171-clean"))
+
+    def test_straight_line_poll_does_not_warn(self):
+        # A one-shot poll outside a loop is a legitimate non-blocking
+        # check, not a spin.
+        spec = {
+            "name": "oneshot",
+            "personality": "freertos",
+            "objects": [{"kind": "queue", "name": "q", "length": 2}],
+            "tasks": [
+                {"name": "t", "priority": 1, "script": [
+                    ["xQueueSend", "q", 1],
+                    ["xQueueReceive", "q", 0],
+                    ["execute", "1us"],
+                ]},
+            ],
+        }
+        assert RTS171 not in rules_of(lint(spec, "rts171-oneshot"))
+
+    def test_uitron_tmo_pol_spelling(self):
+        spec = {
+            "name": "itron-poll",
+            "personality": "uitron",
+            "objects": [{"kind": "mailbox", "name": "mbx"}],
+            "tasks": [
+                {"name": "rx", "priority": 1, "script": [
+                    ["loop", None, [["trcv_mbx", "mbx", "TMO_POL"],
+                                    ["execute", "1us"]]],
+                ]},
+                {"name": "tx", "priority": 2, "script": [
+                    ["loop", None, [["snd_mbx", "mbx", 1],
+                                    ["dly_tsk", "1ms"]]],
+                ]},
+            ],
+        }
+        assert RTS171 in rules_of(lint(spec, "rts171-itron"))
+
+
+class TestScope:
+    def test_generic_systems_are_untouched(self):
+        spec = {
+            "name": "plain",
+            "relations": [],
+            "processors": [{"name": "cpu"}],
+            "functions": [
+                {"name": "f", "priority": 1, "processor": "cpu",
+                 "script": [["execute", "10us"]]},
+            ],
+        }
+        report = lint(spec, "plain")
+        assert RTS170 not in rules_of(report)
+        assert RTS171 not in rules_of(report)

@@ -1,0 +1,173 @@
+"""Bounded waits and ITRON-style eventflags in the generic MCSE layer.
+
+These primitives were introduced for the kernel personalities (timed
+FreeRTOS/ITRON service calls; ``wai_flg`` patterns) but are plain
+generic features: every test here drives them through hand-written
+generic specs.
+"""
+
+import pytest
+
+from repro.errors import BuildError
+from repro.kernel.simulator import Simulator
+from repro.kernel.time import US
+from repro.mcse import build_system
+
+
+def run_spec(spec, name):
+    system = build_system(spec, sim=Simulator(name))
+    return system, system.run()
+
+
+def one_task(script, relations):
+    return {
+        "name": "bounded",
+        "relations": relations,
+        "processors": [{"name": "cpu"}],
+        "functions": [
+            {"name": "t", "priority": 1, "processor": "cpu",
+             "script": script},
+        ],
+    }
+
+
+EVENT = [{"kind": "event", "name": "ev"}]
+QUEUE1 = [{"kind": "queue", "name": "q", "capacity": 1}]
+
+
+class TestWaitTimeouts:
+    def test_expired_wait_resumes_empty_handed(self):
+        spec = one_task([["wait", "ev", "5us"], ["execute", "2us"]], EVENT)
+        _, finished = run_spec(spec, "wait-tmo")
+        assert finished == 7 * US
+
+    def test_zero_timeout_polls_without_blocking(self):
+        spec = one_task([["wait", "ev", 0], ["execute", "2us"]], EVENT)
+        _, finished = run_spec(spec, "wait-poll")
+        assert finished == 2 * US
+
+    def test_signal_before_expiry_cancels_the_timeout(self):
+        spec = {
+            "name": "race",
+            "relations": [{"kind": "event", "name": "ev"}],
+            "processors": [{"name": "cpu"}],
+            "functions": [
+                {"name": "waiter", "priority": 2, "processor": "cpu",
+                 "script": [["wait", "ev", "100us"], ["execute", "1us"]]},
+                {"name": "signaler", "priority": 1, "processor": "cpu",
+                 "script": [["delay", "3us"], ["signal", "ev"]]},
+            ],
+        }
+        _, finished = run_spec(spec, "wait-race")
+        assert finished == 4 * US  # woken at 3us, not at 100us
+
+    def test_bad_timeouts_are_build_errors(self):
+        spec = one_task([["wait", "ev", "-1us"]], EVENT)
+        with pytest.raises(BuildError, match="timeout"):
+            build_system(spec, sim=Simulator("neg-tmo"))
+        spec = one_task([["wait", "ev", -5]], EVENT)
+        with pytest.raises(BuildError, match="negative"):
+            build_system(spec, sim=Simulator("neg-tmo2"))
+
+
+class TestQueueTimeouts:
+    def test_read_timeout_on_an_empty_queue(self):
+        spec = one_task([["read", "q", "4us"], ["execute", "1us"]], QUEUE1)
+        _, finished = run_spec(spec, "read-tmo")
+        assert finished == 5 * US
+
+    def test_write_timeout_on_a_full_queue(self):
+        spec = one_task(
+            [["write", "q", 1], ["write", "q", 2, "6us"],
+             ["execute", "1us"]],
+            QUEUE1,
+        )
+        _, finished = run_spec(spec, "write-tmo")
+        assert finished == 7 * US
+
+    def test_timed_out_write_leaves_no_residue(self):
+        system, _ = run_spec(
+            one_task([["write", "q", 1], ["write", "q", 2, "6us"]],
+                     QUEUE1),
+            "write-clean",
+        )
+        # only the first message made it; the expired writer withdrew
+        queue = system.relations["q"]
+        ok, item = queue.try_get()
+        assert (ok, item) == (True, 1)
+        assert queue.try_get() == (False, None)
+
+
+class TestEventFlags:
+    def flag_spec(self, waiter_script, setter_script, **flags):
+        return {
+            "name": "flags",
+            "relations": [{"kind": "flags", "name": "flg", **flags}],
+            "processors": [{"name": "cpu"}],
+            "functions": [
+                {"name": "waiter", "priority": 2, "processor": "cpu",
+                 "script": waiter_script},
+                {"name": "setter", "priority": 1, "processor": "cpu",
+                 "script": setter_script},
+            ],
+        }
+
+    def test_and_wait_needs_every_bit(self):
+        spec = self.flag_spec(
+            [["wait_flag", "flg", 0b11, "and"], ["execute", "1us"]],
+            [["delay", "2us"], ["set_flag", "flg", 0b01],
+             ["delay", "2us"], ["set_flag", "flg", 0b10]],
+        )
+        _, finished = run_spec(spec, "flg-and")
+        assert finished == 5 * US  # second bit lands at 4us
+
+    def test_or_wait_wakes_on_the_first_bit(self):
+        spec = self.flag_spec(
+            [["wait_flag", "flg", 0b11, "or"], ["execute", "1us"]],
+            [["delay", "2us"], ["set_flag", "flg", 0b01],
+             ["delay", "2us"], ["set_flag", "flg", 0b10]],
+        )
+        # woken at 2us, the higher-priority waiter preempts and runs to
+        # 3us; the setter only then resumes its second delay (3us+2us).
+        _, finished = run_spec(spec, "flg-or")
+        assert finished == 5 * US
+
+    def test_initial_pattern_satisfies_immediately(self):
+        spec = one_task(
+            [["wait_flag", "flg", 0b10, "or"], ["execute", "1us"]],
+            [{"kind": "flags", "name": "flg", "initial": 0b10}],
+        )
+        _, finished = run_spec(spec, "flg-init")
+        assert finished == 1 * US
+
+    def test_clear_on_wake_resets_the_pattern(self):
+        spec = self.flag_spec(
+            [["wait_flag", "flg", 0b1, "or"],
+             ["wait_flag", "flg", 0b1, "or", "3us"],  # pattern gone again
+             ["execute", "1us"]],
+            [["delay", "2us"], ["set_flag", "flg", 0b1]],
+            clear_on_wake=True,
+        )
+        _, finished = run_spec(spec, "flg-clear")
+        assert finished == 6 * US  # 2us wake + 3us timeout + 1us execute
+
+    def test_clr_flg_keeps_only_the_masked_bits(self):
+        # ITRON clr_flg semantics: the pattern is ANDed with the mask,
+        # so mask 0b10 *keeps* bit 1 and clears everything else.
+        spec = one_task(
+            [["set_flag", "flg", 0b11], ["clr_flag", "flg", 0b10],
+             ["wait_flag", "flg", 0b10, "and"],     # kept by the mask
+             ["wait_flag", "flg", 0b01, "and", "2us"],  # cleared: expires
+             ["execute", "1us"]],
+            [{"kind": "flags", "name": "flg"}],
+        )
+        _, finished = run_spec(spec, "flg-mask")
+        assert finished == 3 * US
+
+    def test_wait_flag_timeout_expires(self):
+        spec = one_task(
+            [["wait_flag", "flg", 0b1, "or", "5us"], ["execute", "2us"]],
+            [{"kind": "flags", "name": "flg"}],
+        )
+        _, finished = run_spec(spec, "flg-tmo")
+        assert finished == 7 * US

@@ -1,0 +1,96 @@
+"""Differential verification against the published FreeRTOS matrix.
+
+The headline experiment: lower the same task sets under each
+``configUSE_PREEMPTION`` x ``configUSE_TIME_SLICING`` configuration,
+model-check the preemption and fairness properties, and require the
+verdicts to reproduce the matrix established by the published Spin
+models of the FreeRTOS scheduler -- with a replayable counterexample
+behind every failing verdict.
+"""
+
+import pytest
+
+from repro.verify import RTSV006, RTSV007
+from repro.personality.differential import (
+    EXPECTED_MATRIX,
+    check_config,
+    fairness_spec,
+    preemption_spec,
+    run_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_matrix()
+
+
+class TestMatrix:
+    def test_reproduces_the_published_verdicts(self, matrix):
+        assert matrix.matches_expected, [
+            (v.config, v.observed, v.expected)
+            for v in matrix.mismatches()
+        ]
+
+    def test_all_four_configs_are_checked(self, matrix):
+        assert {v.config for v in matrix.verdicts} == set(EXPECTED_MATRIX)
+
+    def test_failing_verdicts_carry_counterexamples(self, matrix):
+        for verdict in matrix.verdicts:
+            for prop in (verdict.preemption, verdict.fairness):
+                if not prop.holds:
+                    assert prop.counterexample is not None
+                    assert prop.spec is not None
+
+    def test_table_rows_are_plain_data(self, matrix):
+        import json
+
+        rows = matrix.table()
+        assert len(rows) == 4
+        json.dumps(rows)  # must be JSON-clean for docs/bench emission
+        for row in rows:
+            assert row["matches"] is True
+
+
+class TestCounterexampleReplay:
+    def test_cooperative_preemption_failure_replays(self, matrix):
+        verdict = next(v for v in matrix.verdicts if v.config == (0, 1))
+        assert not verdict.preemption.holds
+        _system, _recorder, outcome = verdict.preemption.replay()
+        replayed = {v.property_id for v in outcome.violations}
+        assert RTSV006 in replayed
+
+    def test_slicing_off_fairness_failure_replays(self, matrix):
+        verdict = next(v for v in matrix.verdicts if v.config == (1, 0))
+        assert not verdict.fairness.holds
+        _system, _recorder, outcome = verdict.fairness.replay()
+        replayed = {v.property_id for v in outcome.violations}
+        assert RTSV007 in replayed
+
+    def test_holding_property_refuses_to_replay(self, matrix):
+        verdict = next(v for v in matrix.verdicts if v.config == (1, 1))
+        assert verdict.preemption.holds
+        with pytest.raises(ValueError, match="holds"):
+            verdict.preemption.replay()
+
+
+class TestScenarios:
+    def test_preemption_scenario_shape(self):
+        spec = preemption_spec(1, 0)
+        names = [t["name"] for t in spec["tasks"]]
+        assert names == ["hog", "urgent"]
+        priorities = {t["name"]: t["priority"] for t in spec["tasks"]}
+        assert priorities["urgent"] > priorities["hog"]
+
+    def test_fairness_scenario_is_exactly_two_equal_peers(self):
+        # A third (higher-priority periodic) task would force extra
+        # scheduling points that rotate the FIFO tie-break and mask the
+        # starvation the matrix expects -- the scenario must stay pure.
+        spec = fairness_spec(1, 0)
+        assert len(spec["tasks"]) == 2
+        assert len({t["priority"] for t in spec["tasks"]}) == 1
+
+    def test_single_config_check(self):
+        verdict = check_config(1, 1)
+        assert verdict.matches
+        assert verdict.observed == (True, True)

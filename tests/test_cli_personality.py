@@ -1,0 +1,88 @@
+"""CLI surface added with the personality subsystem: the corpus
+catalogue listing and the verify scheduling-bound flags."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def freertos_spec_file(tmp_path):
+    spec = {
+        "name": "cli-frt",
+        "personality": "freertos",
+        "config": {"configUSE_PREEMPTION": 1, "configUSE_TIME_SLICING": 0},
+        "tasks": [
+            {"name": "spin_a", "priority": 1, "script": [
+                ["loop", None, [["execute", "10ms"]]],
+            ]},
+            {"name": "spin_b", "priority": 1, "script": [
+                ["loop", None, [["execute", "10ms"]]],
+            ]},
+        ],
+    }
+    path = tmp_path / "frt.json"
+    path.write_text(json.dumps(spec))
+    return str(path)
+
+
+class TestCorpusCatalogue:
+    def test_list_prints_all_three_sections(self, capsys):
+        assert main(["corpus", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "generators:" in out
+        assert "policies:" in out
+        assert "personalities:" in out
+        assert "freertos" in out
+        assert "uitron" in out
+
+    def test_bare_corpus_defaults_to_the_listing(self, capsys):
+        assert main(["corpus"]) == 0
+        assert "generators:" in capsys.readouterr().out
+
+    def test_json_catalogue_is_machine_readable(self, capsys):
+        assert main(["corpus", "--json"]) == 0
+        catalogue = json.loads(capsys.readouterr().out)
+        assert set(catalogue) == {"generators", "policies",
+                                  "personalities"}
+        assert "freertos" in catalogue["generators"]
+        assert "freertos" in catalogue["personalities"]
+        assert all(isinstance(v, str)
+                   for v in catalogue["personalities"].values())
+
+    def test_generation_still_works_with_a_kind(self, capsys):
+        assert main(["corpus", "freertos", "--seed", "3"]) == 0
+        spec = json.loads(capsys.readouterr().out)
+        assert spec["personality"] == "freertos"
+
+
+class TestVerifySchedulingBounds:
+    def test_starvation_bound_flags_the_unfair_config(
+            self, freertos_spec_file, capsys):
+        rc = main([
+            "verify", freertos_spec_file, "--horizon", "20ms",
+            "--starvation-bound", "5ms", "--max-runs", "1",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "RTS-V007" in out
+
+    def test_without_bounds_the_spec_is_clean(
+            self, freertos_spec_file, capsys):
+        rc = main([
+            "verify", freertos_spec_file, "--horizon", "20ms",
+            "--max-runs", "1",
+        ])
+        assert rc == 0
+
+    def test_replay_exhibits_the_violation(
+            self, freertos_spec_file, capsys):
+        rc = main([
+            "verify", freertos_spec_file, "--horizon", "20ms",
+            "--starvation-bound", "5ms", "--max-runs", "1", "--replay",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "replay" in out.lower()

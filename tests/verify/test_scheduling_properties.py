@@ -1,0 +1,115 @@
+"""RTS-V006 (preemption latency) and RTS-V007 (starvation) monitors."""
+
+import pytest
+
+from repro.kernel.time import MS
+from repro.verify import RTSV006, RTSV007, verify_spec
+
+
+def properties_of(result):
+    return {violation.property_id for violation in result.violations}
+
+
+def two_spinners(policy, **processor):
+    cpu = {"name": "cpu", "policy": policy, **processor}
+    return {
+        "name": "spinners",
+        "relations": [],
+        "processors": [cpu],
+        "functions": [
+            {"name": "a", "priority": 1, "processor": "cpu",
+             "script": [["loop", None, [["execute", "10ms"]]]]},
+            {"name": "b", "priority": 1, "processor": "cpu",
+             "script": [["loop", None, [["execute", "10ms"]]]]},
+        ],
+    }
+
+
+def hog_and_urgent(**processor):
+    cpu = {"name": "cpu", "policy": "priority_preemptive", **processor}
+    return {
+        "name": "hog",
+        "relations": [],
+        "processors": [cpu],
+        "functions": [
+            {"name": "hog", "priority": 1, "processor": "cpu",
+             "script": [["loop", None, [["execute", "10ms"]]]]},
+            {"name": "urgent", "priority": 3, "processor": "cpu",
+             "script": [["loop", None, [["delay", "2ms"],
+                                        ["execute", "100us"]]]]},
+        ],
+    }
+
+
+class TestBoundsAreOptIn:
+    def test_without_bounds_the_monitors_stay_silent(self):
+        result = verify_spec(two_spinners("priority_preemptive"),
+                             horizon=20 * MS, max_runs=1)
+        assert RTSV006 not in properties_of(result)
+        assert RTSV007 not in properties_of(result)
+
+
+class TestRTSV006Preemption:
+    def test_cooperative_hog_blocks_the_urgent_task(self):
+        spec = hog_and_urgent(preemptive=False)
+        result = verify_spec(spec, horizon=20 * MS,
+                             preemption_bound=1 * MS, max_runs=1)
+        violations = [v for v in result.violations
+                      if v.property_id == RTSV006]
+        assert violations
+        # the monitor names the starving task and the offender
+        assert any("urgent" in v.location for v in violations)
+        assert any("hog" in v.message for v in violations)
+
+    def test_preemptive_scheduler_meets_the_bound(self):
+        result = verify_spec(hog_and_urgent(), horizon=20 * MS,
+                             preemption_bound=1 * MS, max_runs=1)
+        assert RTSV006 not in properties_of(result)
+
+    def test_one_violation_per_task_per_run(self):
+        spec = hog_and_urgent(preemptive=False)
+        result = verify_spec(spec, horizon=20 * MS,
+                             preemption_bound=1 * MS, max_runs=1)
+        flagged = [v for v in result.violations
+                   if v.property_id == RTSV006 and "urgent" in v.location]
+        assert len(flagged) == 1
+
+
+class TestRTSV007Starvation:
+    def test_fifo_without_slicing_starves_the_second_spinner(self):
+        result = verify_spec(two_spinners("priority_preemptive"),
+                             horizon=20 * MS,
+                             starvation_bound=5 * MS, max_runs=1)
+        violations = [v for v in result.violations
+                      if v.property_id == RTSV007]
+        assert violations
+        assert any("b" in v.location for v in violations)
+
+    def test_round_robin_keeps_everyone_fed(self):
+        spec = two_spinners("priority_round_robin", time_slice="1ms")
+        result = verify_spec(spec, horizon=20 * MS,
+                             starvation_bound=5 * MS, max_runs=1)
+        assert RTSV007 not in properties_of(result)
+
+    def test_open_ready_window_is_swept_at_finish(self):
+        # The starved spinner never leaves READY, so only the end-of-run
+        # sweep can flag it -- a horizon just past the bound must do so.
+        result = verify_spec(two_spinners("priority_preemptive"),
+                             horizon=6 * MS,
+                             starvation_bound=5 * MS, max_runs=1)
+        assert RTSV007 in properties_of(result)
+
+
+class TestCounterexamples:
+    def test_violation_carries_a_replayable_counterexample(self):
+        from repro.verify import replay_spec
+
+        spec = hog_and_urgent(preemptive=False)
+        result = verify_spec(spec, horizon=20 * MS,
+                             preemption_bound=1 * MS, max_runs=1)
+        assert result.counterexample is not None
+        _system, _recorder, outcome = replay_spec(
+            spec, list(result.counterexample.choices), horizon=20 * MS,
+            preemption_bound=1 * MS,
+        )
+        assert RTSV006 in {v.property_id for v in outcome.violations}
