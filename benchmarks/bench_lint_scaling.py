@@ -1,0 +1,276 @@
+"""Static analyzer scaling: rules/second, fix round-trips, precision.
+
+Not a paper figure -- the calibration point for the
+:mod:`repro.analyze` lint pipeline that gates every corpus run and the
+``/v1/lint`` gateway.  Three numbers decide whether "lint everything
+before simulating" stays cheap enough to be the default, and this
+harness pins them down as ``BENCH_lint_scaling.json``:
+
+* **throughput** -- lint passes (and rule evaluations) per second over
+  corpus-generated specs, per generator family, so a new rule that
+  quietly goes quadratic shows up as a per-family regression;
+* **fix round-trip cost** -- ``plan_fixes`` + ``apply_fixes`` +
+  discharge re-lint on a spec with a known fixable finding, i.e. the
+  marginal price of ``--fix``;
+* **precision counts** -- over a contention sweep, how often the
+  blocking rules (RTS180..RTS183) speak exactly (ERROR) versus
+  over-approximate (WARNING); a change that silently degrades
+  exactness shifts this split.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_lint_scaling.py
+    PYTHONPATH=src python benchmarks/bench_lint_scaling.py --smoke
+"""
+
+import argparse
+import sys
+import time
+
+from _report import (
+    check_envelope,
+    check_fields,
+    repo_root_path,
+    report_meta,
+    write_report,
+)
+from repro.analyze import RULES, analyze_system, plan_fixes
+from repro.analyze.fixes import apply_fixes
+from repro.corpus.generators import generate
+from repro.kernel.simulator import Simulator
+from repro.mcse.builder import build_system
+
+SCHEMA_VERSION = 1
+
+#: One representative per generator family; contention is measured in
+#: its periodic+protocol form so the blocking rules are actually on
+#: the hot path, not short-circuited by missing timing data.
+FAMILIES = {
+    "periodic": {},
+    "contention": {"periodic": True, "protocol": "inheritance",
+                   "deadline_frac": 0.6},
+    "dag": {},
+    "smp": {},
+}
+
+BLOCKING_RULES = ("RTS180", "RTS181", "RTS182", "RTS183")
+
+
+def _lint(spec: dict, name: str):
+    system = build_system(spec, sim=Simulator(name))
+    return analyze_system(system)
+
+
+def _family_entry(generator: str, params: dict, seeds: int,
+                  rounds: int) -> dict:
+    specs = [generate(generator, seed, params or None)
+             for seed in range(seeds)]
+    best = None
+    diagnostics = 0
+    for _ in range(rounds):
+        started = time.perf_counter()
+        diagnostics = 0
+        for index, spec in enumerate(specs):
+            report = _lint(spec, f"bench-{generator}-{index}")
+            diagnostics += len(report.diagnostics)
+        wall = time.perf_counter() - started
+        if best is None or wall < best:
+            best = wall
+    wall = best
+    lints_per_s = len(specs) / wall if wall > 0 else 0.0
+    return {
+        "generator": generator,
+        "specs": len(specs),
+        "diagnostics": diagnostics,
+        "wall_s": round(wall, 6),
+        "lints_per_s": round(lints_per_s, 1),
+        # every lint pass evaluates the full catalogue, so catalogue
+        # growth is priced in here rather than hidden by spec count
+        "rules_per_s": round(lints_per_s * len(RULES), 1),
+    }
+
+
+def fixable_spec() -> dict:
+    """A blown max_blocking budget: one discharged RTS183 fix."""
+    return {
+        "name": "fixable",
+        "relations": [{"kind": "shared", "name": "mtx",
+                       "protocol": "inheritance"}],
+        "processors": [{"name": "cpu", "engine": "procedural"}],
+        "functions": [
+            {"name": "hi", "priority": 3, "processor": "cpu",
+             "wcet": "10us", "period": "200us", "deadline": "120us",
+             "max_blocking": "5us",
+             "script": [["loop", None,
+                         [["lock", "mtx"], ["execute", "10us"],
+                          ["unlock", "mtx"], ["delay", "190us"]]]]},
+            {"name": "lo", "priority": 1, "processor": "cpu",
+             "wcet": "25us", "period": "400us",
+             "script": [["loop", None,
+                         [["lock", "mtx"], ["execute", "25us"],
+                          ["unlock", "mtx"], ["delay", "375us"]]]]},
+        ],
+    }
+
+
+def _fix_entry(rounds: int) -> dict:
+    spec = fixable_spec()
+    best = None
+    fixes = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fixes = plan_fixes(spec)
+        patched = apply_fixes(spec, fixes)
+        report = _lint(patched, "bench-fix-relint")
+        wall = time.perf_counter() - started
+        assert fixes and all(f["discharged"] for f in fixes), fixes
+        assert not any(d.rule in BLOCKING_RULES
+                       for d in report.errors), report.summary()
+        if best is None or wall < best:
+            best = wall
+    return {
+        "fixes_planned": len(fixes),
+        "all_discharged": True,
+        "relints_clean": True,
+        "round_trip_s": round(best, 6),
+    }
+
+
+def _precision_entry(seeds: int) -> dict:
+    """Exactness split of the blocking rules over a protocol sweep.
+
+    Flat single-resource inheritance sections are exactly extractable
+    from scripts (ERROR-grade); plain mutexes and nested two-resource
+    sections are structurally inexact (WARNING-grade) -- the sweep must
+    exhibit both sides of the discipline.
+    """
+    arms = (
+        # flat critical sections, tight deadlines: exact, ERROR-grade
+        {"tasks": 3, "resources": 1, "periodic": True,
+         "protocol": "inheritance", "deadline_frac": 0.1,
+         "hold_min_us": 100, "hold_max_us": 300},
+        # nested sections: outer hold unbounded, WARNING-grade
+        {"tasks": 3, "resources": 2, "periodic": True,
+         "protocol": "inheritance", "deadline_frac": 0.35},
+        # plain mutexes: PIP-shaped bound, never exact
+        {"tasks": 3, "resources": 2, "periodic": True,
+         "protocol": "none", "deadline_frac": 0.35},
+    )
+    counts = {"errors": 0, "warnings": 0}
+    by_rule = {rule: {"errors": 0, "warnings": 0}
+               for rule in BLOCKING_RULES}
+    specs = 0
+    for arm, params in enumerate(arms):
+        for seed in range(seeds):
+            spec = generate("contention", seed, params)
+            report = _lint(spec, f"bench-prec-{arm}-{seed}")
+            specs += 1
+            for diag in report.diagnostics:
+                if diag.rule not in BLOCKING_RULES:
+                    continue
+                bucket = ("errors" if diag.severity.name == "ERROR"
+                          else "warnings")
+                counts[bucket] += 1
+                by_rule[diag.rule][bucket] += 1
+    return {
+        "specs": specs,
+        "exact_errors": counts["errors"],
+        "inexact_warnings": counts["warnings"],
+        "by_rule": by_rule,
+    }
+
+
+def measure(smoke: bool = False, rounds: int = 3) -> dict:
+    seeds = 2 if smoke else 6
+    throughput = [
+        _family_entry(generator, params, seeds, rounds)
+        for generator, params in sorted(FAMILIES.items())
+    ]
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "meta": report_meta(smoke, rounds=rounds, rule_count=len(RULES)),
+        "throughput": throughput,
+        "fix_round_trip": _fix_entry(rounds),
+        "precision": _precision_entry(seeds),
+    }
+
+
+def validate_schema(payload: dict) -> None:
+    """Assert the JSON shape downstream tooling (and CI) relies on."""
+    check_envelope(payload, SCHEMA_VERSION)
+    assert payload["meta"]["rule_count"] >= 40, payload["meta"]
+    throughput = payload["throughput"]
+    assert isinstance(throughput, list), throughput
+    assert {e["generator"] for e in throughput} == set(FAMILIES)
+    for entry in throughput:
+        check_fields(entry, (
+            ("generator", str),
+            ("specs", int),
+            ("diagnostics", int),
+            ("wall_s", (int, float)),
+            ("lints_per_s", (int, float)),
+            ("rules_per_s", (int, float)),
+        ), context=entry.get("generator", "?"))
+        assert entry["lints_per_s"] > 0, entry
+    fix = payload["fix_round_trip"]
+    check_fields(fix, (
+        ("fixes_planned", int),
+        ("all_discharged", bool),
+        ("relints_clean", bool),
+        ("round_trip_s", (int, float)),
+    ), context="fix_round_trip")
+    assert fix["fixes_planned"] >= 1, fix
+    assert fix["all_discharged"] and fix["relints_clean"], fix
+    precision = payload["precision"]
+    check_fields(precision, (
+        ("specs", int),
+        ("exact_errors", int),
+        ("inexact_warnings", int),
+        ("by_rule", dict),
+    ), context="precision")
+    assert set(precision["by_rule"]) == set(BLOCKING_RULES)
+    # the severity discipline must be visible in the data: exact
+    # protocols produce errors, plain mutexes produce warnings
+    assert precision["exact_errors"] > 0, precision
+    assert precision["inexact_warnings"] > 0, precision
+
+
+def default_output_path() -> str:
+    return repo_root_path("BENCH_lint_scaling.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fewer seeds per family (CI schema check)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="measurement rounds per family (keep best)")
+    parser.add_argument("--out", default=default_output_path(),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+    if args.rounds < 1:
+        parser.error(f"--rounds must be >= 1, got {args.rounds}")
+
+    payload = measure(smoke=args.smoke, rounds=args.rounds)
+    validate_schema(payload)
+    write_report(payload, args.out)
+
+    print(f"{'generator':>12} {'specs':>6} {'diags':>6} "
+          f"{'lints/s':>9} {'rules/s':>10}")
+    for entry in payload["throughput"]:
+        print(f"{entry['generator']:>12} {entry['specs']:>6} "
+              f"{entry['diagnostics']:>6} {entry['lints_per_s']:>9.1f} "
+              f"{entry['rules_per_s']:>10.1f}")
+    fix = payload["fix_round_trip"]
+    print(f"fix round-trip: {fix['fixes_planned']} fix(es) planned, "
+          f"discharged and re-linted clean in {fix['round_trip_s']}s")
+    precision = payload["precision"]
+    print(f"precision: {precision['exact_errors']} exact error(s), "
+          f"{precision['inexact_warnings']} inexact warning(s) "
+          f"over {precision['specs']} spec(s)")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,15 +23,30 @@ runs, in milliseconds:
   abstract interpretation and static demand/supply interval inference
   over it (rules ``RTS16x``); its findings ride along in
   :func:`analyze_system` reports.
+* :class:`BlockingModel` / :func:`plan_fixes` -- the **blocking-aware
+  schedulability layer**: extracts worst-case critical-section holds
+  from the effect IR, charges protocol-aware blocking terms into the
+  RTA, checks ceilings and Audsley-optimal priority assignments (rules
+  ``RTS18x``), and synthesizes machine-applicable JSON-spec patches
+  (``pyrtos-sc lint --fix``).
 
-All three report through one :class:`Diagnostic` pipeline; the
+All of them report through one :class:`Diagnostic` pipeline; the
 ``pyrtos-sc lint`` CLI command renders it as text or JSON.  The full
 rule catalogue lives in ``docs/analysis.md``.
 """
 
+from .assign import check_assignment, suggest_priorities
+from .blocking import (
+    BlockingModel,
+    BlockingTerm,
+    CriticalSection,
+    check_blocking,
+    critical_sections,
+)
 from .code import analyze_source
 from .diagnostics import RULES, Diagnostic, Report, Severity, explain_rule
 from .effects import TaskEffects, task_effects
+from .fixes import apply_fixes, plan_fixes
 from .flow import TaskFlow, analyze_flows, analyze_task, check_flow
 from .model import analyze_processors, analyze_system
 from .personality import check_personality
@@ -41,6 +56,9 @@ from .schedulability import periodic_profile
 
 __all__ = [
     "RULES",
+    "BlockingModel",
+    "BlockingTerm",
+    "CriticalSection",
     "Diagnostic",
     "Report",
     "Sanitizer",
@@ -52,10 +70,16 @@ __all__ = [
     "analyze_source",
     "analyze_system",
     "analyze_task",
+    "apply_fixes",
+    "check_assignment",
+    "check_blocking",
     "check_flow",
     "check_personality",
+    "critical_sections",
     "explain_rule",
     "periodic_profile",
+    "plan_fixes",
     "report_to_sarif",
+    "suggest_priorities",
     "task_effects",
 ]

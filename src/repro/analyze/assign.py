@@ -1,0 +1,276 @@
+"""Priority-assignment analysis: Audsley's OPA over blocking-aware RTA.
+
+Audsley's optimal priority assignment (OPA) fills priority levels from
+the bottom up: a task may take the lowest unfilled level iff it meets
+its deadline with every still-unassigned task interfering from above.
+If some task fits at every step the resulting assignment is feasible;
+if at some level no candidate fits, *no* fixed-priority assignment is
+feasible (the test is exact for the RTA used here).
+
+Blocking terms are recomputed per candidate assignment through
+:class:`repro.analyze.blocking.BlockingModel` -- which tasks count as
+lower priority (and hence can block) changes with the ordering, so a
+static blocking table would make the search unsound.
+
+Rule:
+
+=========  ================================================================
+RTS182     priority assignment infeasible / non-optimal per Audsley's OPA
+=========  ================================================================
+
+RTS182 only fires when the *current* assignment fails the
+blocking-aware RTA: WARNING with the feasible reassignment when OPA
+finds one (machine-applicable via ``pyrtos-sc lint --fix``), ERROR when
+no assignment exists and every blocking interval is exact (WARNING
+otherwise).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..analysis.response_time import PeriodicTask, response_time_analysis
+from .blocking import (
+    BlockingModel,
+    _analysis_domain,
+    _with_blocking,
+)
+from .diagnostics import Report, rule
+from .flow import TaskFlow
+from .schedulability import periodic_profile, resolve_overhead_costs
+
+RTS182 = rule(
+    "RTS182", "priority assignment infeasible per Audsley's OPA",
+    explain="The configured priorities fail the blocking-aware "
+            "response-time analysis, so the assignment -- not just one "
+            "task -- is in question. Audsley's optimal priority assignment "
+            "(bottom-up level filling, blocking terms recomputed per "
+            "candidate ordering) either finds a feasible permutation of "
+            "the existing priority values (reported in the finding and "
+            "applicable via `pyrtos-sc lint --fix`) or proves that no "
+            "fixed-priority assignment meets the deadlines. WARNING with "
+            "the reassignment when one exists; ERROR when none does and "
+            "every blocking interval is exact.",
+)
+
+
+def _profiles(processor: Any) -> List[PeriodicTask]:
+    profiles = []
+    for task in processor.tasks:
+        profile = periodic_profile(task)
+        if profile is not None:
+            profiles.append(profile)
+    return profiles
+
+
+def _charged(profiles: List[PeriodicTask], model: BlockingModel,
+             priorities: Mapping[str, int]) -> List[PeriodicTask]:
+    reassigned = [
+        PeriodicTask(
+            name=p.name, wcet=p.wcet, period=p.period,
+            priority=priorities[p.name], deadline=p.deadline,
+        )
+        for p in profiles
+    ]
+    return [
+        _with_blocking(p, model.blocking(p.name, priorities))
+        for p in reassigned
+    ]
+
+
+def _meets_deadlines(
+    profiles: List[PeriodicTask], model: BlockingModel,
+    priorities: Mapping[str, int], context_switch: int, scheduling: int,
+    *, only: Optional[str] = None,
+) -> bool:
+    charged = _charged(profiles, model, priorities)
+    responses = response_time_analysis(
+        charged, context_switch=context_switch, scheduling=scheduling)
+    for profile in charged:
+        if only is not None and profile.name != only:
+            continue
+        response = responses[profile.name]
+        if response is None or response > profile.effective_deadline:
+            return False
+    return True
+
+
+def _blocking_exact(profiles: List[PeriodicTask], model: BlockingModel,
+                    priorities: Mapping[str, int]) -> bool:
+    return all(model.blocking(p.name, priorities).exact for p in profiles)
+
+
+def opa_assignment(
+    profiles: List[PeriodicTask], model: BlockingModel,
+    base_priorities: Mapping[str, int], context_switch: int,
+    scheduling: int,
+) -> Optional[Dict[str, int]]:
+    """A feasible priority map per Audsley's OPA, or ``None``.
+
+    The candidate assignment permutes the *existing* priority values of
+    the profiled tasks (so the spec's value range is preserved); tasks
+    without a profile keep their configured priorities throughout.
+    """
+    names = [p.name for p in profiles]
+    values = sorted(base_priorities[name] for name in names)
+    if len(set(values)) != len(values):
+        # duplicated configured values cannot express a strict ordering
+        values = list(range(1, len(names) + 1))
+    order: List[str] = []  # lowest priority first
+    unassigned = set(names)
+    while unassigned:
+        level = len(order)
+        placed = None
+        for name in sorted(unassigned):
+            candidate = dict(base_priorities)
+            for index, assigned in enumerate(order):
+                candidate[assigned] = values[index]
+            candidate[name] = values[level]
+            # still-unassigned tasks all interfere from above
+            ceiling_values = values[level + 1:]
+            for index, other in enumerate(sorted(unassigned - {name})):
+                candidate[other] = ceiling_values[index]
+            if _meets_deadlines(profiles, model, candidate,
+                                context_switch, scheduling, only=name):
+                placed = name
+                break
+        if placed is None:
+            return None
+        order.append(placed)
+        unassigned.remove(placed)
+    assignment = dict(base_priorities)
+    for index, name in enumerate(order):
+        assignment[name] = values[index]
+    return assignment
+
+
+def check_assignment(report: Report, system: Any,
+                     flows: Mapping[str, TaskFlow],
+                     model: BlockingModel) -> None:
+    """RTS182 for every partitioned-or-standalone priority processor."""
+    for processor in system.processors.values():
+        if not _analysis_domain(processor):
+            continue
+        if getattr(processor.policy, "name", "") != "priority_preemptive":
+            continue
+        _check_processor(report, processor, model)
+
+
+def _check_processor(report: Report, processor: Any,
+                     model: BlockingModel) -> None:
+    profiles = _profiles(processor)
+    if not profiles:
+        return
+    costs = resolve_overhead_costs(processor)
+    if costs is None:
+        return  # RTS120 already reported the broken formula
+    context_switch, scheduling = costs
+    current = dict(model.priorities)
+    if any(p.name not in current for p in profiles):
+        return  # RTS102 already reported the non-integer priority
+    if _meets_deadlines(profiles, model, current, context_switch,
+                        scheduling):
+        return
+    location = f"processor {processor.name}"
+    assignment = opa_assignment(profiles, model, current, context_switch,
+                                scheduling)
+    if assignment is not None:
+        changes = _changes(current, assignment, profiles)
+        if not changes:
+            # OPA reproduces the configured priorities: the set itself
+            # is infeasible at this ordering too, but that contradicts
+            # the failed current check only through rounding of the
+            # search order -- report nothing rather than a non-fix
+            return
+        change_text = ", ".join(
+            f"{name}: {current[name]} -> {assignment[name]}"
+            for name, _ in changes
+        )
+        report.add(
+            RTS182,
+            report.WARNING,
+            location,
+            "the configured priorities fail the blocking-aware "
+            "response-time analysis, but Audsley's OPA finds a feasible "
+            f"reassignment: {change_text}",
+            hint="apply the reassignment (`pyrtos-sc lint --fix`), or "
+                 "rebalance the task set",
+        )
+        return
+    severity = (
+        report.ERROR
+        if _blocking_exact(profiles, model, current)
+        else report.WARNING
+    )
+    report.add(
+        RTS182,
+        severity,
+        location,
+        "no fixed-priority assignment meets the deadlines under the "
+        "blocking-aware response-time analysis (Audsley's OPA exhausted "
+        "every ordering)",
+        hint="shorten critical sections or WCETs, relax deadlines, or "
+             "move tasks to another processor",
+    )
+
+
+def _changes(
+    current: Mapping[str, int], assignment: Mapping[str, int],
+    profiles: List[PeriodicTask],
+) -> List[Tuple[str, int]]:
+    changes = []
+    for profile in sorted(profiles, key=lambda p: p.name):
+        if assignment[profile.name] != current[profile.name]:
+            changes.append((profile.name, assignment[profile.name]))
+    return changes
+
+
+def suggest_priorities(system: Any,
+                       flows: Optional[Mapping[str, TaskFlow]] = None,
+                       model: Optional[BlockingModel] = None,
+                       ) -> Dict[str, int]:
+    """Feasible priority changes per OPA, for the fix engine.
+
+    Returns ``{task: new_priority}`` for every task whose priority the
+    reassignment changes, across all processors where the current
+    assignment fails and OPA succeeds.  Empty when nothing to fix.
+    """
+    from .flow import analyze_flows
+
+    if flows is None:
+        flows = analyze_flows(system)
+    if model is None:
+        model = BlockingModel(system, flows)
+    suggestions: Dict[str, int] = {}
+    for processor in system.processors.values():
+        if not _analysis_domain(processor):
+            continue
+        if getattr(processor.policy, "name", "") != "priority_preemptive":
+            continue
+        profiles = _profiles(processor)
+        if not profiles:
+            continue
+        costs = resolve_overhead_costs(processor)
+        if costs is None:
+            continue
+        context_switch, scheduling = costs
+        current = dict(model.priorities)
+        if any(p.name not in current for p in profiles):
+            continue
+        if _meets_deadlines(profiles, model, current, context_switch,
+                            scheduling):
+            continue
+        assignment = opa_assignment(profiles, model, current,
+                                    context_switch, scheduling)
+        if assignment is None:
+            continue
+        for name, value in _changes(current, assignment, profiles):
+            suggestions[name] = value
+    return suggestions
+
+
+__all__ = [
+    "check_assignment",
+    "opa_assignment",
+    "suggest_priorities",
+]

@@ -23,10 +23,13 @@ RTS140     partition window cannot fit its tasks' periodic demand
 RTS141     task's partition label matches no window (never eligible)
 =========  ================================================================
 
-The RTS15x multicore-domain rules live in :mod:`repro.analyze.multicore`
-and the RTS16x behavior-flow rules (path-sensitive lock-set analysis,
+The RTS15x multicore-domain rules live in :mod:`repro.analyze.multicore`,
+the RTS16x behavior-flow rules (path-sensitive lock-set analysis,
 static WCET cross-checks, static races, starvation) in
-:mod:`repro.analyze.flow`; both report through the same pipeline here.
+:mod:`repro.analyze.flow`, and the RTS18x blocking-aware schedulability
+rules (critical-section blocking terms, PCP ceilings, Audsley priority
+assignment) in :mod:`repro.analyze.blocking` /
+:mod:`repro.analyze.assign`; all report through the same pipeline here.
 
 Suppression: pass ``suppress={"RTS111", ...}`` or set a
 ``lint_suppress`` iterable of rule ids on the system, a function, a
@@ -50,6 +53,8 @@ from .diagnostics import (
     object_suppressions,
     rule,
 )
+from .assign import check_assignment
+from .blocking import check_blocking
 from .flow import analyze_flows, check_flow
 from .lockgraph import find_cycles
 from .personality import check_personality
@@ -105,6 +110,8 @@ def analyze_system(system: Any, *, suppress: Iterable[str] = ()) -> Report:
     _check_locks(report, system, usages)
     _check_reachability(report, system, usages)
     check_flow(report, system, flows)
+    blocking_model = check_blocking(report, system, flows)
+    check_assignment(report, system, flows, blocking_model)
     check_personality(report, system)
     return report
 

@@ -11,11 +11,18 @@ The artifact location is the lint target (a spec path, an example file,
 or a symbolic name like ``fig6``); model-level findings carry their
 human-readable location in the message and only get a ``region`` when
 the diagnostic has a source line.
+
+When the lint run also attempted dynamic witnesses (``pyrtos-sc lint
+--witness --sarif``), each result whose rule has a witness outcome
+carries it under ``properties.witness`` -- the confirmed/justified
+verdict, the target dynamic properties and the replayable choice
+sequence -- so a code-scanning consumer can tell a verifier-confirmed
+ERROR from a static over-approximation.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Mapping, Optional
 
 from .diagnostics import RULES, Diagnostic, Report, Severity
 
@@ -32,7 +39,8 @@ _LEVELS = {
 }
 
 
-def _result(diagnostic: Diagnostic, artifact: str) -> Dict[str, Any]:
+def _result(diagnostic: Diagnostic, artifact: str,
+            witness: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
     message = f"{diagnostic.location}: {diagnostic.message}"
     if diagnostic.hint:
         message += f" (hint: {diagnostic.hint})"
@@ -45,18 +53,28 @@ def _result(diagnostic: Diagnostic, artifact: str) -> Dict[str, Any]:
         location["physicalLocation"]["region"] = {
             "startLine": diagnostic.line,
         }
-    return {
+    result = {
         "ruleId": diagnostic.rule,
         "level": _LEVELS[diagnostic.severity],
         "message": {"text": message},
         "locations": [location],
     }
+    if witness is not None:
+        result["properties"] = {"witness": dict(witness)}
+    return result
 
 
 def report_to_sarif(report: Report, *, artifact: str,
                     tool_name: str = "pyrtos-sc",
-                    tool_version: str = "0") -> Dict[str, Any]:
-    """Render ``report`` as a SARIF 2.1.0 log object (a plain dict)."""
+                    tool_version: str = "0",
+                    witnesses: Optional[Mapping[str, Mapping[str, Any]]]
+                    = None) -> Dict[str, Any]:
+    """Render ``report`` as a SARIF 2.1.0 log object (a plain dict).
+
+    ``witnesses`` maps rule ids to witness-outcome dicts (the rendered
+    :class:`repro.verify.witness.WitnessOutcome` shape); matching
+    results embed theirs under ``properties.witness``.
+    """
     rule_ids = sorted({d.rule for d in report.diagnostics})
     rules: List[Dict[str, Any]] = [
         {
@@ -82,7 +100,8 @@ def report_to_sarif(report: Report, *, artifact: str,
                     }
                 },
                 "results": [
-                    _result(diagnostic, artifact)
+                    _result(diagnostic, artifact,
+                            (witnesses or {}).get(diagnostic.rule))
                     for diagnostic in report.diagnostics
                 ],
             }

@@ -296,6 +296,8 @@ def cmd_lint(args) -> int:
     for chunk in args.suppress or ():
         suppress.update(part.strip() for part in chunk.split(",")
                         if part.strip())
+    if args.apply and not args.fix:
+        raise SystemExit("pyrtos-sc lint: --apply requires --fix")
     results = [_lint_target(target, suppress) for target in args.targets]
     witness_horizon = parse_time(args.witness_horizon) \
         if args.witness_horizon else None
@@ -307,6 +309,16 @@ def cmd_lint(args) -> int:
             outcome = _witness_report(spec, report, witness_horizon)
             if outcome:
                 witnesses[location] = outcome
+    fixes = {}
+    if args.fix:
+        from .analyze.fixes import plan_fixes
+
+        for location, report, spec in results:
+            if spec is None:
+                continue
+            planned = plan_fixes(spec, suppress=suppress)
+            if planned:
+                fixes[location] = planned
     failed = False
     if args.json:
         payload = []
@@ -315,6 +327,8 @@ def cmd_lint(args) -> int:
             entry["target"] = location
             if location in witnesses:
                 entry["witness"] = witnesses[location]
+            if args.fix:
+                entry["fixes"] = fixes.get(location, [])
             payload.append(entry)
             if not report.ok(strict=args.strict):
                 failed = True
@@ -324,15 +338,43 @@ def cmd_lint(args) -> int:
             if len(results) > 1:
                 print(f"== {location} ==")
             print(report.format_text())
+            for fix in fixes.get(location, ()):
+                status = ("discharges" if fix.get("discharged")
+                          else "does NOT discharge")
+                detail = {k: v for k, v in fix.items()
+                          if k not in ("rule", "kind", "discharged")}
+                print(f"fix [{fix['rule']}] {fix['kind']}: "
+                      f"{json.dumps(detail, sort_keys=True)} "
+                      f"({status} the finding)")
             if not report.ok(strict=args.strict):
                 failed = True
+    if args.apply:
+        from .analyze.fixes import apply_fixes
+
+        for location, _, spec in results:
+            applicable = [fix for fix in fixes.get(location, ())
+                          if fix.get("discharged")]
+            if not applicable:
+                continue
+            if not location.endswith(".json"):
+                raise SystemExit(
+                    "pyrtos-sc lint: --apply needs a writable .json spec; "
+                    f"{location!r} is a built-in target"
+                )
+            patched = apply_fixes(spec, applicable)
+            _emit_json(patched, location)
+            print(f"applied {len(applicable)} fix(es) to {location}",
+                  file=sys.stderr)
     if args.sarif:
         from .analyze.sarif import SARIF_SCHEMA, SARIF_VERSION, \
             report_to_sarif
 
         runs = []
         for location, report, _ in results:
-            runs.extend(report_to_sarif(report, artifact=location)["runs"])
+            runs.extend(report_to_sarif(
+                report, artifact=location,
+                witnesses=witnesses.get(location),
+            )["runs"])
         log = {"$schema": SARIF_SCHEMA, "version": SARIF_VERSION,
                "runs": runs}
         _emit_json(log, args.sarif)
@@ -738,6 +780,13 @@ def build_parser() -> argparse.ArgumentParser:
                              default="50ms",
                              help="time bound for witness exploration "
                                   "(default: 50ms)")
+    lint_parser.add_argument("--fix", action="store_true",
+                             help="plan machine-applicable spec patches "
+                                  "for fixable findings (RTS181/182/183), "
+                                  "each re-linted for discharge")
+    lint_parser.add_argument("--apply", action="store_true",
+                             help="with --fix: write the discharged "
+                                  "patches back to .json spec targets")
     lint_parser.set_defaults(func=cmd_lint)
 
     verify_parser = sub.add_parser(

@@ -445,7 +445,11 @@ def gen_contention(rng: random.Random, *, tasks: int = 3, resources: int = 2,
                    ordered: bool = True, intervals: bool = False,
                    stagger_us: int = 50, think_us: int = 0,
                    processors: int = 1,
-                   engine: str = "procedural") -> Dict:
+                   engine: str = "procedural",
+                   protocol: str = "none", periodic: bool = False,
+                   period_min_us: int = 1_000, period_max_us: int = 4_000,
+                   deadline_frac: Optional[float] = None,
+                   jitter_us: int = 0) -> Dict:
     """Seeded nested locking over shared variables.
 
     With ``ordered=True`` every task acquires its resource subset in
@@ -463,6 +467,16 @@ def gen_contention(rng: random.Random, *, tasks: int = 3, resources: int = 2,
     sequence and crossed acquisitions are unreachable.
     ``processors > 1`` deals tasks round-robin over truly concurrent
     CPUs for the same effect.
+
+    ``protocol`` selects the resource-access protocol of every shared
+    variable (``"none"``, ``"inheritance"``, or ``"ceiling"`` with the
+    ceiling at the highest task priority), and ``periodic=True`` turns
+    each task into an infinite periodic job -- the critical-section
+    body plus a seeded trailing delay -- annotated with
+    ``wcet``/``period`` (and ``deadline`` via ``deadline_frac``,
+    release ``jitter`` via ``jitter_us``) so the blocking-aware
+    schedulability rules (RTS180/RTS182/RTS183) and the verifier's
+    deadline watchdogs both engage.
     """
     if tasks < 2:
         raise CorpusError(f"contention: need at least two tasks, got {tasks}")
@@ -470,9 +484,21 @@ def gen_contention(rng: random.Random, *, tasks: int = 3, resources: int = 2,
         raise CorpusError("contention: need at least one resource")
     if processors < 1:
         raise CorpusError("contention: need at least one processor")
+    if protocol not in ("none", "inheritance", "ceiling"):
+        raise CorpusError(
+            f"contention: unknown protocol {protocol!r} "
+            "(expected none, inheritance or ceiling)"
+        )
     locks_per_task = min(locks_per_task, resources)
-    relations = [{"kind": "shared", "name": f"R{index}"}
-                 for index in range(resources)]
+    relations: List[Dict] = []
+    for index in range(resources):
+        relation: Dict = {"kind": "shared", "name": f"R{index}"}
+        if protocol == "inheritance":
+            relation["protocol"] = "inheritance"
+        elif protocol == "ceiling":
+            relation["protocol"] = "ceiling"
+            relation["ceiling"] = tasks  # the highest task priority
+        relations.append(relation)
 
     functions: List[Dict] = []
     for t_index in range(tasks):
@@ -480,9 +506,11 @@ def gen_contention(rng: random.Random, *, tasks: int = 3, resources: int = 2,
         if not ordered:
             rng.shuffle(subset)
         body: List[list] = []
+        wcet_us = 0
         for r_index in subset:
             body.append(["lock", f"R{r_index}"])
             hold = rng.randint(hold_min_us, hold_max_us)
+            wcet_us += hold
             if intervals:
                 body.append(["execute",
                              f"{hold}us..{hold + hold_max_us}us"])
@@ -492,14 +520,29 @@ def gen_contention(rng: random.Random, *, tasks: int = 3, resources: int = 2,
                 body.append(["delay", _us(think_us)])
         for r_index in reversed(subset):
             body.append(["unlock", f"R{r_index}"])
-        script: List[list] = [["loop", iterations, body]]
-        functions.append({
+        fn: Dict[str, Any] = {
             "name": f"T{t_index}",
             "priority": tasks - t_index,
             "processor": f"cpu{t_index % processors}",
             "start_time": _us(t_index * stagger_us),
-            "script": script,
-        })
+        }
+        if periodic:
+            busy_us = wcet_us + think_us * len(subset)
+            drawn = rng.randint(period_min_us, period_max_us)
+            trailing_us = max(drawn - busy_us, hold_min_us)
+            period_us = busy_us + trailing_us
+            fn["wcet"] = _us(wcet_us)
+            fn["period"] = _us(period_us)
+            if deadline_frac is not None:
+                fn["deadline"] = _us(max(1, round(period_us
+                                                 * deadline_frac)))
+            if jitter_us > 0:
+                fn["jitter"] = _us(jitter_us)
+            fn["script"] = [["loop", None,
+                             body + [["delay", _us(trailing_us)]]]]
+        else:
+            fn["script"] = [["loop", iterations, body]]
+        functions.append(fn)
 
     return {
         "name": f"contention_t{tasks}r{resources}",

@@ -165,6 +165,8 @@ def run_cell(params: Dict) -> Dict:
         "end_time": simulate.get("end_time"),
         "lint_errors": len(verdict.get("lint", {}).get("errors", ())),
         "lint_warnings": len(verdict.get("lint", {}).get("warnings", ())),
+        "lint_suppressed": sorted(
+            verdict.get("lint", {}).get("suppressed", ())),
         "verify_verdict": verdict.get("verify", {}).get("verdict"),
         "static_dynamic": verdict.get("static_dynamic", {}),
     }
@@ -198,11 +200,14 @@ def run_matrix(doc: Dict, *, workers: int = 1,
     report_cells: List[Dict] = []
     by_property: Dict[str, int] = {}
     rule_totals: Dict[str, Dict[str, int]] = {}
+    suppressed_totals: Dict[str, int] = {}
     end_times: List[int] = []
     for result in outcome.results:
         metrics = result.metrics
         for prop in metrics.get("properties", ()):
             by_property[prop] = by_property.get(prop, 0) + 1
+        for rule_id in metrics.get("lint_suppressed", ()):
+            suppressed_totals[rule_id] = suppressed_totals.get(rule_id, 0) + 1
         merge_static_dynamic(rule_totals, metrics.get("static_dynamic", {}))
         if isinstance(metrics.get("end_time"), (int, float)):
             end_times.append(metrics["end_time"])
@@ -229,6 +234,9 @@ def run_matrix(doc: Dict, *, workers: int = 1,
                          if c["metrics"].get("properties")),
         "by_property": dict(sorted(by_property.items())),
         "static_dynamic": dict(sorted(rule_totals.items())),
+        # cells whose verdicts lean on suppressions, counted honestly
+        # per muted rule rather than silently folded into "clean"
+        "suppressed": dict(sorted(suppressed_totals.items())),
         "cache_hits": outcome.cache_hits,
         "cache_misses": outcome.cache_misses,
         "wall_s": round(outcome.wall_s, 3),

@@ -44,7 +44,8 @@ STATIC_SCHED_RULES = frozenset(("RTS103", "RTS104", "RTS105"))
 STATIC_DYNAMIC_FAMILIES: Dict[str, tuple] = {
     "RTS-V001": ("RTS110", "RTS130", "RTS161", "RTS162", "RTS166"),
     "RTS-V002": ("RTS103", "RTS104", "RTS105", "RTS140", "RTS141",
-                 "RTS150", "RTS151", "RTS153"),
+                 "RTS150", "RTS151", "RTS153", "RTS180", "RTS182"),
+    "RTS-V004": ("RTS183",),
     "SAN303": ("RTS165",),
 }
 
@@ -86,21 +87,37 @@ class PipelineOptions:
 
 
 def lint_stage(spec: Dict) -> Dict:
-    """Static analysis verdict: sorted error and warning rule ids."""
+    """Static analysis verdict: sorted error/warning/suppressed rule ids.
+
+    Suppressed findings (``lint_suppress`` declarations, behavior
+    pragmas) are counted honestly rather than silently dropped, so
+    matrix summaries can report how much of a corpus slice relies on
+    muted rules.
+    """
     system = build_system(spec, sim=Simulator("corpus-lint"))
     report = analyze_system(system)
     errors = sorted({d.rule for d in report.diagnostics
                      if d.severity.name == "ERROR"})
     warnings = sorted({d.rule for d in report.diagnostics
                        if d.severity.name == "WARNING"})
-    return {"errors": errors, "warnings": warnings}
+    suppressed = sorted({d.rule for d in report.suppressed})
+    return {"errors": errors, "warnings": warnings,
+            "suppressed": suppressed}
 
 
 def simulate_stage(spec: Dict, options: PipelineOptions) -> Dict:
-    """One nominal monitored run: observed violations + end time."""
+    """One nominal monitored run: observed violations + end time.
+
+    When the spec declares a ``max_blocking`` budget anywhere, the
+    RTS-V004 bounded-inversion monitor is armed against the tightest
+    declared bound -- the same number the static RTS183 rule checks.
+    """
+    from ..verify.witness import declared_blocking_bound
+
     sim = Simulator("corpus-sim")
     system = build_system(spec, sim=sim)
-    monitors = RunMonitors(system)
+    monitors = RunMonitors(system,
+                           inversion_bound=declared_blocking_bound(spec))
     error: Optional[BaseException] = None
     try:
         if options.horizon is not None:
@@ -126,12 +143,15 @@ def simulate_stage(spec: Dict, options: PipelineOptions) -> Dict:
 
 def verify_stage(spec: Dict, options: PipelineOptions) -> Dict:
     """Bounded model checking: verdict, violated properties, witness."""
+    from ..verify.witness import declared_blocking_bound
+
     result = verify_spec(
         spec,
         strategy="dfs",
         horizon=options.horizon,
         max_depth=options.verify_max_depth,
         max_runs=options.verify_max_runs,
+        inversion_bound=declared_blocking_bound(spec),
     )
     verdict: Dict = {
         "verdict": result.verdict(),

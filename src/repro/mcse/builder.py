@@ -318,6 +318,7 @@ _FUNCTION_META_KEYS = {
     "period": True,     # periodic profile -- a time
     "deadline": True,   # relative deadline -- a time
     "jitter": True,     # release jitter bound (repro.verify) -- a time
+    "max_blocking": True,  # declared blocking budget (RTS183) -- a time
     "partition": False,  # TimePartitionPolicy label -- a string
     "affinity": False,   # processor names the task may run on -- a list
     "lint_suppress": False,  # rule ids muted for the whole report -- a list

@@ -24,7 +24,7 @@ misuse rules (:mod:`repro.analyze.personality`) audit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..errors import BuildError
 
@@ -78,7 +78,7 @@ def entry_name(where: str, entry: Dict) -> str:
     return name
 
 
-def parse_timeout_spec(value):
+def parse_timeout_spec(value: Any) -> Optional[Any]:
     """Normalize an API timeout: ``None``/aliases block forever.
 
     Returns ``None`` (wait forever), ``0`` for the poll constant

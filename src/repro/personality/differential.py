@@ -43,7 +43,7 @@ Every failing verdict carries a minimized, replayable counterexample.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..kernel.time import MS, Time
 from ..verify import RTSV006, RTSV007, VerifyResult, replay_spec, \
@@ -131,7 +131,8 @@ class PropertyVerdict:
     #: The spec the verdict was checked on (replay needs it verbatim).
     spec: Optional[Dict] = None
 
-    def replay(self, horizon: Time = DEFAULT_HORIZON):
+    def replay(self, horizon: Time = DEFAULT_HORIZON
+               ) -> Tuple[Any, Any, Any]:
         """Re-execute the failing schedule with a trace recorder.
 
         Returns ``(system, recorder, outcome)`` exactly like

@@ -42,7 +42,7 @@ number = more urgent), so they pass through unchanged.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..errors import BuildError
 from .base import Lowering, Personality, check_keys, entry_name, \
@@ -63,11 +63,12 @@ _OBJECT_KEYS = {
 }
 _TASK_KEYS = (
     "name", "priority", "script", "isr", "start_time", "wcet", "period",
-    "deadline", "jitter", "affinity", "lint_suppress",
+    "deadline", "jitter", "max_blocking", "affinity", "lint_suppress",
 )
 #: Task entry keys copied verbatim onto the generic function entry.
 _TASK_PASSTHROUGH = ("priority", "start_time", "wcet", "period",
-                     "deadline", "jitter", "affinity", "lint_suppress")
+                     "deadline", "jitter", "max_blocking", "affinity",
+                     "lint_suppress")
 
 #: API ops that may block the caller (the RTS170 ISR-misuse set).
 BLOCKING_OPS = frozenset(
@@ -184,7 +185,7 @@ class FreeRTOSPersonality(Personality):
         return cpu
 
     # ------------------------------------------------------------------
-    def _objects(self, objects: List) -> tuple:
+    def _objects(self, objects: List) -> Tuple[Dict[str, str], List[Dict]]:
         kinds: Dict[str, str] = {}
         relations: List[Dict] = []
         for entry in objects:
@@ -307,7 +308,8 @@ class _LowerContext:
         if not low <= len(args) <= high:
             raise BuildError(f"{where}: usage {usage}")
 
-    def _object(self, ref, where: str, accepted: tuple) -> str:
+    def _object(self, ref: Any, where: str,
+                accepted: Tuple[str, ...]) -> str:
         kind = self.kinds.get(ref)
         if kind is None:
             raise BuildError(
@@ -322,46 +324,46 @@ class _LowerContext:
         return kind
 
     @staticmethod
-    def _with_timeout(base: List, timeout) -> List:
+    def _with_timeout(base: List, timeout: Any) -> List:
         timeout = parse_timeout_spec(timeout)
         if timeout is None:
             return base
         return base + [timeout]
 
     # -- op lowerings --------------------------------------------------
-    def _delay(self, args, where):
+    def _delay(self, args: List, where: str) -> List:
         self._arity(args, where, 1, 1, "[vTaskDelay, duration]")
         return ["delay", args[0]]
 
-    def _delay_until(self, args, where):
+    def _delay_until(self, args: List, where: str) -> List:
         self._arity(args, where, 1, 1, "[vTaskDelayUntil, period]")
         return ["delay_until", args[0]]
 
-    def _yield(self, args, where):
+    def _yield(self, args: List, where: str) -> List:
         self._arity(args, where, 0, 0, "[taskYIELD]")
         # A zero delay releases the CPU and re-enters the ready queue:
         # exactly FreeRTOS's round-robin-to-equal-priority yield.
         return ["delay", 0]
 
-    def _queue_send(self, args, where):
+    def _queue_send(self, args: List, where: str) -> List:
         self._arity(args, where, 2, 3, "[xQueueSend, queue, value, tmo?]")
         self._object(args[0], where, ("queue",))
         return self._with_timeout(["write", args[0], args[1]],
                                   args[2] if len(args) > 2 else None)
 
-    def _queue_send_isr(self, args, where):
+    def _queue_send_isr(self, args: List, where: str) -> List:
         self._arity(args, where, 2, 2, "[xQueueSendFromISR, queue, value]")
         self._object(args[0], where, ("queue",))
         # FromISR sends never block: lower to a non-blocking poll.
         return ["write", args[0], args[1], 0]
 
-    def _queue_receive(self, args, where):
+    def _queue_receive(self, args: List, where: str) -> List:
         self._arity(args, where, 1, 2, "[xQueueReceive, queue, tmo?]")
         self._object(args[0], where, ("queue",))
         return self._with_timeout(["read", args[0]],
                                   args[1] if len(args) > 1 else None)
 
-    def _take(self, args, where):
+    def _take(self, args: List, where: str) -> List:
         self._arity(args, where, 1, 2, "[xSemaphoreTake, sem_or_mutex, tmo?]")
         kind = self._object(
             args[0], where,
@@ -376,7 +378,7 @@ class _LowerContext:
             return ["lock", args[0]]
         return self._with_timeout(["wait", args[0]], timeout)
 
-    def _give(self, args, where):
+    def _give(self, args: List, where: str) -> List:
         self._arity(args, where, 1, 1, "[xSemaphoreGive, sem_or_mutex]")
         kind = self._object(
             args[0], where,
@@ -385,28 +387,28 @@ class _LowerContext:
             return ["unlock", args[0]]
         return ["signal", args[0]]
 
-    def _give_isr(self, args, where):
+    def _give_isr(self, args: List, where: str) -> List:
         self._arity(args, where, 1, 1, "[xSemaphoreGiveFromISR, sem]")
         self._object(args[0], where,
                      ("binary_semaphore", "counting_semaphore"))
         return ["signal", args[0]]
 
-    def _notify_give(self, args, where):
+    def _notify_give(self, args: List, where: str) -> List:
         self._arity(args, where, 1, 1, "[xTaskNotifyGive, task]")
         self.notify.add(args[0])
         return ["signal", f"{args[0]}.notify"]
 
-    def _notify_take(self, args, where):
+    def _notify_take(self, args: List, where: str) -> List:
         self._arity(args, where, 0, 1, "[ulTaskNotifyTake, tmo?]")
         self.notify.add(self.task)
         return self._with_timeout(["wait", f"{self.task}.notify"],
                                   args[0] if args else None)
 
-    def _execute(self, args, where):
+    def _execute(self, args: List, where: str) -> List:
         self._arity(args, where, 1, 1, "[execute, duration]")
         return ["execute", args[0]]
 
-    def _loop(self, args, where):
+    def _loop(self, args: List, where: str) -> List:
         self._arity(args, where, 2, 2, "[loop, n_or_null, body]")
         if not isinstance(args[1], list):
             raise BuildError(f"{where}: loop body must be a list of ops")

@@ -39,7 +39,7 @@ The scheduler is the standard's fixed-priority preemptive dispatcher
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Any, Dict, List, Set, Tuple
 
 from ..errors import BuildError
 from .base import Lowering, Personality, check_keys, entry_name, \
@@ -58,10 +58,10 @@ _OBJECT_KEYS = {
 }
 _TASK_KEYS = (
     "name", "priority", "script", "isr", "start_time", "wcet", "period",
-    "deadline", "jitter", "affinity", "lint_suppress",
+    "deadline", "jitter", "max_blocking", "affinity", "lint_suppress",
 )
 _TASK_PASSTHROUGH = ("start_time", "wcet", "period", "deadline",
-                     "jitter", "affinity", "lint_suppress")
+                     "jitter", "max_blocking", "affinity", "lint_suppress")
 
 #: Service calls that may block the caller (RTS170 audits these inside
 #: ISR tasks; ITRON only allows the i-prefixed non-blocking variants).
@@ -152,7 +152,7 @@ class UITRONPersonality(Personality):
                 cpu[key] = config[key]
         return cpu
 
-    def _objects(self, objects: List) -> tuple:
+    def _objects(self, objects: List) -> Tuple[Dict[str, str], List[Dict]]:
         kinds: Dict[str, str] = {}
         relations: List[Dict] = []
         for entry in objects:
@@ -275,7 +275,8 @@ class _LowerContext:
         if not low <= len(args) <= high:
             raise BuildError(f"{where}: usage {usage}")
 
-    def _object(self, ref, where: str, accepted: tuple) -> str:
+    def _object(self, ref: Any, where: str,
+                accepted: Tuple[str, ...]) -> str:
         kind = self.kinds.get(ref)
         if kind is None:
             raise BuildError(
@@ -290,78 +291,78 @@ class _LowerContext:
         return kind
 
     @staticmethod
-    def _with_timeout(base: List, timeout) -> List:
+    def _with_timeout(base: List, timeout: Any) -> List:
         timeout = parse_timeout_spec(timeout)
         if timeout is None:
             return base
         return base + [timeout]
 
     # -- op lowerings --------------------------------------------------
-    def _dly_tsk(self, args, where):
+    def _dly_tsk(self, args: List, where: str) -> List:
         self._arity(args, where, 1, 1, "[dly_tsk, duration]")
         return ["delay", args[0]]
 
-    def _slp_tsk(self, args, where):
+    def _slp_tsk(self, args: List, where: str) -> List:
         self._arity(args, where, 0, 0, "[slp_tsk]")
         self.wakeups.add(self.task)
         return ["wait", f"{self.task}.wup"]
 
-    def _tslp_tsk(self, args, where):
+    def _tslp_tsk(self, args: List, where: str) -> List:
         self._arity(args, where, 1, 1, "[tslp_tsk, tmo]")
         self.wakeups.add(self.task)
         return self._with_timeout(["wait", f"{self.task}.wup"], args[0])
 
-    def _wup_tsk(self, args, where):
+    def _wup_tsk(self, args: List, where: str) -> List:
         self._arity(args, where, 1, 1, "[wup_tsk, task]")
         self.wakeups.add(args[0])
         return ["signal", f"{args[0]}.wup"]
 
-    def _wai_sem(self, args, where):
+    def _wai_sem(self, args: List, where: str) -> List:
         self._arity(args, where, 1, 1, "[wai_sem, semaphore]")
         self._object(args[0], where, ("semaphore",))
         return ["wait", args[0]]
 
-    def _twai_sem(self, args, where):
+    def _twai_sem(self, args: List, where: str) -> List:
         self._arity(args, where, 2, 2, "[twai_sem, semaphore, tmo]")
         self._object(args[0], where, ("semaphore",))
         return self._with_timeout(["wait", args[0]], args[1])
 
-    def _sig_sem(self, args, where):
+    def _sig_sem(self, args: List, where: str) -> List:
         self._arity(args, where, 1, 1, "[sig_sem, semaphore]")
         self._object(args[0], where, ("semaphore",))
         return ["signal", args[0]]
 
-    def _snd_mbx(self, args, where):
+    def _snd_mbx(self, args: List, where: str) -> List:
         self._arity(args, where, 2, 2, "[snd_mbx, mailbox, value]")
         self._object(args[0], where, ("mailbox",))
         return ["write", args[0], args[1]]
 
-    def _tsnd_mbx(self, args, where):
+    def _tsnd_mbx(self, args: List, where: str) -> List:
         self._arity(args, where, 3, 3, "[tsnd_mbx, mailbox, value, tmo]")
         self._object(args[0], where, ("mailbox",))
         return self._with_timeout(["write", args[0], args[1]], args[2])
 
-    def _rcv_mbx(self, args, where):
+    def _rcv_mbx(self, args: List, where: str) -> List:
         self._arity(args, where, 1, 1, "[rcv_mbx, mailbox]")
         self._object(args[0], where, ("mailbox",))
         return ["read", args[0]]
 
-    def _trcv_mbx(self, args, where):
+    def _trcv_mbx(self, args: List, where: str) -> List:
         self._arity(args, where, 2, 2, "[trcv_mbx, mailbox, tmo]")
         self._object(args[0], where, ("mailbox",))
         return self._with_timeout(["read", args[0]], args[1])
 
-    def _set_flg(self, args, where):
+    def _set_flg(self, args: List, where: str) -> List:
         self._arity(args, where, 2, 2, "[set_flg, eventflag, bits]")
         self._object(args[0], where, ("eventflag",))
         return ["set_flag", args[0], args[1]]
 
-    def _clr_flg(self, args, where):
+    def _clr_flg(self, args: List, where: str) -> List:
         self._arity(args, where, 2, 2, "[clr_flg, eventflag, mask]")
         self._object(args[0], where, ("eventflag",))
         return ["clr_flag", args[0], args[1]]
 
-    def _wai_flg(self, args, where):
+    def _wai_flg(self, args: List, where: str) -> List:
         self._arity(args, where, 3, 4,
                     "[wai_flg, eventflag, bits, TWF_ANDW|TWF_ORW, tmo?]")
         self._object(args[0], where, ("eventflag",))
@@ -377,11 +378,11 @@ class _LowerContext:
             return base
         return base + [timeout]
 
-    def _execute(self, args, where):
+    def _execute(self, args: List, where: str) -> List:
         self._arity(args, where, 1, 1, "[execute, duration]")
         return ["execute", args[0]]
 
-    def _loop(self, args, where):
+    def _loop(self, args: List, where: str) -> List:
         self._arity(args, where, 2, 2, "[loop, n_or_null, body]")
         if not isinstance(args[1], list):
             raise BuildError(f"{where}: loop body must be a list of ops")

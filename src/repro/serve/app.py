@@ -38,7 +38,7 @@ import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..campaign.cache import ResultCache
 from ..errors import ReproError
@@ -379,11 +379,41 @@ class Gateway:
         return payload, {}
 
     def _post_lint(self, payload: Dict):
+        """Static analysis; ``"fix": true`` plans spec patches too.
+
+        A rejected spec (422) still carries its planned fixes -- the
+        specs that fail the lint are exactly the ones with something to
+        fix, so the client can re-POST the patched spec.
+        """
         spec, options = self._unwrap_spec(payload)
         strict = bool(options.get("strict", self.strict_lint))
         suppress = options.get("suppress") or None
-        report = validate_spec(spec, strict=strict, suppress=suppress)
-        return self._json(200, {"ok": True, "report": report})
+        want_fix = bool(options.get("fix"))
+        try:
+            report = validate_spec(spec, strict=strict, suppress=suppress)
+        except LintRejected as exc:
+            if not want_fix:
+                raise
+            self.metrics["rejections"].inc(reason="lint")
+            return self._json(422, {
+                "error": str(exc),
+                "report": exc.report,
+                "fixes": self._plan_fixes(spec, suppress),
+            })
+        body = {"ok": True, "report": report}
+        if want_fix:
+            body["fixes"] = self._plan_fixes(spec, suppress)
+        return self._json(200, body)
+
+    @staticmethod
+    def _plan_fixes(spec: Dict, suppress) -> List[Dict]:
+        """Planned patches, or ``[]`` when the spec cannot even build."""
+        from ..analyze.fixes import plan_fixes
+
+        try:
+            return plan_fixes(spec, suppress=suppress or ())
+        except (ReproError, TypeError, KeyError, ValueError):
+            return []
 
     def _post_simulate(self, payload: Dict):
         spec, options = self._unwrap_spec(payload)

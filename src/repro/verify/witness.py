@@ -44,6 +44,15 @@ WITNESS_PROPERTIES: Dict[str, Tuple[str, ...]] = {
     "RTS141": ("RTS-V002",),
     "RTS150": ("RTS-V002",),
     "RTS153": ("RTS-V002",),
+    # blocking-aware RTA misses reproduce as deadline-miss violations;
+    # an infeasible priority assignment (RTS182 ERROR) implies the
+    # *current* assignment misses, so the same property witnesses it
+    "RTS180": ("RTS-V002",),
+    "RTS182": ("RTS-V002",),
+    # a broken max_blocking budget reproduces as a bounded-inversion
+    # violation: the explorer runs with inversion_bound set to the
+    # tightest declared budget of the spec
+    "RTS183": ("RTS-V004",),
 }
 
 
@@ -120,13 +129,55 @@ def attempt_witness(
             ),
         )
     factory = _as_factory(target)
+    inversion_bound = None
+    if "RTS-V004" in targets:
+        inversion_bound = declared_blocking_bound(target)
+        if inversion_bound is None:
+            return WitnessOutcome(
+                rule=rule_id, target_properties=targets, confirmed=False,
+                justification=(
+                    "no witness attempted: the RTS-V004 property needs a "
+                    "declared max_blocking bound, and the target (not a "
+                    "spec, or no function declares one) provides none"
+                ),
+            )
     options = VerifyOptions(
         horizon=horizon,
         max_depth=max_depth,
         sanitize=any(prop.startswith("SAN") for prop in targets),
+        inversion_bound=inversion_bound,
     )
     result = explore_dfs(factory, options, (), max_runs=max_runs)
     return _outcome(rule_id, targets, result, max_runs)
+
+
+def declared_blocking_bound(
+    target: Union[dict, ModelFactory],
+) -> Optional[int]:
+    """The tightest ``max_blocking`` declared anywhere in a spec.
+
+    This is the inversion bound the RTS-V004 property monitors against;
+    the witness harness and the corpus pipeline both derive it from the
+    spec so static RTS183 claims and dynamic observations use one
+    number.
+    """
+    if not isinstance(target, dict):
+        return None
+    from ..kernel.time import parse_time
+
+    bounds = []
+    for section in ("functions", "tasks"):
+        for entry in target.get(section, ()):
+            if not isinstance(entry, dict):
+                continue
+            declared = entry.get("max_blocking")
+            if declared is None:
+                continue
+            try:
+                bounds.append(parse_time(declared))
+            except Exception:
+                continue
+    return min(bounds) if bounds else None
 
 
 def _outcome(rule_id: str, targets: Tuple[str, ...],
@@ -186,13 +237,19 @@ def witness_findings(
     max_runs: int = 64,
     max_depth: int = 16,
 ) -> Dict[str, WitnessOutcome]:
-    """Attempt one witness per distinct ERROR rule of ``report``.
+    """Attempt one witness per distinct ERROR/WARNING rule of ``report``.
 
-    Returns ``{rule_id: outcome}`` for every ERROR-severity rule that
-    has a dynamic counterpart; witnessless rules are skipped.
+    Returns ``{rule_id: outcome}`` for every error- or warning-severity
+    rule that has a dynamic counterpart; witnessless rules are skipped.
+    Warnings are included deliberately: a WARNING marks a finding whose
+    static extraction was *not* exact (the severity discipline reserves
+    ERROR for exact intervals), so a confirmed dynamic witness is
+    precisely what upgrades the over-approximation to a proven
+    violation.
     """
     outcomes: Dict[str, WitnessOutcome] = {}
-    for rule_id in sorted({d.rule for d in report.errors}):
+    findings = list(report.errors) + list(report.warnings)
+    for rule_id in sorted({d.rule for d in findings}):
         if not witnessable(rule_id):
             continue
         outcomes[rule_id] = attempt_witness(
@@ -206,6 +263,7 @@ __all__ = [
     "WITNESS_PROPERTIES",
     "WitnessOutcome",
     "attempt_witness",
+    "declared_blocking_bound",
     "witness_findings",
     "witnessable",
 ]

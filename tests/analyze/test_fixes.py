@@ -1,0 +1,156 @@
+"""The lint fix engine: planned patches re-linted for discharge."""
+
+import copy
+
+import pytest
+
+from repro.analyze import apply_fixes, plan_fixes
+from repro.analyze.fixes import FIXABLE_RULES, FixError
+
+
+def ceiling_spec(declared=1):
+    return {
+        "name": "t",
+        "relations": [{"kind": "shared", "name": "mtx",
+                       "protocol": "ceiling", "ceiling": declared}],
+        "processors": [{"name": "cpu", "engine": "procedural"}],
+        "functions": [
+            {"name": "hi", "priority": 3, "processor": "cpu",
+             "script": [["loop", 2, [["lock", "mtx"], ["execute", "5us"],
+                                     ["unlock", "mtx"],
+                                     ["delay", "100us"]]]]},
+            {"name": "lo", "priority": 1, "processor": "cpu",
+             "script": [["loop", 2, [["lock", "mtx"], ["execute", "5us"],
+                                     ["unlock", "mtx"],
+                                     ["delay", "100us"]]]]},
+        ],
+    }
+
+
+def budget_spec(declared="5us"):
+    return {
+        "name": "t",
+        "relations": [{"kind": "shared", "name": "mtx",
+                       "protocol": "inheritance"}],
+        "processors": [{"name": "cpu", "engine": "procedural"}],
+        "functions": [
+            {"name": "hi", "priority": 3, "processor": "cpu",
+             "wcet": "10us", "period": "200us", "deadline": "120us",
+             "max_blocking": declared,
+             "script": [["loop", None,
+                         [["lock", "mtx"], ["execute", "10us"],
+                          ["unlock", "mtx"], ["delay", "190us"]]]]},
+            {"name": "lo", "priority": 1, "processor": "cpu",
+             "wcet": "25us", "period": "400us",
+             "script": [["loop", None,
+                         [["lock", "mtx"], ["execute", "25us"],
+                          ["unlock", "mtx"], ["delay", "375us"]]]]},
+        ],
+    }
+
+
+def misassigned_spec():
+    return {
+        "name": "t",
+        "relations": [],
+        "processors": [{"name": "cpu", "policy": "priority_preemptive"}],
+        "functions": [
+            {"name": "urgent", "priority": 1, "processor": "cpu",
+             "wcet": "10us", "period": "200us", "deadline": "20us",
+             "script": [["loop", None, [["execute", "10us"],
+                                        ["delay", "190us"]]]]},
+            {"name": "frequent", "priority": 2, "processor": "cpu",
+             "wcet": "30us", "period": "100us", "deadline": "100us",
+             "script": [["loop", None, [["execute", "30us"],
+                                        ["delay", "70us"]]]]},
+        ],
+    }
+
+
+class TestPlanFixes:
+    def test_fixable_rules_frozen(self):
+        assert FIXABLE_RULES == ("RTS181", "RTS182", "RTS183")
+
+    def test_ceiling_fix_planned_and_discharged(self):
+        (fix,) = plan_fixes(ceiling_spec())
+        assert fix["rule"] == "RTS181"
+        assert fix["kind"] == "ceiling"
+        assert fix["relation"] == "mtx"
+        assert fix["ceiling"] == 3
+        assert fix["discharged"] is True
+
+    def test_priority_fix_planned_and_discharged(self):
+        fixes = plan_fixes(misassigned_spec())
+        (fix,) = [f for f in fixes if f["rule"] == "RTS182"]
+        assert fix["kind"] == "priorities"
+        assert fix["changes"] == {"urgent": 2, "frequent": 1}
+        assert fix["discharged"] is True
+
+    def test_budget_fix_uses_readable_time_spec(self):
+        fixes = plan_fixes(budget_spec())
+        (fix,) = [f for f in fixes if f["rule"] == "RTS183"]
+        assert fix["kind"] == "max_blocking"
+        assert fix["function"] == "hi"
+        assert fix["max_blocking"] == "25us"
+        assert fix["discharged"] is True
+
+    def test_clean_spec_plans_nothing(self):
+        assert plan_fixes(ceiling_spec(declared=3)) == []
+
+    def test_non_mapping_spec_rejected(self):
+        with pytest.raises(FixError):
+            plan_fixes([["not", "a", "spec"]])
+
+
+class TestApplyFixes:
+    def test_input_spec_untouched(self):
+        spec = ceiling_spec()
+        snapshot = copy.deepcopy(spec)
+        fixes = plan_fixes(spec)
+        patched = apply_fixes(spec, fixes)
+        assert spec == snapshot
+        assert patched["relations"][0]["ceiling"] == 3
+
+    def test_applied_fixes_relint_clean(self):
+        for spec in (ceiling_spec(), budget_spec(), misassigned_spec()):
+            fixes = [f for f in plan_fixes(spec) if f["discharged"]]
+            assert fixes
+            patched = apply_fixes(spec, fixes)
+            remaining = {f["rule"] for f in plan_fixes(patched)}
+            assert not remaining & {f["rule"] for f in fixes}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FixError):
+            apply_fixes(ceiling_spec(), [{"kind": "nope"}])
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(FixError):
+            apply_fixes(ceiling_spec(),
+                        [{"kind": "ceiling", "relation": "ghost",
+                          "ceiling": 3}])
+
+
+class TestPersonalityFixes:
+    def test_uitron_priorities_map_back_inverted(self):
+        spec = {
+            "personality": "uitron",
+            "name": "t",
+            "tasks": [
+                {"name": "urgent", "priority": 2,
+                 "wcet": "10us", "period": "200us", "deadline": "20us",
+                 "script": [["loop", None, [["execute", "10us"],
+                                            ["dly_tsk", "190us"]]]]},
+                {"name": "frequent", "priority": 1,
+                 "wcet": "30us", "period": "100us", "deadline": "100us",
+                 "script": [["loop", None, [["execute", "30us"],
+                                            ["dly_tsk", "70us"]]]]},
+            ],
+        }
+        fixes = plan_fixes(spec)
+        rts182 = [f for f in fixes if f["rule"] == "RTS182"]
+        if rts182:  # µITRON spec priority 1 is most urgent
+            (fix,) = rts182
+            assert all(value >= 1 for value in fix["changes"].values())
+            patched = apply_fixes(spec, [fix])
+            names = {t["name"]: t["priority"] for t in patched["tasks"]}
+            assert names["urgent"] < names["frequent"]

@@ -23,8 +23,12 @@ class TestFlowBaseline:
         )
         assert set(baseline) == {"rules"}
         for rule_id, count in baseline["rules"].items():
-            assert rule_id.startswith("RTS16"), rule_id
+            assert rule_id.startswith(("RTS16", "RTS18")), rule_id
             assert isinstance(count, int) and count >= 0
+        # the blocking rules are part of the ratchet, held at zero
+        # over the default-parameter corpus targets
+        for index in range(4):
+            assert baseline["rules"][f"RTS18{index}"] == 0
 
     def test_ratchet_passes_on_clean_tree(self):
         completed = subprocess.run(

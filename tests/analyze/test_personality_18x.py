@@ -1,0 +1,155 @@
+"""RTS18x blocking rules through the personality layer.
+
+The blocking analyzer runs on the *generic* model, so personality specs
+must produce byte-identical findings to the hand-written generic twins
+their lowerings are documented to compile to (FreeRTOS mutexes ->
+inheritance shared variables; uITRON's inverted priority scale ->
+negated generic priorities).
+"""
+
+from repro.analyze import analyze_system
+from repro.kernel.simulator import Simulator
+from repro.mcse.builder import build_system
+
+
+def lint(spec, name):
+    system = build_system(spec, sim=Simulator(name))
+    return analyze_system(system)
+
+
+def rendered(report, rules):
+    """The byte-comparable projection of a report onto ``rules``."""
+    return [
+        (d.rule, d.severity.name, d.location, d.message, d.hint)
+        for d in report.diagnostics
+        if d.rule in rules
+    ]
+
+
+FREERTOS_BUDGET = {
+    "name": "pi-budget",
+    "personality": "freertos",
+    "config": {"configUSE_TIME_SLICING": 0},
+    "objects": [{"kind": "mutex", "name": "mtx"}],
+    "tasks": [
+        {"name": "hi", "priority": 3,
+         "wcet": "10us", "period": "200us", "deadline": "120us",
+         "max_blocking": "5us",
+         "script": [["loop", None,
+                     [["xSemaphoreTake", "mtx"], ["execute", "10us"],
+                      ["xSemaphoreGive", "mtx"],
+                      ["vTaskDelay", "190us"]]]]},
+        {"name": "lo", "priority": 1,
+         "wcet": "25us", "period": "400us",
+         "script": [["loop", None,
+                     [["xSemaphoreTake", "mtx"], ["execute", "25us"],
+                      ["xSemaphoreGive", "mtx"],
+                      ["vTaskDelay", "375us"]]]]},
+    ],
+}
+
+#: The generic model the FreeRTOS lowering documents for FREERTOS_BUDGET.
+FREERTOS_BUDGET_TWIN = {
+    "name": "pi-budget",
+    "relations": [{"kind": "shared", "name": "mtx",
+                   "protocol": "inheritance"}],
+    "processors": [{"name": "cpu0", "engine": "procedural",
+                    "policy": "priority_preemptive"}],
+    "functions": [
+        {"name": "hi", "priority": 3, "processor": "cpu0",
+         "wcet": "10us", "period": "200us", "deadline": "120us",
+         "max_blocking": "5us",
+         "script": [["loop", None,
+                     [["lock", "mtx"], ["execute", "10us"],
+                      ["unlock", "mtx"], ["delay", "190us"]]]]},
+        {"name": "lo", "priority": 1, "processor": "cpu0",
+         "wcet": "25us", "period": "400us",
+         "script": [["loop", None,
+                     [["lock", "mtx"], ["execute", "25us"],
+                      ["unlock", "mtx"], ["delay", "375us"]]]]},
+    ],
+}
+
+
+class TestFreeRTOSPiMutex:
+    def test_rts183_budget_overrun_fires(self):
+        report = lint(FREERTOS_BUDGET, "frtos-183")
+        (diag,) = report.by_rule("RTS183")
+        assert diag.severity.name == "ERROR"  # PI hold is exact
+        assert "25us" in diag.message
+
+    def test_rts183_matches_generic_twin_byte_for_byte(self):
+        rules = ("RTS180", "RTS181", "RTS182", "RTS183")
+        ours = rendered(lint(FREERTOS_BUDGET, "frtos-twin-a"), rules)
+        twin = rendered(lint(FREERTOS_BUDGET_TWIN, "frtos-twin-b"), rules)
+        assert ours == twin
+        assert any(entry[0] == "RTS183" for entry in ours)
+
+    def test_rts181_structurally_silent(self):
+        # FreeRTOS mutexes always lower to priority inheritance; there
+        # is no ceiling to misdeclare, so RTS181 cannot fire.
+        report = lint(FREERTOS_BUDGET, "frtos-181")
+        assert not report.by_rule("RTS181")
+
+
+UITRON_MISASSIGNED = {
+    "name": "inverted",
+    "personality": "uitron",
+    "tasks": [
+        # uITRON priority 1 is the MOST urgent: "frequent" at 1
+        # outranks "urgent" at 2, which misses its 20us deadline.
+        {"name": "urgent", "priority": 2,
+         "wcet": "10us", "period": "200us", "deadline": "20us",
+         "script": [["loop", None, [["execute", "10us"],
+                                    ["dly_tsk", "190us"]]]]},
+        {"name": "frequent", "priority": 1,
+         "wcet": "30us", "period": "100us", "deadline": "100us",
+         "script": [["loop", None, [["execute", "30us"],
+                                    ["dly_tsk", "70us"]]]]},
+    ],
+}
+
+#: The documented lowering: ITRON priority p becomes generic -p.
+UITRON_MISASSIGNED_TWIN = {
+    "name": "inverted",
+    "relations": [],
+    "processors": [{"name": "cpu0", "engine": "procedural",
+                    "policy": "priority_preemptive"}],
+    "functions": [
+        {"name": "urgent", "priority": -2, "processor": "cpu0",
+         "wcet": "10us", "period": "200us", "deadline": "20us",
+         "script": [["loop", None, [["execute", "10us"],
+                                    ["delay", "190us"]]]]},
+        {"name": "frequent", "priority": -1, "processor": "cpu0",
+         "wcet": "30us", "period": "100us", "deadline": "100us",
+         "script": [["loop", None, [["execute", "30us"],
+                                    ["delay", "70us"]]]]},
+    ],
+}
+
+
+class TestUitronInvertedPriorities:
+    def test_rts182_fires_on_inverted_scale(self):
+        report = lint(UITRON_MISASSIGNED, "itron-182")
+        (diag,) = report.by_rule("RTS182")
+        assert diag.severity.name == "WARNING"
+        assert "urgent" in diag.message
+
+    def test_rts182_matches_generic_twin_byte_for_byte(self):
+        rules = ("RTS180", "RTS181", "RTS182", "RTS183")
+        ours = rendered(lint(UITRON_MISASSIGNED, "itron-twin-a"), rules)
+        twin = rendered(lint(UITRON_MISASSIGNED_TWIN, "itron-twin-b"),
+                        rules)
+        assert ours == twin
+        assert any(entry[0] == "RTS182" for entry in ours)
+
+    def test_feasible_uitron_assignment_silent(self):
+        spec = {
+            "name": "inverted-ok",
+            "personality": "uitron",
+            "tasks": [
+                dict(UITRON_MISASSIGNED["tasks"][0], priority=1),
+                dict(UITRON_MISASSIGNED["tasks"][1], priority=2),
+            ],
+        }
+        assert not lint(spec, "itron-182-ok").by_rule("RTS182")

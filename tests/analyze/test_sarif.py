@@ -63,6 +63,90 @@ class TestReportToSarif:
         assert None in regions  # model-level findings have no line
 
 
+#: Every key a rendered WitnessOutcome carries, with its accepted types.
+_WITNESS_FIELDS = {
+    "rule": str,
+    "target_properties": list,
+    "confirmed": bool,
+    "property_id": (str, type(None)),
+    "choices": (list, type(None)),
+    "justification": str,
+    "runs": int,
+    "complete": bool,
+}
+
+
+def check_witness_property(prop):
+    assert set(prop) == set(_WITNESS_FIELDS)
+    for key, types in _WITNESS_FIELDS.items():
+        assert isinstance(prop[key], types), (key, prop[key])
+
+
+class TestWitnessProperties:
+    def witnessed_log(self):
+        report = deadlock_report()
+        (rule_id,) = {d.rule for d in report.errors}
+        witnesses = {
+            rule_id: {
+                "rule": rule_id,
+                "target_properties": ["RTS-V003"],
+                "confirmed": True,
+                "property_id": "RTS-V003",
+                "choices": [1, 0],
+                "justification": "witnessed: RTS-V003 at 42us",
+                "runs": 3,
+                "complete": False,
+            },
+        }
+        return rule_id, report_to_sarif(report, artifact="x",
+                                        witnesses=witnesses)
+
+    def test_witnessed_result_embeds_schema_checked_property(self):
+        rule_id, log = self.witnessed_log()
+        (run,) = log["runs"]
+        witnessed = [r for r in run["results"] if r["ruleId"] == rule_id]
+        assert witnessed
+        for result in witnessed:
+            check_witness_property(result["properties"]["witness"])
+            assert result["properties"]["witness"]["confirmed"] is True
+
+    def test_unwitnessed_results_carry_no_properties(self):
+        rule_id, log = self.witnessed_log()
+        (run,) = log["runs"]
+        for result in run["results"]:
+            if result["ruleId"] != rule_id:
+                assert "properties" not in result
+
+    def test_no_witnesses_argument_means_no_properties(self):
+        log = report_to_sarif(deadlock_report(), artifact="x")
+        (run,) = log["runs"]
+        assert run["results"]
+        for result in run["results"]:
+            assert "properties" not in result
+
+    def test_live_witness_outcome_round_trips_through_sarif(self):
+        from repro.verify.witness import attempt_witness
+
+        spec = json.loads(
+            open("examples/blocking_budget.json").read())
+        system = build_system(spec, sim=Simulator("sarif-wit"))
+        report = analyze_system(system)
+        outcome = attempt_witness(spec, "RTS183",
+                                  horizon=2_000_000_000_000,
+                                  max_runs=64, max_depth=10)
+        log = report_to_sarif(
+            report, artifact="examples/blocking_budget.json",
+            witnesses={"RTS183": outcome.to_dict()})
+        (run,) = log["runs"]
+        (result,) = [r for r in run["results"]
+                     if r["ruleId"] == "RTS183"]
+        prop = result["properties"]["witness"]
+        check_witness_property(prop)
+        assert prop["confirmed"] is True
+        assert prop["property_id"] == "RTS-V004"
+        assert prop["choices"]  # replayable counterexample schedule
+
+
 class TestCliSarif:
     def test_lint_writes_schema_checked_sarif(self, tmp_path, capsys):
         spec = tmp_path / "spec.json"

@@ -1,0 +1,146 @@
+"""Suppression accounting for the blocking rules (RTS180/181/182/183).
+
+Every suppression channel must stash the finding in
+``report.suppressed`` -- never silently drop it -- and the corpus
+pipeline/matrix must surface the muted rule ids honestly.
+"""
+
+from repro.analyze import analyze_system
+from repro.corpus.pipeline import lint_stage
+from repro.kernel.simulator import Simulator
+from repro.mcse.builder import build_system
+
+
+def contention_spec(**top_level):
+    spec = {
+        "name": "t",
+        "relations": [{"kind": "shared", "name": "mtx",
+                       "protocol": "inheritance"}],
+        "processors": [{"name": "cpu", "engine": "procedural"}],
+        "functions": [
+            {"name": "hi", "priority": 3, "processor": "cpu",
+             "wcet": "10us", "period": "200us", "deadline": "30us",
+             "max_blocking": "5us",
+             "script": [["loop", None,
+                         [["lock", "mtx"], ["execute", "10us"],
+                          ["unlock", "mtx"], ["delay", "190us"]]]]},
+            {"name": "lo", "priority": 1, "processor": "cpu",
+             "wcet": "25us", "period": "400us",
+             "script": [["loop", None,
+                         [["lock", "mtx"], ["execute", "25us"],
+                          ["unlock", "mtx"], ["delay", "375us"]]]]},
+        ],
+    }
+    spec.update(top_level)
+    return spec
+
+
+def suppressed_rules(report):
+    return {d.rule for d in report.suppressed}
+
+
+class TestExplicitSuppressArgument:
+    def test_suppressed_rules_stashed_not_dropped(self):
+        system = build_system(contention_spec(), sim=Simulator("s"))
+        report = analyze_system(system,
+                                suppress=("RTS180", "RTS183"))
+        assert not report.by_rule("RTS180")
+        assert not report.by_rule("RTS183")
+        assert {"RTS180", "RTS183"} <= suppressed_rules(report)
+        assert report.summary()["suppressed"] >= 2
+
+    def test_unsuppressed_findings_survive(self):
+        system = build_system(contention_spec(), sim=Simulator("s"))
+        report = analyze_system(system, suppress=("RTS183",))
+        assert report.by_rule("RTS180")
+        assert not report.by_rule("RTS183")
+
+
+class TestSpecLevelLintSuppress:
+    def test_spec_wide_suppression(self):
+        spec = contention_spec(lint_suppress=["RTS180", "RTS183"])
+        report = analyze_system(build_system(spec, sim=Simulator("s")))
+        assert not report.by_rule("RTS180")
+        assert not report.by_rule("RTS183")
+        assert {"RTS180", "RTS183"} <= suppressed_rules(report)
+
+    def test_rts181_spec_suppression(self):
+        spec = contention_spec(lint_suppress=["RTS181"])
+        spec["relations"][0] = {"kind": "shared", "name": "mtx",
+                                "protocol": "ceiling", "ceiling": 1}
+        report = analyze_system(build_system(spec, sim=Simulator("s")))
+        assert not report.by_rule("RTS181")
+        assert "RTS181" in suppressed_rules(report)
+
+    def test_rts182_spec_suppression(self):
+        spec = {
+            "name": "t",
+            "lint_suppress": ["RTS182"],
+            "relations": [],
+            "processors": [{"name": "cpu",
+                            "policy": "priority_preemptive"}],
+            "functions": [
+                {"name": "urgent", "priority": 1, "processor": "cpu",
+                 "wcet": "10us", "period": "200us", "deadline": "20us",
+                 "script": [["loop", None, [["execute", "10us"],
+                                            ["delay", "190us"]]]]},
+                {"name": "frequent", "priority": 2, "processor": "cpu",
+                 "wcet": "30us", "period": "100us", "deadline": "100us",
+                 "script": [["loop", None, [["execute", "30us"],
+                                            ["delay", "70us"]]]]},
+            ],
+        }
+        report = analyze_system(build_system(spec, sim=Simulator("s")))
+        assert not report.by_rule("RTS182")
+        assert "RTS182" in suppressed_rules(report)
+
+
+class TestBehaviorPragma:
+    def test_pragma_suppresses_flow_emitted_blocking_rule(self):
+        from repro.kernel.time import US
+        from repro.mcse.model import System
+
+        system = System("t", sim=Simulator("s"))
+        mutex = system.shared("mtx", protocol="inheritance")
+
+        def hi(fn):
+            # pyrtos: disable=RTS180,RTS183
+            while True:
+                yield from fn.lock(mutex)
+                yield from fn.execute(10 * US)
+                yield from fn.unlock(mutex)
+                yield from fn.delay(190 * US)
+
+        def lo(fn):
+            while True:
+                yield from fn.lock(mutex)
+                yield from fn.execute(25 * US)
+                yield from fn.unlock(mutex)
+                yield from fn.delay(375 * US)
+
+        cpu = system.processor("cpu")
+        hi_fn = system.function("hi", hi, priority=3)
+        hi_fn.wcet, hi_fn.period = 10 * US, 200 * US
+        hi_fn.deadline, hi_fn.max_blocking = 30 * US, 5 * US
+        lo_fn = system.function("lo", lo, priority=1)
+        lo_fn.wcet, lo_fn.period = 25 * US, 400 * US
+        cpu.map(hi_fn)
+        cpu.map(lo_fn)
+        report = analyze_system(system)
+        assert not report.by_rule("RTS180")
+        assert not report.by_rule("RTS183")
+        assert {"RTS180", "RTS183"} <= suppressed_rules(report)
+
+
+class TestPipelineAccounting:
+    def test_lint_stage_reports_suppressed_rule_ids(self):
+        verdict = lint_stage(contention_spec(
+            lint_suppress=["RTS180", "RTS183"]))
+        assert verdict["suppressed"] == ["RTS180", "RTS183"]
+        assert "RTS180" not in verdict["errors"]
+
+    def test_lint_stage_empty_without_suppressions(self):
+        verdict = lint_stage(contention_spec())
+        assert verdict["suppressed"] == []
+        assert "RTS180" in verdict["errors"]
+        assert "RTS183" in verdict["errors"]

@@ -1,0 +1,73 @@
+"""/v1/lint with ``"fix": true``: planned patches over HTTP."""
+
+
+def budget_spec():
+    """RTS183 (warning-free otherwise): blown max_blocking budget."""
+    return {
+        "name": "budget",
+        "relations": [{"kind": "shared", "name": "mtx",
+                       "protocol": "inheritance"}],
+        "processors": [{"name": "cpu", "engine": "procedural"}],
+        "functions": [
+            {"name": "hi", "priority": 3, "processor": "cpu",
+             "wcet": "10us", "period": "200us", "deadline": "120us",
+             "max_blocking": "5us",
+             "script": [["loop", None,
+                         [["lock", "mtx"], ["execute", "10us"],
+                          ["unlock", "mtx"], ["delay", "190us"]]]]},
+            {"name": "lo", "priority": 1, "processor": "cpu",
+             "wcet": "25us", "period": "400us",
+             "script": [["loop", None,
+                         [["lock", "mtx"], ["execute", "25us"],
+                          ["unlock", "mtx"], ["delay", "375us"]]]]},
+        ],
+    }
+
+
+class TestLintFixOption:
+    def test_rejected_spec_still_carries_fixes(self, client, gateway):
+        status, payload = client.post_json(
+            "/v1/lint", {"spec": budget_spec(), "fix": True})
+        assert status == 422  # RTS183 is an ERROR under strict lint
+        (fix,) = [f for f in payload["fixes"] if f["rule"] == "RTS183"]
+        assert fix["kind"] == "max_blocking"
+        assert fix["max_blocking"] == "25us"
+        assert fix["discharged"] is True
+        assert gateway.metrics["rejections"].value(reason="lint") == 1
+
+    def test_rejection_without_fix_option_has_no_fixes(self, client):
+        status, payload = client.post_json("/v1/lint", budget_spec())
+        assert status == 422
+        assert "fixes" not in payload
+
+    def test_patched_spec_round_trips_clean(self, client):
+        status, payload = client.post_json(
+            "/v1/lint", {"spec": budget_spec(), "fix": True})
+        assert status == 422
+        spec = budget_spec()
+        for fix in payload["fixes"]:
+            if fix["kind"] == "max_blocking" and fix["discharged"]:
+                for fn in spec["functions"]:
+                    if fn["name"] == fix["function"]:
+                        fn["max_blocking"] = fix["max_blocking"]
+        status, payload = client.post_json(
+            "/v1/lint", {"spec": spec, "fix": True})
+        assert status == 200
+        assert payload["ok"] is True
+        assert payload["fixes"] == []
+
+    def test_clean_spec_with_fix_option_returns_empty_fixes(self, client):
+        from repro.workloads.fig6 import fig6_spec
+
+        status, payload = client.post_json(
+            "/v1/lint", {"spec": fig6_spec(), "fix": True})
+        assert status == 200
+        assert payload["fixes"] == []
+
+    def test_unbuildable_spec_fixes_fall_back_to_empty(self, client):
+        status, payload = client.post_json(
+            "/v1/lint",
+            {"spec": {"name": "broken", "functions": [{"priority": 1}]},
+             "fix": True})
+        assert status == 422
+        assert payload["fixes"] == []

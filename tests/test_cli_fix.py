@@ -1,0 +1,88 @@
+"""`pyrtos-sc lint --fix [--apply]`: planned patches end to end."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def fixable_spec():
+    """A ceiling misdeclaration (RTS181) plus a blown budget (RTS183)."""
+    return {
+        "name": "fixable",
+        "relations": [{"kind": "shared", "name": "mtx",
+                       "protocol": "inheritance"}],
+        "processors": [{"name": "cpu", "engine": "procedural"}],
+        "functions": [
+            {"name": "hi", "priority": 3, "processor": "cpu",
+             "wcet": "10us", "period": "200us", "deadline": "120us",
+             "max_blocking": "5us",
+             "script": [["loop", None,
+                         [["lock", "mtx"], ["execute", "10us"],
+                          ["unlock", "mtx"], ["delay", "190us"]]]]},
+            {"name": "lo", "priority": 1, "processor": "cpu",
+             "wcet": "25us", "period": "400us",
+             "script": [["loop", None,
+                         [["lock", "mtx"], ["execute", "25us"],
+                          ["unlock", "mtx"], ["delay", "375us"]]]]},
+        ],
+    }
+
+
+@pytest.fixture
+def spec_path(tmp_path):
+    path = tmp_path / "fixable.json"
+    path.write_text(json.dumps(fixable_spec()))
+    return str(path)
+
+
+class TestFixPlanning:
+    def test_text_mode_prints_discharge_status(self, spec_path, capsys):
+        main(["lint", spec_path, "--fix"])
+        out = capsys.readouterr().out
+        assert "fix [RTS183] max_blocking:" in out
+        assert "discharges the finding" in out
+
+    def test_json_mode_carries_fixes(self, spec_path, capsys):
+        main(["lint", spec_path, "--fix", "--json"])
+        (entry,) = json.loads(capsys.readouterr().out)
+        (fix,) = entry["fixes"]
+        assert fix["rule"] == "RTS183"
+        assert fix["max_blocking"] == "25us"
+        assert fix["discharged"] is True
+
+    def test_json_mode_without_fix_has_no_fixes_key(self, spec_path,
+                                                    capsys):
+        main(["lint", spec_path, "--json"])
+        (entry,) = json.loads(capsys.readouterr().out)
+        assert "fixes" not in entry
+
+    def test_apply_requires_fix(self, spec_path):
+        with pytest.raises(SystemExit, match="--apply requires --fix"):
+            main(["lint", spec_path, "--apply"])
+
+
+class TestFixApply:
+    def test_apply_patches_spec_and_relints_clean(self, spec_path,
+                                                  capsys):
+        assert main(["lint", spec_path]) == 1  # RTS183 is an error here
+        capsys.readouterr()
+        main(["lint", spec_path, "--fix", "--apply"])
+        err = capsys.readouterr().err
+        assert "applied 1 fix(es)" in err
+        patched = json.loads(open(spec_path).read())
+        assert patched["functions"][0]["max_blocking"] == "25us"
+        capsys.readouterr()
+        assert main(["lint", spec_path]) == 0  # patched spec lints clean
+
+    def test_apply_without_discharged_fixes_is_a_noop(self, capsys):
+        # fig6 lints clean: nothing planned, nothing written
+        assert main(["lint", "fig6", "--fix", "--apply"]) == 0
+        assert "applied" not in capsys.readouterr().err
+
+    def test_apply_writes_canonical_json(self, spec_path, capsys):
+        main(["lint", spec_path, "--fix", "--apply"])
+        text = open(spec_path).read()
+        payload = json.loads(text)
+        assert text == json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
-"""Flow-lint ratchet: RTS16x findings over examples and the corpus.
+"""Flow-lint ratchet: RTS16x/RTS18x findings over examples and corpus.
 
-Runs the behavior-flow analyzer (``repro.analyze.flow``) over a fixed,
-deterministic target set -- every corpus generator at seeds 0..2 with
-default parameters, the fig6 workload family, the SMP workload spec,
-and the example systems that can be built without running -- and counts
-findings per RTS16x rule.
+Runs the behavior-flow analyzer (``repro.analyze.flow``) and the
+blocking-aware schedulability rules (``repro.analyze.blocking`` /
+``repro.analyze.assign``) over a fixed, deterministic target set --
+every corpus generator at seeds 0..2 with default parameters, the fig6
+workload family, the SMP workload spec, and the example systems that
+can be built without running -- and counts findings per tracked rule.
 
 ``--check`` compares the counts against the checked-in baseline
 (``tests/analyze/flow_baseline.json``) and fails when any rule count
@@ -33,7 +34,8 @@ sys.path.insert(0, os.path.join(ROOT, "src"))
 BASELINE_PATH = os.path.join(ROOT, "tests", "analyze",
                              "flow_baseline.json")
 
-FLOW_RULES = tuple(f"RTS16{index}" for index in range(7))
+FLOW_RULES = tuple(f"RTS16{index}" for index in range(7)) + tuple(
+    f"RTS18{index}" for index in range(4))
 
 
 def _load_example(name: str):
